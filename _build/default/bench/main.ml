@@ -1,0 +1,847 @@
+(** Benchmark driver: regenerates every table and figure of the paper's
+    evaluation (§5 experiments on the OpenBw-Tree's optimizations, §6
+    cross-index comparison, §6.3 decomposition).
+
+    Usage: [dune exec bench/main.exe -- [EXPERIMENT..] [OPTIONS]]
+
+    Experiments: fig8 fig9 fig10 fig11 fig12 tab2 fig13 fig14 fig15 tab3
+    fig16 fig17 fig18 bech (default: all).
+
+    Options: [--keys N] [--ops N] [--threads N] [--repeats N] [--full]
+
+    Absolute numbers are not comparable to the paper's Xeon testbed (this
+    is OCaml on whatever machine you have — see DESIGN.md for the
+    substitution table); the *shape* of each result is the reproduction
+    target and is recorded against the paper in EXPERIMENTS.md. *)
+
+module W = Workload
+module Counters = Bw_util.Counters
+open Harness
+
+let print_header = Runner.print_header
+let print_row = Runner.print_row
+
+(* ------------------------------------------------------------------ *)
+(* Scale                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type scale = {
+  keys : int;
+  ops : int;
+  threads : int;  (* the "20 worker threads" stand-in *)
+  repeats : int;
+}
+
+let quick_scale = { keys = 30_000; ops = 60_000; threads = 8; repeats = 1 }
+let full_scale = { keys = 500_000; ops = 1_000_000; threads = 16; repeats = 3 }
+
+let wl_cfg scale =
+  { W.default_config with num_keys = scale.keys; num_ops = scale.ops }
+
+(* ------------------------------------------------------------------ *)
+(* Generic workload execution                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Load the key set, then (for non-insert mixes) run the measured phase. *)
+let run_workload (driver : 'k Runner.driver) ~(conv : int -> 'k) ~space ~mix
+    ~nthreads scale =
+  let cfg = wl_cfg scale in
+  let load_trace = W.load_trace cfg space conv in
+  let load_res = Runner.load driver ~nthreads load_trace in
+  let res =
+    match mix with
+    | W.Insert_only -> load_res
+    | _ ->
+        let traces =
+          Array.init nthreads (fun tid ->
+              W.ops_trace cfg space mix ~tid ~nthreads conv)
+        in
+        Runner.run driver traces
+  in
+  driver.stop_aux ();
+  res
+
+let mops_of ~mkdriver ~conv ~space ~mix ~nthreads scale =
+  let xs =
+    Array.init (max 1 scale.repeats) (fun _ ->
+        let d = mkdriver () in
+        (run_workload d ~conv ~space ~mix ~nthreads scale).mops)
+  in
+  Bw_util.Stats.median xs
+
+let all_mixes = [ W.Insert_only; W.Read_only; W.Read_update; W.Scan_insert ]
+let int_spaces = [ W.Mono_int; W.Rand_int ]
+
+(* run one (space, mix) cell for an int- or email-keyed driver factory *)
+let cell ~int_driver ~str_driver ~space ~mix ~nthreads scale =
+  match space with
+  | W.Email ->
+      mops_of ~mkdriver:str_driver ~conv:W.email_key_of ~space ~mix ~nthreads
+        scale
+  | _ ->
+      mops_of ~mkdriver:int_driver ~conv:(W.int_key_of space) ~space ~mix
+        ~nthreads scale
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 Figure 8: delta-record pre-allocation (single-threaded)        *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 scale =
+  print_header
+    "Figure 8: Delta Record Pre-allocation (single-threaded, \
+     independently-allocated vs pre-allocated)";
+  let base = { Bwtree.default_config with preallocate = false } in
+  let opt = Bwtree.default_config in
+  List.iter
+    (fun space ->
+      Printf.printf "-- %s keys --\n%!"
+        (Format.asprintf "%a" W.pp_key_space space);
+      List.iter
+        (fun mix ->
+          let run config =
+            cell
+              ~int_driver:(fun () -> Drivers.bwtree_driver_int ~config ())
+              ~str_driver:(fun () -> Drivers.bwtree_driver_str ~config ())
+              ~space ~mix ~nthreads:1 scale
+          in
+          let a = run base and b = run opt in
+          print_row
+            (Format.asprintf "%a" W.pp_mix mix)
+            [ ("indep", a); ("prealloc", b); ("speedup", b /. a) ])
+        all_mixes)
+    [ W.Mono_int; W.Rand_int; W.Email ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.3 Figure 9: fast consolidation & search shortcuts                *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 scale =
+  print_header
+    "Figure 9: Fast Consolidation & Search Shortcuts (single-threaded, \
+     off vs on)";
+  let base =
+    {
+      Bwtree.default_config with
+      fast_consolidation = false;
+      search_shortcuts = false;
+    }
+  in
+  let opt = Bwtree.default_config in
+  List.iter
+    (fun space ->
+      Printf.printf "-- %s keys --\n%!"
+        (Format.asprintf "%a" W.pp_key_space space);
+      List.iter
+        (fun mix ->
+          let run config =
+            cell
+              ~int_driver:(fun () -> Drivers.bwtree_driver_int ~config ())
+              ~str_driver:(fun () -> Drivers.bwtree_driver_str ~config ())
+              ~space ~mix ~nthreads:1 scale
+          in
+          let a = run base and b = run opt in
+          print_row
+            (Format.asprintf "%a" W.pp_mix mix)
+            [ ("no FC&SS", a); ("FC&SS", b); ("speedup", b /. a) ])
+        all_mixes)
+    [ W.Mono_int; W.Rand_int; W.Email ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.4 Figure 10: garbage collection scalability                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The epoch-protocol microbenchmark behind Fig. 10: enter/exit cost in
+   isolation. The centralized scheme's entry is a shared atomic RMW (cache
+   coherence traffic on real multi-socket hardware); the decentralized
+   entry is a read of the global epoch plus a write to a thread-private
+   cell. *)
+let fig10_protocol scale =
+  Printf.printf "-- epoch protocol microbenchmark (enter/exit pairs) --\n%!";
+  let iters = 2_000_000 in
+  List.iter
+    (fun nthreads ->
+      let cells =
+        List.map
+          (fun (label, scheme) ->
+            let e = Epoch.create ~scheme ~max_threads:nthreads () in
+            let per = iters / nthreads in
+            let seconds =
+              Runner.run_phase ~nthreads (fun tid ->
+                  for _ = 1 to per do
+                    Epoch.op_begin e ~tid;
+                    Epoch.op_end e ~tid
+                  done)
+            in
+            (label, Bw_util.Stats.throughput_mops ~ops:iters ~seconds))
+          [ ("centralized", Epoch.Centralized);
+            ("decentralized", Epoch.Decentralized) ]
+      in
+      print_row ~unit_:"M enter+exit/s"
+        (Printf.sprintf "%d threads" nthreads)
+        cells)
+    [ 1; scale.threads ]
+
+let fig10 scale =
+  print_header
+    "Figure 10: GC Scalability (Read/Update; centralized vs decentralized \
+     epochs; thread sweep)";
+  let threads = [ 1; 2; 4; scale.threads ] in
+  let centralized =
+    { Bwtree.default_config with gc_scheme = Epoch.Centralized }
+  in
+  let decentralized = Bwtree.default_config in
+  List.iter
+    (fun space ->
+      Printf.printf "-- %s keys --\n%!"
+        (Format.asprintf "%a" W.pp_key_space space);
+      List.iter
+        (fun nthreads ->
+          let run config =
+            cell
+              ~int_driver:(fun () -> Drivers.bwtree_driver_int ~config ())
+              ~str_driver:(fun () -> Drivers.bwtree_driver_str ~config ())
+              ~space ~mix:W.Read_update ~nthreads scale
+          in
+          let c = run centralized and d = run decentralized in
+          print_row
+            (Printf.sprintf "%d threads" nthreads)
+            [ ("centralized", c); ("decentralized", d); ("ratio", d /. c) ])
+        threads)
+    [ W.Mono_int; W.Rand_int; W.Email ];
+  fig10_protocol scale
+
+(* ------------------------------------------------------------------ *)
+(* §5.5 Figure 11: delta-chain length & node size                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 scale =
+  print_header
+    "Figure 11: Delta Chain Length x Node Size (Mono-Int, multi-threaded)";
+  let chains = [ 8; 16; 24; 32; 40 ] in
+  let node_sizes = [ 32; 64; 128 ] in
+  List.iter
+    (fun mix ->
+      Printf.printf "-- %s --\n%!" (Format.asprintf "%a" W.pp_mix mix);
+      List.iter
+        (fun chain ->
+          let cells =
+            List.map
+              (fun ns ->
+                let config =
+                  {
+                    Bwtree.default_config with
+                    leaf_chain_max = chain;
+                    inner_chain_max = min chain 4;
+                    leaf_max = ns;
+                    inner_max = max 16 (ns / 2);
+                    leaf_min = max 2 (ns / 8);
+                    inner_min = max 2 (ns / 8);
+                  }
+                in
+                let v =
+                  mops_of
+                    ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+                    ~conv:(W.int_key_of W.Mono_int) ~space:W.Mono_int ~mix
+                    ~nthreads:scale.threads scale
+                in
+                (Printf.sprintf "node=%d" ns, v))
+              node_sizes
+          in
+          print_row (Printf.sprintf "chain=%d" chain) cells)
+        chains)
+    [ W.Insert_only; W.Read_update ]
+
+(* ------------------------------------------------------------------ *)
+(* §5.6 Figure 12: optimization summary                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 scale =
+  print_header
+    "Figure 12a: Optimizations applied cumulatively (Rand-Int, Read/Update)";
+  let steps =
+    [
+      ("Bw-Tree", Bwtree.microsoft_config);
+      ("+GC", { Bwtree.microsoft_config with gc_scheme = Epoch.Decentralized });
+      ( "+PA",
+        {
+          Bwtree.microsoft_config with
+          gc_scheme = Epoch.Decentralized;
+          preallocate = true;
+          leaf_chain_max = Bwtree.default_config.leaf_chain_max;
+          inner_chain_max = Bwtree.default_config.inner_chain_max;
+        } );
+      ("+FC&SS", { Bwtree.default_config with unique_keys = true });
+      ("+NK", { Bwtree.default_config with unique_keys = false });
+    ]
+  in
+  List.iter
+    (fun nthreads ->
+      let cells =
+        List.map
+          (fun (label, config) ->
+            ( label,
+              mops_of
+                ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+                ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int
+                ~mix:W.Read_update ~nthreads scale ))
+          steps
+      in
+      print_row (Printf.sprintf "%d thread(s)" nthreads) cells)
+    [ 1; scale.threads ];
+  print_header "Figure 12b: Bw-Tree vs OpenBw-Tree (Mono-Int, multi-threaded)";
+  List.iter
+    (fun mix ->
+      let run config =
+        mops_of
+          ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+          ~conv:(W.int_key_of W.Mono_int) ~space:W.Mono_int ~mix
+          ~nthreads:scale.threads scale
+      in
+      let a = run Bwtree.microsoft_config in
+      let b = run Bwtree.default_config in
+      print_row
+        (Format.asprintf "%a" W.pp_mix mix)
+        [ ("Bw-Tree", a); ("OpenBw-Tree", b); ("speedup", b /. a) ])
+    all_mixes
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: OpenBw-Tree statistics under Insert-only                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Insert via the high-contention generator: every thread draws strictly
+   increasing keys from a shared clock (the RDTSC substitute). *)
+let hc_insert_run (d : int Runner.driver) ~nthreads ~ops =
+  let hc = W.Hc.create ~nthreads in
+  d.start_aux ();
+  let per = ops / nthreads in
+  let seconds =
+    Runner.run_phase ~nthreads (fun tid ->
+        for i = 1 to per do
+          let k = W.Hc.next hc ~tid in
+          ignore (d.insert ~tid k i)
+        done;
+        d.thread_done ~tid)
+  in
+  d.stop_aux ();
+  {
+    Runner.ops;
+    seconds;
+    mops = Bw_util.Stats.throughput_mops ~ops ~seconds;
+    mem_words = 0;
+  }
+
+let tab2 scale =
+  print_header "Table 2: OpenBw-Tree statistics (Insert-only, multi-threaded)";
+  let run_one space =
+    let tree, mkdriver = Drivers.bwtree_instance_int () in
+    let driver = mkdriver "OpenBw-Tree" in
+    (match space with
+    | W.Mono_hc ->
+        ignore (hc_insert_run driver ~nthreads:scale.threads ~ops:scale.keys)
+    | _ ->
+        let cfg = wl_cfg scale in
+        let trace = W.load_trace cfg space (W.int_key_of space) in
+        ignore (Runner.load driver ~nthreads:scale.threads trace);
+        driver.stop_aux ());
+    let ss = Drivers.Bw_int.structure_stats tree in
+    let os = Drivers.Bw_int.op_stats tree in
+    let abort_rate =
+      if os.inserts = 0 then 0.0
+      else 100.0 *. float_of_int os.restarts /. float_of_int os.inserts
+    in
+    Printf.printf
+      "%-10s IDCL %5.2f | LDCL %5.2f | INS %6.2f | LNS %6.2f | Abort \
+       %6.2f%% | IPU %5.1f%% | LPU %5.1f%%\n%!"
+      (Format.asprintf "%a" W.pp_key_space space)
+      ss.avg_inner_chain ss.avg_leaf_chain ss.avg_inner_size ss.avg_leaf_size
+      abort_rate
+      (100.0 *. ss.inner_prealloc_util)
+      (100.0 *. ss.leaf_prealloc_util)
+  in
+  List.iter run_one [ W.Mono_int; W.Rand_int; W.Mono_hc ]
+
+(* ------------------------------------------------------------------ *)
+(* §6.1 Figures 13/14: the six-index comparison                        *)
+(* ------------------------------------------------------------------ *)
+
+let index_comparison scale ~nthreads title =
+  print_header title;
+  List.iter
+    (fun space ->
+      Printf.printf "-- %s keys --\n%!"
+        (Format.asprintf "%a" W.pp_key_space space);
+      List.iter
+        (fun mix ->
+          let cells =
+            match space with
+            | W.Email ->
+                List.map
+                  (fun (name, mk) ->
+                    ( name,
+                      mops_of ~mkdriver:mk ~conv:W.email_key_of ~space ~mix
+                        ~nthreads scale ))
+                  (Drivers.str_lineup ())
+            | _ ->
+                List.map
+                  (fun (name, mk) ->
+                    ( name,
+                      mops_of ~mkdriver:mk ~conv:(W.int_key_of space) ~space
+                        ~mix ~nthreads scale ))
+                  (Drivers.int_lineup ())
+          in
+          print_row (Format.asprintf "%a" W.pp_mix mix) cells)
+        all_mixes)
+    (int_spaces @ [ W.Email ])
+
+let fig13 scale =
+  index_comparison scale ~nthreads:1
+    "Figure 13: In-Memory Index Comparison (single-threaded)"
+
+let fig14 scale =
+  index_comparison scale ~nthreads:scale.threads
+    (Printf.sprintf
+       "Figure 14: In-Memory Index Comparison (multi-threaded, %d workers)"
+       scale.threads)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 15: memory usage                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig15 scale =
+  print_header "Figure 15: Memory Usage (Read/Update; MB of live heap)";
+  let mb words = float_of_int (words * 8) /. 1024.0 /. 1024.0 in
+  List.iter
+    (fun nthreads ->
+      Printf.printf "-- %d thread(s) --\n%!" nthreads;
+      List.iter
+        (fun space ->
+          let cells =
+            match space with
+            | W.Email ->
+                List.map
+                  (fun (name, mk) ->
+                    let d = mk () in
+                    let _ =
+                      run_workload d ~conv:W.email_key_of ~space
+                        ~mix:W.Read_update ~nthreads scale
+                    in
+                    (name, mb (d.memory_words ())))
+                  (Drivers.str_lineup ())
+            | _ ->
+                List.map
+                  (fun (name, mk) ->
+                    let d = mk () in
+                    let _ =
+                      run_workload d ~conv:(W.int_key_of space) ~space
+                        ~mix:W.Read_update ~nthreads scale
+                    in
+                    (name, mb (d.memory_words ())))
+                  (Drivers.int_lineup ())
+          in
+          print_row ~unit_:"MB"
+            (Format.asprintf "%a" W.pp_key_space space)
+            cells)
+        (int_spaces @ [ W.Email ]))
+    [ 1; scale.threads ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: microbenchmark counters                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tab3 scale =
+  print_header
+    "Table 3: Software event counters, Rand-Int Insert-only (events per \
+     operation; hardware-counter substitute)";
+  Printf.printf "%-14s | %9s %9s %9s %9s %9s %9s\n%!" "index" "ptr-deref"
+    "key-cmp" "alloc" "cas" "cas-fail" "restart";
+  List.iter
+    (fun (name, mk) ->
+      let d = mk () in
+      Counters.reset Counters.global;
+      Counters.enabled := true;
+      let cfg = wl_cfg scale in
+      let trace = W.load_trace cfg W.Rand_int (W.int_key_of W.Rand_int) in
+      let res = Runner.load d ~nthreads:scale.threads trace in
+      d.stop_aux ();
+      Counters.enabled := false;
+      let per ev =
+        float_of_int (Counters.read Counters.global ev) /. float_of_int res.ops
+      in
+      Printf.printf "%-14s | %9.2f %9.2f %9.2f %9.2f %9.4f %9.4f\n%!" name
+        (per Counters.Pointer_deref)
+        (per Counters.Key_compare)
+        (per Counters.Allocation) (per Counters.Cas_attempt)
+        (per Counters.Cas_failure) (per Counters.Restart))
+    (Drivers.int_lineup ())
+
+(* ------------------------------------------------------------------ *)
+(* §6.2 Figures 16/17: high contention                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig16 scale =
+  print_header
+    "Figure 16: High-Contention Insert-only (Mono-HC keys) + software \
+     access-rate counters (DRAM-rate substitute)";
+  let thread_configs =
+    [ (scale.threads, "T workers"); (scale.threads * 2, "2T workers") ]
+  in
+  List.iter
+    (fun (nthreads, label) ->
+      Printf.printf "-- %s (%d) --\n%!" label nthreads;
+      List.iter
+        (fun (name, mk) ->
+          let d = mk () in
+          Counters.reset Counters.global;
+          Counters.enabled := true;
+          let res = hc_insert_run d ~nthreads ~ops:scale.keys in
+          Counters.enabled := false;
+          let rate ev =
+            float_of_int (Counters.read Counters.global ev)
+            /. res.seconds /. 1e6
+          in
+          Printf.printf
+            "%-14s | %8.3f Mops/s | deref %8.1f M/s | cas-fail %8.3f M/s\n%!"
+            name res.mops
+            (rate Counters.Pointer_deref)
+            (rate Counters.Cas_failure))
+        (Drivers.int_lineup ()))
+    thread_configs
+
+let fig17 scale =
+  print_header
+    "Figure 17: Normal (Mono-Int) vs High-Contention (Mono-HC) Insert-only";
+  List.iter
+    (fun (name, mk) ->
+      let normal =
+        let d = mk () in
+        let cfg = wl_cfg scale in
+        let trace = W.load_trace cfg W.Mono_int (W.int_key_of W.Mono_int) in
+        let r = Runner.load d ~nthreads:scale.threads trace in
+        d.stop_aux ();
+        r.mops
+      in
+      let hc =
+        let d = mk () in
+        (hc_insert_run d ~nthreads:scale.threads ~ops:scale.keys).mops
+      in
+      print_row name
+        [
+          ("mono-int", normal);
+          ("high-contention", hc);
+          ("degradation x", normal /. hc);
+        ])
+    (Drivers.int_lineup ())
+
+(* ------------------------------------------------------------------ *)
+(* §6.3 Figure 18: performance decomposition                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig18 scale =
+  print_header
+    "Figure 18: Performance decomposition (Rand-Int, single-threaded; \
+     features disabled one by one)";
+  let conv = W.int_key_of W.Rand_int in
+  let cfg = wl_cfg scale in
+  let time_run f n =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Bw_util.Stats.throughput_mops ~ops:n ~seconds:(Unix.gettimeofday () -. t0)
+  in
+  let insert_mops config =
+    mops_of
+      ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+      ~conv ~space:W.Rand_int ~mix:W.Insert_only ~nthreads:1 scale
+  in
+  let read_mops config ~prep =
+    let tree, mk = Drivers.bwtree_instance_int ~config () in
+    let d = mk "bw" in
+    let trace = W.load_trace cfg W.Rand_int conv in
+    ignore (Runner.load d ~nthreads:1 trace);
+    d.stop_aux ();
+    prep tree;
+    let ops = W.ops_trace cfg W.Rand_int W.Read_only ~tid:0 ~nthreads:1 conv in
+    time_run
+      (fun () -> Array.iter (fun op -> Runner.exec_op d ~tid:0 op) ops)
+      (Array.length ops)
+  in
+  let base = Bwtree.default_config in
+  print_row "OpenBw-Tree"
+    [
+      ("insert", insert_mops base); ("read", read_mops base ~prep:(fun _ -> ()));
+    ];
+  print_row "-DC (no delta chains)"
+    [ ("read", read_mops base ~prep:Drivers.Bw_int.consolidate_all) ];
+  let nocas = { base with use_atomic_cas = false } in
+  print_row "-CAS (plain compare+store)"
+    [
+      ("insert", insert_mops nocas);
+      ("read", read_mops nocas ~prep:(fun _ -> ()));
+    ];
+  (* -MT: frozen direct-pointer tree (no mapping table, no chains) *)
+  let mt_read =
+    let tree, mk = Drivers.bwtree_instance_int () in
+    let d = mk "bw" in
+    let trace = W.load_trace cfg W.Rand_int conv in
+    ignore (Runner.load d ~nthreads:1 trace);
+    d.stop_aux ();
+    let frozen = Drivers.Bw_int.freeze tree in
+    let ops = W.ops_trace cfg W.Rand_int W.Read_only ~tid:0 ~nthreads:1 conv in
+    time_run
+      (fun () ->
+        Array.iter
+          (function
+            | W.Read k -> ignore (Drivers.Bw_int.frozen_lookup frozen k)
+            | _ -> ())
+          ops)
+      (Array.length ops)
+  in
+  print_row "-MT (direct pointers)" [ ("read", mt_read) ];
+  let nodelta = { base with inplace_leaf_update = true } in
+  print_row "-DU (in-place leaf updates)" [ ("insert", insert_mops nodelta) ];
+  print_row "B+Tree (OLC)"
+    [
+      ( "insert",
+        mops_of
+          ~mkdriver:(fun () -> Drivers.btree_driver_int ())
+          ~conv ~space:W.Rand_int ~mix:W.Insert_only ~nthreads:1 scale );
+      ( "read",
+        mops_of
+          ~mkdriver:(fun () -> Drivers.btree_driver_int ())
+          ~conv ~space:W.Rand_int ~mix:W.Read_only ~nthreads:1 scale );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-latencies                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bech scale =
+  print_header "Bechamel micro-latencies (single-op, ns/op; supports Table 3)";
+  let open Bechamel in
+  let preloaded mk insert =
+    let d = mk () in
+    let cfg = { (wl_cfg scale) with num_keys = min scale.keys 20_000 } in
+    let trace = W.load_trace cfg W.Rand_int (W.int_key_of W.Rand_int) in
+    Array.iter (fun (k, v) -> ignore (insert d k v)) trace;
+    (d, cfg.num_keys)
+  in
+  let tests =
+    List.concat_map
+      (fun (name, mk) ->
+        let d, n = preloaded mk (fun d k v -> d.Runner.insert ~tid:0 k v) in
+        let rng = Bw_util.Rng.create ~seed:99L in
+        let lookup =
+          Test.make ~name:(name ^ "/lookup")
+            (Staged.stage (fun () ->
+                 let i = Bw_util.Rng.next_int rng n in
+                 ignore (d.Runner.read ~tid:0 (W.Keys.rand_int i))))
+        in
+        let update =
+          Test.make ~name:(name ^ "/update")
+            (Staged.stage (fun () ->
+                 let i = Bw_util.Rng.next_int rng n in
+                 ignore (d.Runner.update ~tid:0 (W.Keys.rand_int i) 42)))
+        in
+        [ lookup; update ])
+      (Drivers.int_lineup ())
+  in
+  let grouped = Test.make_grouped ~name:"index" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some (t :: _) -> Printf.printf "%-36s %10.1f ns/op\n%!" name t
+      | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations beyond the paper (see DESIGN.md)                          *)
+(* ------------------------------------------------------------------ *)
+
+let abl scale =
+  print_header
+    "Ablation A1: SkipList tower policy (background thread, the paper's \
+     configuration, vs inline CaS towers)";
+  List.iter
+    (fun mix ->
+      let run policy =
+        mops_of
+          ~mkdriver:(fun () -> Drivers.skiplist_driver_int ~policy ())
+          ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int ~mix
+          ~nthreads:scale.threads scale
+      in
+      let bg = run Skiplist.Background and inl = run Skiplist.Inline in
+      print_row
+        (Format.asprintf "%a" W.pp_mix mix)
+        [ ("background", bg); ("inline", inl); ("inline/bg", inl /. bg) ])
+    [ W.Insert_only; W.Read_only ];
+
+  print_header
+    "Ablation A2: mapping-table chunk size (lock-free growth granularity)";
+  let ids = 200_000 in
+  List.iter
+    (fun chunk_bits ->
+      let t =
+        Mapping_table.create ~chunk_bits
+          ~dir_bits:(max 4 (22 - chunk_bits))
+          ~dummy:(-1) ()
+      in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to ids - 1 do
+        ignore (Mapping_table.allocate t i)
+      done;
+      let alloc_s = Unix.gettimeofday () -. t0 in
+      let rng = Bw_util.Rng.create ~seed:5L in
+      let t0 = Unix.gettimeofday () in
+      let acc = ref 0 in
+      for _ = 0 to (2 * ids) - 1 do
+        acc := !acc lxor Mapping_table.get t (Bw_util.Rng.next_int rng ids)
+      done;
+      let get_s = Unix.gettimeofday () -. t0 in
+      ignore !acc;
+      Printf.printf
+        "chunk=2^%-2d | alloc %7.3f Mops/s | get %7.3f Mops/s | chunks %d\n%!"
+        chunk_bits
+        (Bw_util.Stats.throughput_mops ~ops:ids ~seconds:alloc_s)
+        (Bw_util.Stats.throughput_mops ~ops:(2 * ids) ~seconds:get_s)
+        (Mapping_table.chunks_allocated t))
+    [ 8; 12; 16; 20 ];
+
+  print_header
+    "Ablation A3: decentralized-GC threshold (local garbage list trigger)";
+  List.iter
+    (fun gc_threshold ->
+      let config = { Bwtree.default_config with gc_threshold } in
+      let v =
+        mops_of
+          ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+          ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int
+          ~mix:W.Read_update ~nthreads:scale.threads scale
+      in
+      print_row (Printf.sprintf "threshold=%d" gc_threshold) [ ("A", v) ])
+    [ 64; 256; 1024; 4096 ];
+
+  print_header
+    "Ablation A4: non-unique key support cost (Fig. 12a's +NK bar, \
+     detailed; no duplicate keys present)";
+  List.iter
+    (fun mix ->
+      let run unique_keys =
+        let config = { Bwtree.default_config with unique_keys } in
+        mops_of
+          ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+          ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int ~mix ~nthreads:1
+          scale
+      in
+      let u = run true and n = run false in
+      print_row
+        (Format.asprintf "%a" W.pp_mix mix)
+        [ ("unique", u); ("non-unique", n); ("ratio", n /. u) ])
+    [ W.Insert_only; W.Read_only; W.Read_update ]
+
+(* ------------------------------------------------------------------ *)
+(* Page-store substrate: checkpoint / recovery / compaction rates      *)
+(* ------------------------------------------------------------------ *)
+
+module Cp =
+  Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Pagestore.Codec.Int)
+    (Drivers.Bw_int)
+
+let store scale =
+  print_header
+    "Page store: checkpoint, recovery and segment-GC rates (LLAMA-style \
+     substrate, DESIGN.md)";
+  let t = Drivers.Bw_int.create () in
+  let n = scale.keys in
+  for i = 0 to n - 1 do
+    ignore (Drivers.Bw_int.insert t (W.Keys.rand_int i) i)
+  done;
+  let log = Pagestore.Log.create () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let root1, save_s = time (fun () -> Cp.save ~page_items:128 t log) in
+  let _, save2_s = time (fun () -> Cp.save ~page_items:128 t log) in
+  let root2 = Cp.save ~page_items:128 t log in
+  let tree', load_s = time (fun () -> Cp.load log root2) in
+  let reclaimed, compact_s =
+    time (fun () -> fst (Cp.compact_keeping log [ root2 ]))
+  in
+  ignore root1;
+  Printf.printf
+    "checkpoint : %7.3f M items/s (first) | %7.3f M items/s (steady)\n"
+    (Bw_util.Stats.throughput_mops ~ops:n ~seconds:save_s)
+    (Bw_util.Stats.throughput_mops ~ops:n ~seconds:save2_s);
+  Printf.printf "recovery   : %7.3f M items/s (%d keys rebuilt)\n"
+    (Bw_util.Stats.throughput_mops ~ops:n ~seconds:load_s)
+    (Drivers.Bw_int.cardinal tree');
+  Printf.printf
+    "segment GC : %7.2f MB reclaimed in %.3fs (%.1f MB/s); log now %.2f MB \
+     in %d segments\n"
+    (float_of_int reclaimed /. 1048576.)
+    compact_s
+    (float_of_int reclaimed /. 1048576. /. compact_s)
+    (float_of_int (Pagestore.Log.bytes_used log) /. 1048576.)
+    (Pagestore.Log.segment_count log)
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+    ("fig12", fig12); ("tab2", tab2); ("fig13", fig13); ("fig14", fig14);
+    ("fig15", fig15); ("tab3", tab3); ("fig16", fig16); ("fig17", fig17);
+    ("fig18", fig18); ("bech", bech); ("abl", abl); ("store", store);
+  ]
+
+let () =
+  let scale = ref quick_scale in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        scale := full_scale;
+        parse rest
+    | "--keys" :: n :: rest ->
+        scale := { !scale with keys = int_of_string n };
+        parse rest
+    | "--ops" :: n :: rest ->
+        scale := { !scale with ops = int_of_string n };
+        parse rest
+    | "--threads" :: n :: rest ->
+        scale := { !scale with threads = int_of_string n };
+        parse rest
+    | "--repeats" :: n :: rest ->
+        scale := { !scale with repeats = int_of_string n };
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        Printf.printf
+          "usage: main.exe [EXPERIMENT..] [--keys N] [--ops N] [--threads N] \
+           [--repeats N] [--full]\nexperiments: %s\n"
+          (String.concat " " (List.map fst experiments));
+        exit 0
+    | name :: rest when List.mem_assoc name experiments ->
+        selected := !selected @ [ name ];
+        parse rest
+    | name :: _ ->
+        Printf.eprintf "unknown experiment or option: %s\n" name;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let to_run = match !selected with [] -> List.map fst experiments | l -> l in
+  let s = !scale in
+  Printf.printf
+    "OpenBw-Tree benchmark suite — keys=%d ops=%d threads=%d repeats=%d\n%!"
+    s.keys s.ops s.threads s.repeats;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) s) to_run;
+  Printf.printf "\nTotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

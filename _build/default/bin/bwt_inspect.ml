@@ -1,0 +1,119 @@
+(* Structural inspector: load a workload into an OpenBw-Tree (or the
+   baseline Bw-Tree) and report Table 2-style statistics in depth —
+   delta-chain and node-occupancy histograms, operation counters,
+   mapping-table growth, memory — plus an optional full physical dump.
+
+   Examples:
+     dune exec bin/bwt_inspect.exe -- --keys 100000 --keyspace rand
+     dune exec bin/bwt_inspect.exe -- --baseline --threads 8 --keyspace hc
+     dune exec bin/bwt_inspect.exe -- --keys 200 --dump *)
+
+module Tree = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
+module W = Workload
+module H = Bw_util.Histogram
+
+let () =
+  let keys = ref 100_000
+  and threads = ref 1
+  and keyspace = ref "rand"
+  and baseline = ref false
+  and dump = ref false in
+  let args =
+    [
+      ("--keys", Arg.Set_int keys, "N  keys to load (default 100000)");
+      ("--threads", Arg.Set_int threads, "N  loader domains (default 1)");
+      ( "--keyspace",
+        Arg.Set_string keyspace,
+        "S  mono | rand | hc (default rand)" );
+      ("--baseline", Arg.Set baseline, "   use the baseline Bw-Tree config");
+      ("--dump", Arg.Set dump, "   print every logical node and chain");
+    ]
+  in
+  Arg.parse args (fun _ -> ()) "bwt_inspect [options]";
+  let config =
+    if !baseline then Bwtree.microsoft_config else Bwtree.default_config
+  in
+  let t = Tree.create ~config () in
+  Tree.start_gc_thread t ();
+  let nthreads = max 1 !threads in
+  let spawn f =
+    let ds = Array.init nthreads (fun tid -> Domain.spawn (fun () -> f tid)) in
+    Array.iter Domain.join ds
+  in
+  (match !keyspace with
+  | "hc" ->
+      let hc = W.Hc.create ~nthreads in
+      let per = !keys / nthreads in
+      spawn (fun tid ->
+          for i = 1 to per do
+            ignore (Tree.insert t ~tid (W.Hc.next hc ~tid) i)
+          done;
+          Tree.quiesce t ~tid)
+  | ks ->
+      let conv =
+        match ks with
+        | "mono" -> W.Keys.mono_int
+        | "rand" -> W.Keys.rand_int
+        | other ->
+            Printf.eprintf "unknown keyspace %s\n" other;
+            exit 1
+      in
+      let n = !keys in
+      spawn (fun tid ->
+          let i = ref tid in
+          while !i < n do
+            ignore (Tree.insert t ~tid (conv !i) !i);
+            i := !i + nthreads
+          done;
+          Tree.quiesce t ~tid));
+  Tree.stop_gc_thread t;
+
+  Printf.printf "configuration: %s | %d keys (%s) | %d loader threads\n\n"
+    (if !baseline then "baseline Bw-Tree" else "OpenBw-Tree")
+    !keys !keyspace nthreads;
+
+  let ss = Tree.structure_stats t in
+  Printf.printf
+    "height %d | %d inner + %d leaf logical nodes\n\
+     IDCL %.2f | LDCL %.2f | INS %.2f | LNS %.2f | IPU %.1f%% | LPU %.1f%%\n\n"
+    ss.depth ss.inner_nodes ss.leaf_nodes ss.avg_inner_chain ss.avg_leaf_chain
+    ss.avg_inner_size ss.avg_leaf_size
+    (100. *. ss.inner_prealloc_util)
+    (100. *. ss.leaf_prealloc_util);
+
+  let leaf_chain = H.create ()
+  and leaf_size = H.create ()
+  and inner_size = H.create () in
+  Tree.iter_nodes t (fun ~leaf ~chain ~size ->
+      if leaf then begin
+        H.add leaf_chain chain;
+        H.add leaf_size size
+      end
+      else H.add inner_size size);
+  Format.printf "leaf delta-chain lengths (p50=%d p99=%d max=%d):@.%a@."
+    (H.percentile leaf_chain 50.0)
+    (H.percentile leaf_chain 99.0)
+    (H.max_value leaf_chain) (H.pp ~width:36) leaf_chain;
+  Format.printf "leaf occupancy (items; p50=%d max=%d):@.%a@."
+    (H.percentile leaf_size 50.0)
+    (H.max_value leaf_size) (H.pp ~width:36) leaf_size;
+  Format.printf "inner fan-out:@.%a@." (H.pp ~width:36) inner_size;
+
+  let os = Tree.op_stats t in
+  Printf.printf
+    "ops: %d inserts | %d splits | %d merges | %d consolidations | %d \
+     failed CaS | %d restarts | %d SMO helps\n"
+    os.inserts os.splits os.merges os.consolidations os.failed_cas os.restarts
+    os.smo_helps;
+  let hw, chunks, cap = Tree.mapping_table_stats t in
+  Printf.printf "mapping table: %d ids, %d chunks faulted (capacity %d)\n" hw
+    chunks cap;
+  Printf.printf "memory: %.2f MB live\n"
+    (float_of_int (Tree.memory_words t * 8) /. 1024. /. 1024.);
+  let e = Epoch.stats (Tree.epoch t) in
+  Printf.printf "epochs: %d entered | %d retired | %d reclaimed | %d advanced\n"
+    e.enters e.retired e.reclaimed e.epochs_advanced;
+  if !dump then begin
+    print_newline ();
+    Tree.dump t Format.std_formatter
+  end

@@ -1,0 +1,162 @@
+(* YCSB-style index benchmark CLI — the paper's "testing framework" (§5)
+   as a standalone tool.
+
+   Examples:
+     dune exec bin/ycsb.exe -- --index openbw --workload a --threads 8
+     dune exec bin/ycsb.exe -- --index btree --workload e --keyspace email
+     dune exec bin/ycsb.exe -- --index bw --workload insert --keys 1000000
+     dune exec bin/ycsb.exe -- --list *)
+
+open Cmdliner
+module W = Workload
+open Harness
+
+let index_names =
+  [ "bw"; "openbw"; "skiplist"; "skiplist-inline"; "masstree"; "btree"; "art" ]
+
+let mk_int_driver name : int Runner.driver =
+  match name with
+  | "bw" ->
+      Drivers.bwtree_driver_int ~name:"Bw-Tree"
+        ~config:Bwtree.microsoft_config ()
+  | "openbw" -> Drivers.bwtree_driver_int ()
+  | "skiplist" -> Drivers.skiplist_driver_int ()
+  | "skiplist-inline" ->
+      Drivers.skiplist_driver_int ~policy:Skiplist.Inline ()
+  | "masstree" -> Drivers.masstree_driver_int ()
+  | "btree" -> Drivers.btree_driver_int ()
+  | "art" -> Drivers.art_driver_int ()
+  | _ -> invalid_arg "unknown index"
+
+let mk_str_driver name : string Runner.driver =
+  match name with
+  | "bw" ->
+      Drivers.bwtree_driver_str ~name:"Bw-Tree"
+        ~config:Bwtree.microsoft_config ()
+  | "openbw" -> Drivers.bwtree_driver_str ()
+  | "skiplist" | "skiplist-inline" -> Drivers.skiplist_driver_str ()
+  | "masstree" -> Drivers.masstree_driver_str ()
+  | "btree" -> Drivers.btree_driver_str ()
+  | "art" -> Drivers.art_driver_str ()
+  | _ -> invalid_arg "unknown index"
+
+let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
+    ~mix ~threads ~cfg ~show_memory =
+  Printf.printf "index: %s | workload: %s | keys: %s | threads: %d\n%!"
+    driver.name
+    (Format.asprintf "%a" W.pp_mix mix)
+    (Format.asprintf "%a" W.pp_key_space space)
+    threads;
+  let trace = W.load_trace cfg space conv in
+  let load = Runner.load driver ~nthreads:threads trace in
+  Printf.printf "load : %8d keys in %6.2fs = %7.3f Mops/s\n%!" load.ops
+    load.seconds load.mops;
+  (match mix with
+  | W.Insert_only -> ()
+  | _ ->
+      let traces =
+        Array.init threads (fun tid ->
+            W.ops_trace cfg space mix ~tid ~nthreads:threads conv)
+      in
+      let r = Runner.run driver traces in
+      Printf.printf "run  : %8d ops  in %6.2fs = %7.3f Mops/s\n%!" r.ops
+        r.seconds r.mops);
+  driver.stop_aux ();
+  if show_memory then
+    Printf.printf "memory: %.2f MB live heap\n%!"
+      (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0)
+
+let main index workload keyspace keys ops threads theta show_memory list_ =
+  if list_ then begin
+    Printf.printf "indexes: %s\nworkloads: insert | c | a | e\nkeyspaces: \
+                   mono | rand | email | hc\n"
+      (String.concat " " index_names);
+    exit 0
+  end;
+  let mix =
+    match W.mix_of_string workload with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "unknown workload %S (try: insert, c, a, e)\n" workload;
+        exit 1
+  in
+  let space =
+    match keyspace with
+    | "mono" -> W.Mono_int
+    | "rand" -> W.Rand_int
+    | "email" -> W.Email
+    | "hc" -> W.Mono_hc
+    | s ->
+        Printf.eprintf "unknown keyspace %S (try: mono, rand, email, hc)\n" s;
+        exit 1
+  in
+  if not (List.mem index index_names) then begin
+    Printf.eprintf "unknown index %S (try --list)\n" index;
+    exit 1
+  end;
+  let cfg = { W.default_config with num_keys = keys; num_ops = ops; theta } in
+  match space with
+  | W.Email ->
+      run_generic (mk_str_driver index) ~conv:W.email_key_of ~space ~mix
+        ~threads ~cfg ~show_memory
+  | _ ->
+      run_generic (mk_int_driver index) ~conv:(W.int_key_of space) ~space ~mix
+        ~threads ~cfg ~show_memory
+
+let cmd =
+  let index =
+    Arg.(value & opt string "openbw"
+         & info [ "i"; "index" ] ~docv:"INDEX" ~doc:"Index to benchmark.")
+  in
+  let workload =
+    Arg.(value & opt string "a"
+         & info [ "w"; "workload" ] ~docv:"MIX"
+             ~doc:"Workload mix: insert, c (read-only), a (read/update), e \
+                   (scan/insert).")
+  in
+  let keyspace =
+    Arg.(value & opt string "rand"
+         & info [ "k"; "keyspace" ] ~docv:"SPACE"
+             ~doc:"Key space: mono, rand, email, hc.")
+  in
+  let keys =
+    Arg.(value & opt int 100_000
+         & info [ "keys" ] ~docv:"N" ~doc:"Keys loaded before measuring.")
+  in
+  let ops =
+    Arg.(value & opt int 200_000
+         & info [ "ops" ] ~docv:"N" ~doc:"Operations in the measured phase.")
+  in
+  let threads =
+    Arg.(value & opt int 1
+         & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker threads (domains).")
+  in
+  let theta =
+    Arg.(value & opt float 0.99
+         & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew in (0,1).")
+  in
+  let memory =
+    Arg.(value & flag
+         & info [ "m"; "memory" ] ~doc:"Report live-heap memory afterwards.")
+  in
+  let list_ =
+    Arg.(value & flag & info [ "list" ] ~doc:"List indexes and exit.")
+  in
+  let term =
+    Term.(
+      const main $ index $ workload $ keyspace $ keys $ ops $ threads $ theta
+      $ memory $ list_)
+  in
+  Cmd.v
+    (Cmd.info "ycsb" ~doc:"YCSB-style microbenchmarks for in-memory indexes"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the workloads of 'Building a Bw-Tree Takes More Than Just \
+              Buzz Words' (SIGMOD 2018) against any of the six in-memory \
+              index structures implemented in this repository.";
+         ])
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/contention_demo.ml: Bwtree Domain Index_iface List Printf Unix Workload

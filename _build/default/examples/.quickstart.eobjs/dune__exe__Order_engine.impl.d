@@ -1,0 +1,1 @@
+examples/order_engine.ml: Array Atomic Bw_util Bwtree Domain Index_iface Int64 List Pagestore Printf String Unix

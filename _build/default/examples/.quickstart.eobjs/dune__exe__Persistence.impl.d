@@ -1,0 +1,1 @@
+examples/persistence.ml: Bw_util Bwtree Index_iface List Pagestore Printf

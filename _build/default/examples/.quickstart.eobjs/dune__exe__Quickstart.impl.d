@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bwtree Domain Index_iface List Printf String

@@ -1,0 +1,1 @@
+examples/range_scans.ml: Atomic Bw_util Bwtree Domain Index_iface List Printf

@@ -1,0 +1,1 @@
+examples/secondary_index.ml: Array Bw_util Bwtree Index_iface List Printf

@@ -1,0 +1,1 @@
+lib/core/bwtree.ml: Array Atomic Bw_util Bwtree_intf Domain Epoch Format Fun List Mapping_table Obj

@@ -1,0 +1,1 @@
+lib/core/bwtree_intf.ml: Epoch Format

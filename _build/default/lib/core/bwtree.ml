@@ -1,0 +1,2078 @@
+(** The OpenBw-Tree: a lock-free B-link tree with delta chains and a
+    mapping-table indirection layer, after "Building a Bw-Tree Takes More
+    Than Just Buzz Words" (SIGMOD 2018).
+
+    Concurrency model: base nodes and delta records are immutable; the only
+    mutable state is the mapping table's atomic cells (plus per-node
+    allocation markers and the epoch system). Every state change is a
+    single CaS on a logical node's cell. A failed CaS aborts the operation,
+    which restarts from the root (§2.2).
+
+    See {!Bwtree_intf} for the configuration knobs; every optimization from
+    the paper is an independent switch. *)
+
+include Bwtree_intf
+
+module Counters = Bw_util.Counters
+module Growable = Bw_util.Growable
+
+exception Restart
+(** Internal control flow: the current attempt observed interference
+    (failed CaS, in-flight SMO) and must retry from the root. Never escapes
+    the public API. *)
+
+module Make (K : KEY) (V : VALUE) :
+  S with type key = K.t and type value = V.t = struct
+  type key = K.t
+  type value = V.t
+
+  (* ---------------------------------------------------------------- *)
+  (* Bounds                                                            *)
+  (* ---------------------------------------------------------------- *)
+
+  type bound = Neg_inf | B of key | Pos_inf
+
+  let cmp_bound a b =
+    match (a, b) with
+    | Neg_inf, Neg_inf | Pos_inf, Pos_inf -> 0
+    | Neg_inf, _ -> -1
+    | _, Neg_inf -> 1
+    | Pos_inf, _ -> 1
+    | _, Pos_inf -> -1
+    | B x, B y -> K.compare x y
+
+  (* compare a key against a bound *)
+  let kb k b = match b with Neg_inf -> 1 | Pos_inf -> -1 | B x -> K.compare k x
+
+  let pp_bound ppf = function
+    | Neg_inf -> Format.pp_print_string ppf "-inf"
+    | Pos_inf -> Format.pp_print_string ppf "+inf"
+    | B k -> K.pp ppf k
+
+  let nil_id = -1
+
+  (* ---------------------------------------------------------------- *)
+  (* Elements: base nodes and delta records                            *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Node attributes (Table 1), carried by every element so threads read
+     the logical node's current state from the chain head without replaying
+     the chain. *)
+  type meta = {
+    size : int;  (* items in the logical node *)
+    depth : int;  (* delta records in the chain *)
+    lo : bound;  (* low key *)
+    hi : bound;  (* high key = low key of right sibling *)
+    right : int;  (* right sibling id, [nil_id] if none *)
+    offset : int;  (* §4.3 base-node position; -1 when invalid *)
+  }
+
+  type elem =
+    | Leaf of leaf_base
+    | Inner of inner_base
+    | LD of leaf_delta
+    | ID of inner_delta
+
+  and leaf_base = {
+    lb_keys : key array;
+    lb_vals : value array;
+    lb_meta : meta;
+    lb_pre : prealloc option;
+  }
+
+  and inner_base = {
+    (* ib_seps.(0) is the node's low bound; ib_ids.(i) owns keys in
+       [ib_seps.(i), ib_seps.(i+1)) with the last range closed by hi *)
+    ib_seps : bound array;
+    ib_ids : int array;
+    ib_meta : meta;
+    ib_pre : prealloc option;
+  }
+
+  and leaf_delta = { l_op : l_op; l_next : elem; l_meta : meta }
+
+  and l_op =
+    | L_ins of key * value
+    | L_del of key * value
+    | L_upd of key * value * value  (* key, old value, new value *)
+    | L_split of key * int  (* split key, new right sibling id *)
+    | L_merge of key * elem * int  (* merge key, right branch, removed id *)
+    | L_remove  (* this node is being merged into its left sibling *)
+
+  and inner_delta = { i_op : i_op; i_next : elem; i_meta : meta }
+
+  and i_op =
+    | I_ins of key * int * bound  (* new separator, child id, next separator *)
+    | I_del of key * bound * int * bound
+        (* deleted separator K1; preceding separator K0 with child N0; the
+           following separator K2 — the Appendix A.2 Stage III record *)
+    | I_split of key * int
+    | I_merge of key * elem * int
+    | I_remove
+    | I_abort  (* write-locks this node against appends (Appendix B) *)
+
+  (* §4.1 pre-allocated delta area: an atomic allocation marker over a
+     fixed number of slots. Claiming a slot is one atomic add; exhaustion
+     forces consolidation. (The paper places the records physically inside
+     the chunk; in OCaml the records are ordinary heap blocks — typically
+     adjacent thanks to the bump-allocating minor heap — and the marker
+     reproduces the allocation discipline and its statistics.) *)
+  and prealloc = { cap : int; used : int Atomic.t; wasted : int Atomic.t }
+
+  let meta_of = function
+    | Leaf b -> b.lb_meta
+    | Inner b -> b.ib_meta
+    | LD d -> d.l_meta
+    | ID d -> d.i_meta
+
+  let is_leaf_elem = function Leaf _ | LD _ -> true | Inner _ | ID _ -> false
+
+  (* ---------------------------------------------------------------- *)
+  (* Tree                                                              *)
+  (* ---------------------------------------------------------------- *)
+
+  (* per-thread statistic field indexes *)
+  let f_inserts = 0
+  and f_deletes = 1
+  and f_updates = 2
+  and f_lookups = 3
+  and f_splits = 4
+  and f_merges = 5
+  and f_consolidations = 6
+  and f_failed_cas = 7
+  and f_restarts = 8
+  and f_smo_helps = 9
+  and f_prealloc_overflows = 10
+
+  let n_stat_fields = 11
+
+  type t = {
+    cfg : config;
+    table : elem Mapping_table.t;
+    root : int Atomic.t;
+    epoch : Epoch.t;
+    st : int array array;  (* [tid].[field], owner-written *)
+  }
+
+  let sbump t tid f = t.st.(tid).(f) <- t.st.(tid).(f) + 1
+  let ssum t f = Array.fold_left (fun acc row -> acc + row.(f)) 0 t.st
+
+  let cnt tid ev =
+    if !Counters.enabled then Counters.incr Counters.global ~tid ev
+
+  let new_prealloc cfg ~leaf =
+    if not cfg.preallocate then None
+    else
+      let cap = if leaf then cfg.leaf_chain_max else cfg.inner_chain_max in
+      (* one extra slot: the chain-length trigger normally fires first, so
+         marker exhaustion is the backstop, not the common case *)
+      Some { cap = cap + 1; used = Atomic.make 0; wasted = Atomic.make 0 }
+
+  let empty_leaf cfg =
+    Leaf
+      {
+        lb_keys = [||];
+        lb_vals = [||];
+        lb_meta =
+          {
+            size = 0;
+            depth = 0;
+            lo = Neg_inf;
+            hi = Pos_inf;
+            right = nil_id;
+            offset = -1;
+          };
+        lb_pre = new_prealloc cfg ~leaf:true;
+      }
+
+  let create ?(config = default_config) () =
+    let dummy = empty_leaf { config with preallocate = false } in
+    let table = Mapping_table.create ~dummy () in
+    let leaf = empty_leaf config in
+    let leaf_id = Mapping_table.allocate table leaf in
+    let root =
+      Inner
+        {
+          ib_seps = [| Neg_inf |];
+          ib_ids = [| leaf_id |];
+          ib_meta =
+            {
+              size = 1;
+              depth = 0;
+              lo = Neg_inf;
+              hi = Pos_inf;
+              right = nil_id;
+              offset = -1;
+            };
+          ib_pre = new_prealloc config ~leaf:false;
+        }
+    in
+    let root_id = Mapping_table.allocate table root in
+    {
+      cfg = config;
+      table;
+      root = Atomic.make root_id;
+      epoch =
+        Epoch.create ~scheme:config.gc_scheme ~max_threads:config.max_threads
+          ~gc_threshold:config.gc_threshold ();
+      st = Array.init config.max_threads (fun _ -> Array.make n_stat_fields 0);
+    }
+
+  let config t = t.cfg
+  let epoch t = t.epoch
+
+  (* The linearization primitive: swing a logical node's physical pointer. *)
+  let mt_cas t ~tid id ~expect ~repl =
+    cnt tid Counters.Cas_attempt;
+    let ok =
+      if t.cfg.use_atomic_cas then Mapping_table.cas t.table id ~expect ~repl
+      else Mapping_table.cas_unsafe t.table id ~expect ~repl
+    in
+    if not ok then cnt tid Counters.Cas_failure;
+    ok
+
+  let mt_get t ~tid id =
+    cnt tid Counters.Pointer_deref;
+    Mapping_table.get t.table id
+
+  (* ---------------------------------------------------------------- *)
+  (* Sorted-array helpers                                              *)
+  (* ---------------------------------------------------------------- *)
+
+  (* first index whose key is >= k, over [keys] *)
+  let lower_bound ~tid keys n k =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      cnt tid Counters.Key_compare;
+      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* like lower_bound but restricted to [\[lo0, hi0)] — §4.4 shortcut *)
+  let lower_bound_range ~tid keys k ~lo0 ~hi0 =
+    let lo = ref lo0 and hi = ref hi0 in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      cnt tid Counters.Key_compare;
+      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  (* largest index i with seps.(i) <= k; seps.(0) <= k always holds for a
+     correctly-routed traversal *)
+  let sep_index ~tid seps n k =
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      cnt tid Counters.Key_compare;
+      if kb k seps.(mid) >= 0 then lo := mid else hi := mid - 1
+    done;
+    !lo
+
+  (* ---------------------------------------------------------------- *)
+  (* Full replay: logical node -> sorted items (the "slow" path)       *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Rebuilds a leaf logical node's sorted (key, value) items by applying
+     the chain oldest-first. Correct for every delta kind, including SMO
+     records; used by consolidation (baseline mode), splits, iterators and
+     the invariant checker. *)
+  let rec gather_leaf ~tid (e : elem) : (key * value) Growable.t =
+    match e with
+    | Leaf b ->
+        let g = Growable.create ~capacity:(Array.length b.lb_keys + 8) () in
+        Array.iteri (fun i k -> Growable.push g (k, b.lb_vals.(i))) b.lb_keys;
+        g
+    | LD d -> (
+        cnt tid Counters.Pointer_deref;
+        let items = gather_leaf ~tid d.l_next in
+        let find_pair k v =
+          (* position of the exact (k, v) pair, or -1 *)
+          let n = Growable.length items in
+          let i = ref (lower_bound_g ~tid items k) in
+          let found = ref (-1) in
+          while
+            !found < 0 && !i < n
+            && K.compare (fst (Growable.get items !i)) k = 0
+          do
+            if V.equal (snd (Growable.get items !i)) v then found := !i;
+            incr i
+          done;
+          !found
+        in
+        let do_insert k v =
+          let pos = upper_bound_g ~tid items k in
+          Growable.insert_at items pos (k, v)
+        in
+        let do_delete k v =
+          let pos = find_pair k v in
+          if pos >= 0 then Growable.remove_at items pos
+        in
+        match d.l_op with
+        | L_ins (k, v) ->
+            do_insert k v;
+            items
+        | L_del (k, v) ->
+            do_delete k v;
+            items
+        | L_upd (k, vold, vnew) ->
+            do_delete k vold;
+            do_insert k vnew;
+            items
+        | L_split (ks, _) ->
+            let cut = lower_bound_g ~tid items ks in
+            Growable.truncate items cut;
+            items
+        | L_merge (_, right, _) ->
+            let r = gather_leaf ~tid right in
+            Growable.iter (fun it -> Growable.push items it) r;
+            items
+        | L_remove -> items)
+    | Inner _ | ID _ -> assert false
+
+  and lower_bound_g ~tid items k =
+    let lo = ref 0 and hi = ref (Growable.length items) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      cnt tid Counters.Key_compare;
+      if K.compare (fst (Growable.get items mid)) k < 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  and upper_bound_g ~tid items k =
+    let lo = ref 0 and hi = ref (Growable.length items) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      cnt tid Counters.Key_compare;
+      if K.compare (fst (Growable.get items mid)) k <= 0 then lo := mid + 1
+      else hi := mid
+    done;
+    !lo
+
+  (* Same, for inner logical nodes: sorted (separator bound, child id). *)
+  let rec gather_inner ~tid (e : elem) : (bound * int) Growable.t =
+    match e with
+    | Inner b ->
+        let g = Growable.create ~capacity:(Array.length b.ib_seps + 4) () in
+        Array.iteri (fun i s -> Growable.push g (s, b.ib_ids.(i))) b.ib_seps;
+        g
+    | ID d -> (
+        cnt tid Counters.Pointer_deref;
+        let items = gather_inner ~tid d.i_next in
+        let pos_of_sep sep =
+          let lo = ref 0 and hi = ref (Growable.length items) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            cnt tid Counters.Key_compare;
+            if cmp_bound (fst (Growable.get items mid)) sep < 0 then
+              lo := mid + 1
+            else hi := mid
+          done;
+          !lo
+        in
+        match d.i_op with
+        | I_ins (ks, cid, _) ->
+            let pos = pos_of_sep (B ks) in
+            if
+              pos < Growable.length items
+              && cmp_bound (fst (Growable.get items pos)) (B ks) = 0
+            then Growable.set items pos (B ks, cid)
+            else Growable.insert_at items pos (B ks, cid);
+            items
+        | I_del (k1, _, _, _) ->
+            let pos = pos_of_sep (B k1) in
+            if
+              pos < Growable.length items
+              && cmp_bound (fst (Growable.get items pos)) (B k1) = 0
+            then Growable.remove_at items pos;
+            items
+        | I_split (ks, _) ->
+            let cut = pos_of_sep (B ks) in
+            Growable.truncate items cut;
+            items
+        | I_merge (_, right, _) ->
+            let r = gather_inner ~tid right in
+            Growable.iter (fun it -> Growable.push items it) r;
+            items
+        | I_remove | I_abort -> items)
+    | Leaf _ | LD _ -> assert false
+
+  (* ---------------------------------------------------------------- *)
+  (* Fast consolidation (§4.3)                                         *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Applicable when the chain is only data deltas with valid offsets over
+     a leaf base. Gathers present/deleted sets walking new-to-old (the
+     §3.1 visibility rule), resolves offsets into base segments, and emits
+     the new item array with a single two-way merge — no full sort. *)
+  let fast_consolidate_leaf ~tid (head : elem) : (key * value) array option =
+    (* collect deltas; bail on anything the fast path cannot handle *)
+    let exception Fallback in
+    try
+      (* Walking new-to-old with multiset semantics: a delete becomes
+         *pending* and is consumed by the next-older insert of the same
+         pair, or failing that by a base occurrence. (The paper's §3.1
+         set formulation assumes (key, value) pairs never repeat across
+         chain and base; an update delta whose old and new values are
+         equal violates that, so we count occurrences instead.) *)
+      let pres : (key * value * int) Growable.t = Growable.create () in
+      let dels : (key * value * int) Growable.t = Growable.create () in
+      let take_pending k v =
+        (* consume one pending delete of (k, v); false if none *)
+        let n = Growable.length dels in
+        let rec go i =
+          if i >= n then false
+          else
+            let k', v', _ = Growable.get dels i in
+            if K.compare k' k = 0 && V.equal v' v then begin
+              Growable.remove_at dels i;
+              true
+            end
+            else go (i + 1)
+        in
+        go 0
+      in
+      let do_ins k v off =
+        if off < 0 then raise Fallback;
+        if not (take_pending k v) then Growable.push pres (k, v, off)
+      in
+      let do_del k v off =
+        if off < 0 then raise Fallback;
+        Growable.push dels (k, v, off)
+      in
+      let rec walk e =
+        match e with
+        | Leaf b -> b
+        | LD d -> (
+            cnt tid Counters.Pointer_deref;
+            match d.l_op with
+            | L_ins (k, v) ->
+                do_ins k v d.l_meta.offset;
+                walk d.l_next
+            | L_del (k, v) ->
+                do_del k v d.l_meta.offset;
+                walk d.l_next
+            | L_upd (k, vold, vnew) ->
+                (* update = insert of the new value (newer) + delete of
+                   the old (older), processed in that order *)
+                do_ins k vnew d.l_meta.offset;
+                do_del k vold d.l_meta.offset;
+                walk d.l_next
+            | L_split _ | L_merge _ | L_remove -> raise Fallback)
+        | Inner _ | ID _ -> raise Fallback
+      in
+      let base = walk head in
+      let bk = base.lb_keys and bv = base.lb_vals in
+      let nb = Array.length bk in
+      (* events over base positions: an insert goes before its offset
+         position; a delete kills one resolved base position (Rule #3:
+         unresolvable deletes were already absorbed by the present set or
+         refer to delta-only items and are ignored). *)
+      let events : (int * int * key * value) Growable.t = Growable.create () in
+      (* (position, kind 0=ins 1=del, key, value) *)
+      Growable.iter (fun (k, v, off) -> Growable.push events (off, 0, k, v)) pres;
+      let consumed = Array.make nb false in
+      Growable.iter
+        (fun (k, v, off) ->
+          (* resolve: scan forward from the recorded offset for the exact
+             pair (non-unique keys share the smallest offset, §4.3);
+             unresolvable deletes refer to delta-only items already
+             absorbed above (Rule #3) *)
+          let rec resolve i =
+            if i >= nb then -1
+            else if K.compare bk.(i) k > 0 then -1
+            else if
+              (not consumed.(i))
+              && K.compare bk.(i) k = 0
+              && V.equal bv.(i) v
+            then i
+            else resolve (i + 1)
+          in
+          let p = resolve (max 0 off) in
+          if p >= 0 then begin
+            consumed.(p) <- true;
+            Growable.push events (p, 1, k, v)
+          end)
+        dels;
+      Growable.sort
+        (fun (p1, kind1, k1, _) (p2, kind2, k2, _) ->
+          if p1 <> p2 then compare p1 p2
+          else if kind1 <> kind2 then compare kind1 kind2 (* ins before del *)
+          else K.compare k1 k2)
+        events;
+      let out = Growable.create ~capacity:(nb + Growable.length pres) () in
+      let pos = ref 0 in
+      Growable.iter
+        (fun (p, kind, k, v) ->
+          while !pos < p do
+            Growable.push out (bk.(!pos), bv.(!pos));
+            incr pos
+          done;
+          if kind = 0 then Growable.push out (k, v)
+          else (* delete: skip the base item at p *) pos := p + 1)
+        events;
+      while !pos < nb do
+        Growable.push out (bk.(!pos), bv.(!pos));
+        incr pos
+      done;
+      Some (Growable.to_array out)
+    with Fallback -> None
+
+  (* ---------------------------------------------------------------- *)
+  (* Building base nodes                                               *)
+  (* ---------------------------------------------------------------- *)
+
+  let leaf_base_of_items t items ~lo ~hi ~right =
+    let n = Array.length items in
+    Leaf
+      {
+        lb_keys = Array.map fst items;
+        lb_vals = Array.map snd items;
+        lb_meta = { size = n; depth = 0; lo; hi; right; offset = -1 };
+        lb_pre = new_prealloc t.cfg ~leaf:true;
+      }
+
+  let inner_base_of_items t items ~lo ~hi ~right =
+    let n = Array.length items in
+    (* the first separator of an inner node is its own low bound *)
+    let seps = Array.map fst items in
+    if n > 0 then seps.(0) <- lo;
+    Inner
+      {
+        ib_seps = seps;
+        ib_ids = Array.map snd items;
+        ib_meta = { size = n; depth = 0; lo; hi; right; offset = -1 };
+        ib_pre = new_prealloc t.cfg ~leaf:false;
+      }
+
+  (* ---------------------------------------------------------------- *)
+  (* Consolidation (§2.3)                                              *)
+  (* ---------------------------------------------------------------- *)
+
+  let head_has_smo head =
+    let rec go = function
+      | Leaf _ | Inner _ -> false
+      | LD d -> (
+          match d.l_op with
+          | L_split _ | L_merge _ | L_remove -> true
+          | L_ins _ | L_del _ | L_upd _ -> go d.l_next)
+      | ID d -> (
+          match d.i_op with
+          | I_split _ | I_merge _ | I_remove | I_abort -> true
+          | I_ins _ | I_del _ -> go d.i_next)
+    in
+    go head
+
+  (* The baseline consolidation of §2.3 as the paper describes it: replay
+     the chain to collect the logical node's items, then sort. Applies to
+     chains of plain data deltas (like the fast path); SMO-bearing chains
+     fall back to the general gather. *)
+  let sort_consolidate_leaf ~tid (head : elem) : (key * value) array option =
+    let exception Fallback in
+    try
+      let pres : (key * value) Growable.t = Growable.create () in
+      let dels : (key * value) Growable.t = Growable.create () in
+      let take_pending k v =
+        let n = Growable.length dels in
+        let rec go i =
+          if i >= n then false
+          else
+            let k', v' = Growable.get dels i in
+            if K.compare k' k = 0 && V.equal v' v then begin
+              Growable.remove_at dels i;
+              true
+            end
+            else go (i + 1)
+        in
+        go 0
+      in
+      let rec walk e =
+        match e with
+        | Leaf b -> b
+        | LD d -> (
+            cnt tid Counters.Pointer_deref;
+            match d.l_op with
+            | L_ins (k, v) ->
+                if not (take_pending k v) then Growable.push pres (k, v);
+                walk d.l_next
+            | L_del (k, v) ->
+                Growable.push dels (k, v);
+                walk d.l_next
+            | L_upd (k, vold, vnew) ->
+                if not (take_pending k vnew) then Growable.push pres (k, vnew);
+                Growable.push dels (k, vold);
+                walk d.l_next
+            | L_split _ | L_merge _ | L_remove -> raise Fallback)
+        | Inner _ | ID _ -> raise Fallback
+      in
+      let base = walk head in
+      let out = Growable.create ~capacity:(Array.length base.lb_keys + 8) () in
+      Array.iteri
+        (fun i k ->
+          let v = base.lb_vals.(i) in
+          if not (take_pending k v) then Growable.push out (k, v))
+        base.lb_keys;
+      Growable.iter (fun kv -> Growable.push out kv) pres;
+      let items = Growable.to_array out in
+      (* the paper's baseline pays a full sort here *)
+      Array.sort (fun (a, _) (b, _) -> K.compare a b) items;
+      Some items
+    with Fallback -> None
+
+  (* Replace a logical node's chain by a freshly-built base node. SMO
+     deltas are absorbed: the head meta already carries the post-SMO
+     lo/hi/right (Table 1), and the replay truncates/concatenates items
+     accordingly. Nodes with a remove delta at the head are skipped — they
+     are about to disappear. *)
+  let consolidate t ~tid id (head : elem) =
+    let m = meta_of head in
+    if m.depth = 0 then ()
+    else
+      match head with
+      | LD { l_op = L_remove; _ } | ID { i_op = I_remove | I_abort; _ } -> ()
+      | _ ->
+          let repl =
+            if is_leaf_elem head then begin
+              let items =
+                match
+                  if t.cfg.fast_consolidation then
+                    fast_consolidate_leaf ~tid head
+                  else sort_consolidate_leaf ~tid head
+                with
+                | Some items -> items
+                | None -> Growable.to_array (gather_leaf ~tid head)
+              in
+              leaf_base_of_items t items ~lo:m.lo ~hi:m.hi ~right:m.right
+            end
+            else
+              let items = Growable.to_array (gather_inner ~tid head) in
+              inner_base_of_items t items ~lo:m.lo ~hi:m.hi ~right:m.right
+          in
+          if mt_cas t ~tid id ~expect:head ~repl then begin
+            sbump t tid f_consolidations;
+            Epoch.retire t.epoch ~tid (Obj.repr head)
+          end
+
+  let rec consolidate_subtree t ~tid id =
+    let head = mt_get t ~tid id in
+    if not (is_leaf_elem head) then begin
+      let children = gather_inner ~tid head in
+      Growable.iter (fun (_, cid) -> consolidate_subtree t ~tid cid) children
+    end;
+    consolidate t ~tid id (mt_get t ~tid id)
+
+  let consolidate_all t = consolidate_subtree t ~tid:0 (Atomic.get t.root)
+
+  (* ---------------------------------------------------------------- *)
+  (* Delta append plumbing                                             *)
+  (* ---------------------------------------------------------------- *)
+
+  (* find the (left) base node of a chain, for its prealloc marker *)
+  let rec chain_base (e : elem) =
+    match e with
+    | Leaf _ | Inner _ -> e
+    | LD d -> chain_base d.l_next
+    | ID d -> chain_base d.i_next
+
+  let prealloc_of e =
+    match chain_base e with
+    | Leaf b -> b.lb_pre
+    | Inner b -> b.ib_pre
+    | LD _ | ID _ -> assert false
+
+  (* §4.1: claim one pre-allocated slot; on exhaustion force consolidation
+     and make the caller retry. *)
+  let claim_slot t ~tid id head =
+    match prealloc_of head with
+    | None -> ()
+    | Some pre ->
+        let i = Atomic.fetch_and_add pre.used 1 in
+        if i >= pre.cap then begin
+          sbump t tid f_prealloc_overflows;
+          consolidate t ~tid id head;
+          raise Restart
+        end
+
+  let slot_wasted head =
+    match prealloc_of head with
+    | None -> ()
+    | Some pre -> ignore (Atomic.fetch_and_add pre.wasted 1)
+
+  let head_is_append_blocked = function
+    | LD { l_op = L_remove; _ } -> true
+    | ID { i_op = I_remove | I_abort; _ } -> true
+    | _ -> false
+
+  (* ---------------------------------------------------------------- *)
+  (* Inner-node navigation                                             *)
+  (* ---------------------------------------------------------------- *)
+
+  type nav = Child of int | Go_right of int
+
+  (* Route [k] within one inner logical node. The caller has already
+     verified k < hi of the chain head. *)
+  let inner_nav ~tid (head : elem) k : nav =
+    let rec go e =
+      match e with
+      | ID d -> (
+          cnt tid Counters.Pointer_deref;
+          match d.i_op with
+          | I_ins (ks, cid, nsep) ->
+              cnt tid Counters.Key_compare;
+              if K.compare k ks >= 0 && kb k nsep < 0 then Child cid
+              else go d.i_next
+          | I_del (_, k0, n0, k2) ->
+              if kb k k0 >= 0 && kb k k2 < 0 then Child n0 else go d.i_next
+          | I_split (ks, rid) ->
+              cnt tid Counters.Key_compare;
+              if K.compare k ks >= 0 then Go_right rid else go d.i_next
+          | I_merge (km, right, _) ->
+              cnt tid Counters.Key_compare;
+              if K.compare k km >= 0 then go right else go d.i_next
+          | I_remove | I_abort -> go d.i_next)
+      | Inner b ->
+          let m = b.ib_meta in
+          if kb k m.hi >= 0 && m.right <> nil_id then Go_right m.right
+          else
+            let n = Array.length b.ib_seps in
+            let i = sep_index ~tid b.ib_seps n k in
+            Child b.ib_ids.(i)
+      | Leaf _ | LD _ -> assert false
+    in
+    go head
+
+  (* Exact routing context from the consolidated view: the separator
+     governing [k], its child, and the tight next bound. Used when posting
+     SMO records, where stale "next separator" shortcuts would corrupt
+     routing. *)
+  let inner_locate_exact ~tid (head : elem) k : bound * int * bound =
+    let items = gather_inner ~tid head in
+    let n = Growable.length items in
+    assert (n > 0);
+    (* largest i with sep <= k *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if kb k (fst (Growable.get items mid)) >= 0 then lo := mid
+      else hi := mid - 1
+    done;
+    let sep, cid = Growable.get items !lo in
+    let nsep =
+      if !lo + 1 < n then fst (Growable.get items (!lo + 1))
+      else (meta_of head).hi
+    in
+    (sep, cid, nsep)
+
+  (* ---------------------------------------------------------------- *)
+  (* Structure modification: split (Appendix A.1)                      *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Posting the separator for a completed half-split into the parent
+     (Stage III), or growing a new root when the root itself split. *)
+  let rec post_split_separator t ~tid ~parent_path ~left_id ~ks ~rid =
+    match parent_path with
+    | [] ->
+        (* root split: grow the tree by one level *)
+        let old_root = Atomic.get t.root in
+        if old_root <> left_id then raise Restart;
+        let left_head = mt_get t ~tid left_id in
+        let lm = meta_of left_head in
+        let root =
+          Inner
+            {
+              ib_seps = [| lm.lo; B ks |];
+              ib_ids = [| left_id; rid |];
+              ib_meta =
+                {
+                  size = 2;
+                  depth = 0;
+                  lo = Neg_inf;
+                  hi = Pos_inf;
+                  right = nil_id;
+                  offset = -1;
+                };
+              ib_pre = new_prealloc t.cfg ~leaf:false;
+            }
+        in
+        let root_id = Mapping_table.allocate t.table root in
+        if not (Atomic.compare_and_set t.root old_root root_id) then begin
+          Mapping_table.free_id t.table root_id;
+          raise Restart
+        end
+    | (pid, _) :: rest ->
+        let rec attempt pid =
+          let phead = mt_get t ~tid pid in
+          if head_is_append_blocked phead then raise Restart;
+          let pm = meta_of phead in
+          if kb ks pm.hi >= 0 && pm.right <> nil_id then
+            (* the parent itself split; our separator belongs right *)
+            attempt pm.right
+          else begin
+            let sep, cid, nsep = inner_locate_exact ~tid phead ks in
+            if cmp_bound sep (B ks) = 0 then ()
+              (* separator already posted: split complete *)
+            else if cid <> left_id then
+              (* the parent no longer routes [ks] to the split node —
+                 interference; retry the whole operation *)
+              raise Restart
+            else begin
+              claim_slot t ~tid pid phead;
+              let d =
+                ID
+                  {
+                    i_op = I_ins (ks, rid, nsep);
+                    i_next = phead;
+                    i_meta =
+                      {
+                        size = pm.size + 1;
+                        depth = pm.depth + 1;
+                        lo = pm.lo;
+                        hi = pm.hi;
+                        right = pm.right;
+                        offset = -1;
+                      };
+                  }
+              in
+              if not (mt_cas t ~tid pid ~expect:phead ~repl:d) then begin
+                sbump t tid f_failed_cas;
+                slot_wasted phead;
+                raise Restart
+              end;
+              post_append_inner t ~tid pid d rest
+            end
+          end
+        in
+        attempt pid
+
+  (* Post-append housekeeping shared by all inner-delta writers. *)
+  and post_append_inner t ~tid id (head : elem) parent_path =
+    let m = meta_of head in
+    if m.size > t.cfg.inner_max then split_node t ~tid id head parent_path
+    else if m.depth >= t.cfg.inner_chain_max then consolidate t ~tid id head
+
+  (* Split one logical node (leaf or inner). Stage I builds the new right
+     sibling and publishes it in the mapping table; Stage II posts the
+     split delta; Stage III posts the separator to the parent. *)
+  and split_node t ~tid id (head : elem) parent_path =
+    let m = meta_of head in
+    if head_is_append_blocked head then ()
+    else if is_leaf_elem head then begin
+      let items = Growable.to_array (gather_leaf ~tid head) in
+      let n = Array.length items in
+      if n <= t.cfg.leaf_max then ()
+      else begin
+        (* choose a split point that does not separate equal keys *)
+        let pos = ref (n / 2) in
+        while
+          !pos < n && K.compare (fst items.(!pos - 1)) (fst items.(!pos)) = 0
+        do
+          incr pos
+        done;
+        if !pos >= n then ()
+        else begin
+          let ks = fst items.(!pos) in
+          let right_items = Array.sub items !pos (n - !pos) in
+          let right =
+            leaf_base_of_items t right_items ~lo:(B ks) ~hi:m.hi ~right:m.right
+          in
+          let rid = Mapping_table.allocate t.table right in
+          cnt tid Counters.Allocation;
+          let d =
+            LD
+              {
+                l_op = L_split (ks, rid);
+                l_next = head;
+                l_meta =
+                  {
+                    size = !pos;
+                    depth = m.depth + 1;
+                    lo = m.lo;
+                    hi = B ks;
+                    right = rid;
+                    offset = -1;
+                  };
+              }
+          in
+          if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+            sbump t tid f_failed_cas;
+            Mapping_table.free_id t.table rid
+          end
+          else begin
+            sbump t tid f_splits;
+            post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
+          end
+        end
+      end
+    end
+    else begin
+      let items = Growable.to_array (gather_inner ~tid head) in
+      let n = Array.length items in
+      if n <= t.cfg.inner_max then ()
+      else begin
+        let pos = n / 2 in
+        match fst items.(pos) with
+        | Neg_inf | Pos_inf -> ()
+        | B ks ->
+            let right_items = Array.sub items pos (n - pos) in
+            let right =
+              inner_base_of_items t right_items ~lo:(B ks) ~hi:m.hi
+                ~right:m.right
+            in
+            let rid = Mapping_table.allocate t.table right in
+            cnt tid Counters.Allocation;
+            let d =
+              ID
+                {
+                  i_op = I_split (ks, rid);
+                  i_next = head;
+                  i_meta =
+                    {
+                      size = pos;
+                      depth = m.depth + 1;
+                      lo = m.lo;
+                      hi = B ks;
+                      right = rid;
+                      offset = -1;
+                    };
+                }
+            in
+            if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+              sbump t tid f_failed_cas;
+              Mapping_table.free_id t.table rid
+            end
+            else begin
+              sbump t tid f_splits;
+              post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
+            end
+      end
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Structure modification: merge (Appendix A.2 + B)                  *)
+  (* ---------------------------------------------------------------- *)
+
+  (* When the root inner node is down to one child that is itself an inner
+     node, make that child the new root (the inverse of a root split). *)
+  and collapse_root t ~tid root_id =
+    if Atomic.get t.root = root_id then begin
+      let head = mt_get t ~tid root_id in
+      let m = meta_of head in
+      if m.size = 1 && not (is_leaf_elem head) && not (head_has_smo head)
+      then begin
+        let items = gather_inner ~tid head in
+        if Growable.length items = 1 then begin
+          let _, cid = Growable.get items 0 in
+          let child = mt_get t ~tid cid in
+          if not (is_leaf_elem child) then
+            if Atomic.compare_and_set t.root root_id cid then
+              Epoch.retire t.epoch ~tid (Obj.repr head)
+        end
+      end
+    end
+
+  (* Merge [id] into its left sibling. The ∆abort on the parent is posted
+     FIRST (Appendix B): it write-locks the parent so no concurrent split
+     or merge can move the separators out from under us; every further CaS
+     on the parent below is then guaranteed to succeed. All other failures
+     roll back cleanly. *)
+  and merge_node t ~tid id (_head : elem) parent_path =
+    match parent_path with
+    | [] -> () (* the root does not merge *)
+    | (pid, _) :: _rest ->
+        let phead = mt_get t ~tid pid in
+        if head_is_append_blocked phead then ()
+        else begin
+          let pm = meta_of phead in
+          let abort_d =
+            ID
+              {
+                i_op = I_abort;
+                i_next = phead;
+                i_meta = { pm with depth = pm.depth + 1 };
+              }
+          in
+          if not (mt_cas t ~tid pid ~expect:phead ~repl:abort_d) then
+            sbump t tid f_failed_cas
+          else begin
+            let unlock_parent () =
+              let ok = mt_cas t ~tid pid ~expect:abort_d ~repl:phead in
+              assert ok
+            in
+            (* re-read our node under the parent lock *)
+            let nhead = mt_get t ~tid id in
+            let nm = meta_of nhead in
+            let give_up () = unlock_parent () in
+            if
+              head_is_append_blocked nhead
+              || nm.size >= t.cfg.leaf_min
+                 && is_leaf_elem nhead
+              || nm.size >= t.cfg.inner_min
+                 && not (is_leaf_elem nhead)
+            then give_up ()
+            else
+              match nm.lo with
+              | Neg_inf | Pos_inf -> give_up () (* leftmost: no left sibling *)
+              | B merge_key -> (
+                  (* locate our separator and our left sibling in the
+                     write-locked parent *)
+                  let items = gather_inner ~tid phead in
+                  let n = Growable.length items in
+                  let idx = ref (-1) in
+                  for i = 0 to n - 1 do
+                    if snd (Growable.get items i) = id then idx := i
+                  done;
+                  if !idx <= 0 then give_up ()
+                  else begin
+                    let k0, lid = Growable.get items (!idx - 1) in
+                    let k1 = fst (Growable.get items !idx) in
+                    if cmp_bound k1 (B merge_key) <> 0 then give_up ()
+                    else begin
+                      let k2 =
+                        if !idx + 1 < n then fst (Growable.get items (!idx + 1))
+                        else pm.hi
+                      in
+                      (* Stage I: remove delta on the victim *)
+                      let rem =
+                        if is_leaf_elem nhead then
+                          LD
+                            {
+                              l_op = L_remove;
+                              l_next = nhead;
+                              l_meta = { nm with depth = nm.depth + 1 };
+                            }
+                        else
+                          ID
+                            {
+                              i_op = I_remove;
+                              i_next = nhead;
+                              i_meta = { nm with depth = nm.depth + 1 };
+                            }
+                      in
+                      if not (mt_cas t ~tid id ~expect:nhead ~repl:rem) then begin
+                        sbump t tid f_failed_cas;
+                        give_up ()
+                      end
+                      else begin
+                        let undo_remove () =
+                          let ok = mt_cas t ~tid id ~expect:rem ~repl:nhead in
+                          assert ok
+                        in
+                        (* Stage II: merge delta on the left sibling *)
+                        let lhead = mt_get t ~tid lid in
+                        let lm = meta_of lhead in
+                        if
+                          head_is_append_blocked lhead
+                          || cmp_bound lm.hi (B merge_key) <> 0
+                          || lm.right <> id
+                          || is_leaf_elem lhead <> is_leaf_elem nhead
+                        then begin
+                          undo_remove ();
+                          give_up ()
+                        end
+                        else begin
+                          let merged_meta =
+                            {
+                              size = lm.size + nm.size;
+                              depth = lm.depth + 1;
+                              lo = lm.lo;
+                              hi = nm.hi;
+                              right = nm.right;
+                              offset = -1;
+                            }
+                          in
+                          let merge_d =
+                            if is_leaf_elem lhead then
+                              LD
+                                {
+                                  l_op = L_merge (merge_key, nhead, id);
+                                  l_next = lhead;
+                                  l_meta = merged_meta;
+                                }
+                            else
+                              ID
+                                {
+                                  i_op = I_merge (merge_key, nhead, id);
+                                  i_next = lhead;
+                                  i_meta = merged_meta;
+                                }
+                          in
+                          if not (mt_cas t ~tid lid ~expect:lhead ~repl:merge_d)
+                          then begin
+                            sbump t tid f_failed_cas;
+                            undo_remove ();
+                            give_up ()
+                          end
+                          else begin
+                            (* Stage III: atomically drop the ∆abort and
+                               post the separator delete *)
+                            let del_d =
+                              ID
+                                {
+                                  i_op = I_del (merge_key, k0, lid, k2);
+                                  i_next = phead;
+                                  i_meta =
+                                    {
+                                      size = pm.size - 1;
+                                      depth = pm.depth + 1;
+                                      lo = pm.lo;
+                                      hi = pm.hi;
+                                      right = pm.right;
+                                      offset = -1;
+                                    };
+                                }
+                            in
+                            let ok =
+                              mt_cas t ~tid pid ~expect:abort_d ~repl:del_d
+                            in
+                            assert ok;
+                            sbump t tid f_merges;
+                            (* The removed node's id stays allocated: a
+                               concurrent reader may still hold it, and id
+                               recycling would require epoch-deferred
+                               frees. The mapping table entry itself is
+                               one word. *)
+                            ignore k1;
+                            (* housekeeping for the parent: consolidate a
+                               long chain, cascade the merge upward on
+                               underflow, or shrink the tree when the
+                               root is down to a single inner child *)
+                            let rest = List.tl parent_path in
+                            let dm = meta_of del_d in
+                            if dm.size < t.cfg.inner_min && rest <> [] then
+                              merge_node t ~tid pid del_d rest
+                            else if rest = [] && dm.size = 1 then
+                              collapse_root t ~tid pid
+                            else if dm.depth >= t.cfg.inner_chain_max then
+                              consolidate t ~tid pid del_d
+                          end
+                        end
+                      end
+                    end
+                  end)
+          end
+        end
+
+  (* ---------------------------------------------------------------- *)
+  (* Descent                                                           *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Walk from the root to the leaf logical node owning [k], helping
+     unfinished SMOs along the way (the help-along protocol, §2.4).
+     Returns the ancestor path (nearest first) and the leaf's (id, head)
+     snapshot. *)
+  let locate t ~tid k =
+    let rec down id parent_path =
+      cnt tid Counters.Node_visit;
+      let head = mt_get t ~tid id in
+      (match head with
+      | LD { l_op = L_split (ks, rid); _ } | ID { i_op = I_split (ks, rid); _ }
+        ->
+          (* unfinished half-split at the head: help post the separator
+             before traversing (best effort; Restart on interference) *)
+          sbump t tid f_smo_helps;
+          post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
+      | LD { l_op = L_remove; _ } | ID { i_op = I_remove; _ } ->
+          (* node being merged away: its merging thread is mid-protocol;
+             back off and retry from the root *)
+          raise Restart
+      | _ -> ());
+      let m = meta_of head in
+      if kb k m.hi >= 0 && m.right <> nil_id then
+        (* B-link right move: the split separator may not be posted yet *)
+        down m.right parent_path
+      else if is_leaf_elem head then (parent_path, id, head)
+      else
+        match inner_nav ~tid head k with
+        | Child cid -> down cid ((id, head) :: parent_path)
+        | Go_right rid -> down rid parent_path
+    in
+    down (Atomic.get t.root) []
+
+  (* ---------------------------------------------------------------- *)
+  (* Leaf probing (existence / visibility, §3.1 + §4.4)                *)
+  (* ---------------------------------------------------------------- *)
+
+  type probe = {
+    p_found : bool;
+    p_values : value list;  (* visible values of the key, newest first *)
+    p_offset : int;  (* base position for the new delta, -1 if unknown *)
+  }
+
+  (* Scan a leaf logical node for [k]. [stop_on_key]: unique-key mode stops
+     at the first delta with the key (§3.1: incompatible with non-unique
+     support). Tracks the §4.4 shortcut range and the §4.3 offset. *)
+  let probe_leaf t ~tid (head : elem) k : probe =
+    let use_sets = not t.cfg.unique_keys in
+    let pres : value Growable.t = Growable.create () in
+    let dels : value Growable.t = Growable.create () in
+    (* consume one pending delete of [v]; false if none (multiset variant
+       of the §3.1 rule, see fast_consolidate_leaf) *)
+    let take_pending v =
+      let n = Growable.length dels in
+      let rec go i =
+        if i >= n then false
+        else if V.equal (Growable.get dels i) v then begin
+          Growable.remove_at dels i;
+          true
+        end
+        else go (i + 1)
+      in
+      go 0
+    in
+    (* §4.4 search shortcut range over the base node *)
+    let smin = ref 0 and smax = ref max_int in
+    let narrow d k' =
+      if t.cfg.search_shortcuts && d.l_meta.offset >= 0 then begin
+        let c = K.compare k k' in
+        if c = 0 then begin
+          smin := d.l_meta.offset;
+          smax := d.l_meta.offset
+        end
+        else if c > 0 then begin
+          if d.l_meta.offset > !smin then smin := d.l_meta.offset
+        end
+        else if d.l_meta.offset < !smax then smax := d.l_meta.offset
+      end
+    in
+    let delta_offset = ref (-1) in
+    (* -1 = not yet known; -2 = poisoned: the walk crossed a merge delta,
+       so recorded offsets no longer describe the base we will search *)
+    let note_offset d =
+      if !delta_offset = -1 then delta_offset := d.l_meta.offset
+    in
+    (* offset to report when short-circuiting at delta [d]: its recorded
+       offset, unless the walk already crossed a merge (poisoned) *)
+    let eff_offset d = if !delta_offset = -2 then -1 else d.l_meta.offset in
+    let rec walk e =
+      match e with
+      | LD d -> (
+          cnt tid Counters.Pointer_deref;
+          match d.l_op with
+          | L_ins (k', v) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                if use_sets then begin
+                  if not (take_pending v) then Growable.push pres v;
+                  walk d.l_next
+                end
+                else { p_found = true; p_values = [ v ]; p_offset = eff_offset d }
+              end
+              else walk d.l_next
+          | L_del (k', v) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                if use_sets then begin
+                  Growable.push dels v;
+                  walk d.l_next
+                end
+                else { p_found = false; p_values = []; p_offset = eff_offset d }
+              end
+              else walk d.l_next
+          | L_upd (k', vold, vnew) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                if use_sets then begin
+                  if not (take_pending vnew) then Growable.push pres vnew;
+                  Growable.push dels vold;
+                  walk d.l_next
+                end
+                else
+                  { p_found = true; p_values = [ vnew ]; p_offset = eff_offset d }
+              end
+              else walk d.l_next
+          | L_split (ks, _) ->
+              (* keys >= ks moved right; the caller's entry check already
+                 ensured k < ks, so just continue *)
+              ignore ks;
+              walk d.l_next
+          | L_merge (km, right, _) ->
+              cnt tid Counters.Key_compare;
+              if K.compare k km >= 0 then begin
+                (* the key lives in the absorbed right branch; offsets into
+                   the left base are meaningless from here on *)
+                delta_offset := -2;
+                walk right
+              end
+              else begin
+                delta_offset := -2;
+                walk d.l_next
+              end
+          | L_remove -> walk d.l_next)
+      | Leaf b ->
+          let n = Array.length b.lb_keys in
+          let lo0 = if t.cfg.search_shortcuts then min !smin n else 0 in
+          let hi0 = if t.cfg.search_shortcuts then min !smax n else n in
+          let lo0, hi0 = if lo0 > hi0 then (0, n) else (lo0, hi0) in
+          let pos = lower_bound_range ~tid b.lb_keys k ~lo0 ~hi0 in
+          let base_vals = ref [] in
+          let i = ref pos in
+          while !i < n && K.compare b.lb_keys.(!i) k = 0 do
+            base_vals := b.lb_vals.(!i) :: !base_vals;
+            incr i
+          done;
+          let offset =
+            if !delta_offset = -2 then -1
+            else if !delta_offset >= 0 then !delta_offset
+            else pos
+          in
+          if use_sets then begin
+            let surviving_base =
+              List.filter (fun v -> not (take_pending v)) !base_vals
+            in
+            let visible =
+              (Growable.to_array pres |> Array.to_list) @ surviving_base
+            in
+            { p_found = visible <> []; p_values = visible; p_offset = offset }
+          end
+          else
+            {
+              p_found = !base_vals <> [];
+              p_values = !base_vals;
+              p_offset = offset;
+            }
+      | Inner _ | ID _ -> assert false
+    in
+    walk head
+
+  (* ---------------------------------------------------------------- *)
+  (* Epoch wrapper and retry loop                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  let with_epoch t ~tid f =
+    cnt tid Counters.Epoch_enter;
+    Epoch.op_begin t.epoch ~tid;
+    Fun.protect ~finally:(fun () -> Epoch.op_end t.epoch ~tid) f
+
+  let rec retry_loop t ~tid f =
+    try f () with
+    | Restart ->
+        sbump t tid f_restarts;
+        cnt tid Counters.Restart;
+        Domain.cpu_relax ();
+        retry_loop t ~tid f
+
+  (* ---------------------------------------------------------------- *)
+  (* Leaf writes                                                       *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Housekeeping after a successful delta append. The operation is
+     already linearized, so interference here (failed CaS inside a split's
+     Stage III, a blocked parent) must NOT replay it: unfinished SMOs are
+     completed by help-along on later traversals (§2.4). *)
+  let post_append_leaf t ~tid id (head : elem) parent_path ~check_underflow =
+    try
+      let m = meta_of head in
+      if m.size > t.cfg.leaf_max then split_node t ~tid id head parent_path
+      else if m.depth >= t.cfg.leaf_chain_max then consolidate t ~tid id head
+      else if check_underflow && m.size < t.cfg.leaf_min then
+        merge_node t ~tid id head parent_path
+    with Restart -> cnt tid Counters.Restart
+
+  (* §6.3 "disable delta updates": rewrite the leaf base copy-on-write
+     instead of appending a delta. Only valid when the chain is a bare
+     base (single-threaded experiments consolidate eagerly). *)
+  let try_inplace_insert t ~tid id (head : elem) parent_path k v =
+    match head with
+    | Leaf b ->
+        let n = Array.length b.lb_keys in
+        let pos = lower_bound ~tid b.lb_keys n k in
+        let keys = Array.make (n + 1) k in
+        let vals = Array.make (n + 1) v in
+        Array.blit b.lb_keys 0 keys 0 pos;
+        Array.blit b.lb_vals 0 vals 0 pos;
+        Array.blit b.lb_keys pos keys (pos + 1) (n - pos);
+        Array.blit b.lb_vals pos vals (pos + 1) (n - pos);
+        let repl =
+          Leaf
+            {
+              b with
+              lb_keys = keys;
+              lb_vals = vals;
+              lb_meta = { b.lb_meta with size = n + 1 };
+            }
+        in
+        if not (mt_cas t ~tid id ~expect:head ~repl) then begin
+          sbump t tid f_failed_cas;
+          raise Restart
+        end;
+        post_append_leaf t ~tid id repl parent_path ~check_underflow:false;
+        true
+    | _ -> false
+
+  let insert t ?(tid = 0) k v =
+    sbump t tid f_inserts;
+    with_epoch t ~tid @@ fun () ->
+    retry_loop t ~tid @@ fun () ->
+    let parent_path, id, head = locate t ~tid k in
+    let p = probe_leaf t ~tid head k in
+    let duplicate =
+      if t.cfg.unique_keys then p.p_found
+      else List.exists (V.equal v) p.p_values
+    in
+    if duplicate then false
+    else if
+      t.cfg.inplace_leaf_update
+      && try_inplace_insert t ~tid id head parent_path k v
+    then true
+    else begin
+      if head_is_append_blocked head then raise Restart;
+      claim_slot t ~tid id head;
+      let m = meta_of head in
+      let d =
+        LD
+          {
+            l_op = L_ins (k, v);
+            l_next = head;
+            l_meta =
+              {
+                size = m.size + 1;
+                depth = m.depth + 1;
+                lo = m.lo;
+                hi = m.hi;
+                right = m.right;
+                offset = p.p_offset;
+              };
+          }
+      in
+      cnt tid Counters.Allocation;
+      if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+        sbump t tid f_failed_cas;
+        slot_wasted head;
+        raise Restart
+      end;
+      post_append_leaf t ~tid id d parent_path ~check_underflow:false;
+      true
+    end
+
+  let delete t ?(tid = 0) k v =
+    sbump t tid f_deletes;
+    with_epoch t ~tid @@ fun () ->
+    retry_loop t ~tid @@ fun () ->
+    let parent_path, id, head = locate t ~tid k in
+    let p = probe_leaf t ~tid head k in
+    let present =
+      if t.cfg.unique_keys then p.p_found
+      else List.exists (V.equal v) p.p_values
+    in
+    if not present then false
+    else begin
+      if head_is_append_blocked head then raise Restart;
+      claim_slot t ~tid id head;
+      let m = meta_of head in
+      (* in unique mode, delete whichever value is current *)
+      let victim =
+        if t.cfg.unique_keys then List.hd p.p_values else v
+      in
+      let d =
+        LD
+          {
+            l_op = L_del (k, victim);
+            l_next = head;
+            l_meta =
+              {
+                size = m.size - 1;
+                depth = m.depth + 1;
+                lo = m.lo;
+                hi = m.hi;
+                right = m.right;
+                offset = p.p_offset;
+              };
+          }
+      in
+      cnt tid Counters.Allocation;
+      if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+        sbump t tid f_failed_cas;
+        slot_wasted head;
+        raise Restart
+      end;
+      post_append_leaf t ~tid id d parent_path ~check_underflow:true;
+      true
+    end
+
+  let update t ?(tid = 0) k v =
+    sbump t tid f_updates;
+    with_epoch t ~tid @@ fun () ->
+    retry_loop t ~tid @@ fun () ->
+    let parent_path, id, head = locate t ~tid k in
+    let p = probe_leaf t ~tid head k in
+    if not p.p_found then false
+    else begin
+      if head_is_append_blocked head then raise Restart;
+      claim_slot t ~tid id head;
+      let m = meta_of head in
+      let vold = List.hd p.p_values in
+      let d =
+        LD
+          {
+            l_op = L_upd (k, vold, v);
+            l_next = head;
+            l_meta =
+              {
+                size = m.size;
+                depth = m.depth + 1;
+                lo = m.lo;
+                hi = m.hi;
+                right = m.right;
+                offset = p.p_offset;
+              };
+          }
+      in
+      cnt tid Counters.Allocation;
+      if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+        sbump t tid f_failed_cas;
+        slot_wasted head;
+        raise Restart
+      end;
+      post_append_leaf t ~tid id d parent_path ~check_underflow:false;
+      true
+    end
+
+  let upsert t ?(tid = 0) k v =
+    if not (update t ~tid k v) then ignore (insert t ~tid k v)
+
+  (* ---------------------------------------------------------------- *)
+  (* Reads                                                             *)
+  (* ---------------------------------------------------------------- *)
+
+  let lookup t ?(tid = 0) k =
+    sbump t tid f_lookups;
+    with_epoch t ~tid @@ fun () ->
+    retry_loop t ~tid @@ fun () ->
+    let _, _, head = locate t ~tid k in
+    (probe_leaf t ~tid head k).p_values
+
+  let mem t ?(tid = 0) k = lookup t ~tid k <> []
+
+  (* ---------------------------------------------------------------- *)
+  (* Iterators (§3.2, Appendix C)                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  module Iterator = struct
+    (* An iterator owns a private consolidated copy of one logical leaf
+       node; no locks are held between moves. Exhausting the copy
+       re-traverses from the root using the node's high key (forward) or
+       low key with the go-left rule (backward). *)
+    type iter = {
+      tree : t;
+      tid : int;
+      mutable items : (key * value) array;
+      mutable lo : bound;
+      mutable hi : bound;
+      (* cursor into [items]. pos = -1 with lo = -inf means "before the
+         first item"; pos = length with hi = +inf means "after the last";
+         both are restartable: next/prev from an exhausted end steps back
+         into the data. *)
+      mutable pos : int;
+    }
+
+    (* first index whose key is >= k over a (key, value) array *)
+    let lower_bound_kv ~tid (items : (key * value) array) k =
+      let lo = ref 0 and hi = ref (Array.length items) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        cnt tid Counters.Key_compare;
+        if K.compare (fst items.(mid)) k < 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+
+    let snapshot_node t ~tid k =
+      retry_loop t ~tid @@ fun () ->
+      let _, _, head = locate t ~tid k in
+      let m = meta_of head in
+      (* the §4.3 segment merge is much cheaper than the general replay
+         and applies to any chain of plain data deltas *)
+      let items =
+        match
+          if t.cfg.fast_consolidation then fast_consolidate_leaf ~tid head
+          else None
+        with
+        | Some items -> items
+        | None -> Growable.to_array (gather_leaf ~tid head)
+      in
+      (items, m.lo, m.hi)
+
+    (* first item >= k, possibly skipping empty nodes to the right *)
+    let rec position_forward it k =
+      let items, lo, hi = snapshot_node it.tree ~tid:it.tid k in
+      it.items <- items;
+      it.lo <- lo;
+      it.hi <- hi;
+      let n = Array.length items in
+      let pos = lower_bound_kv ~tid:it.tid items k in
+      if pos < n then it.pos <- pos
+      else
+        match hi with
+        | Pos_inf -> it.pos <- n (* after the last item *)
+        | B next_k -> position_forward it next_k
+        | Neg_inf -> assert false
+
+    let seek t ?(tid = 0) k =
+      with_epoch t ~tid @@ fun () ->
+      let it =
+        { tree = t; tid; items = [||]; lo = Neg_inf; hi = Pos_inf; pos = 0 }
+      in
+      position_forward it k;
+      it
+
+    (* Backward jump (Appendix C.2): land on the rightmost node whose
+       low bound is strictly below [klow], using sibling links to correct
+       for concurrent splits, then stand on the last item < klow. *)
+    let rec position_backward it klow =
+      let t = it.tree and tid = it.tid in
+      retry_loop t ~tid (fun () ->
+          (* descend with the go-left rule: when the governing separator
+             equals klow, take the preceding child *)
+          let rec down id =
+            cnt tid Counters.Node_visit;
+            let head = mt_get t ~tid id in
+            (match head with
+            | LD { l_op = L_remove; _ } | ID { i_op = I_remove; _ } ->
+                raise Restart
+            | _ -> ());
+            let m = meta_of head in
+            if cmp_bound m.hi (B klow) < 0 && m.right <> nil_id then
+              (* overshoot correction is handled at the leaf level *)
+              ()
+            ;
+            if is_leaf_elem head then (id, head)
+            else begin
+              let items = gather_inner ~tid head in
+              let n = Growable.length items in
+              let idx = ref 0 in
+              for i = 0 to n - 1 do
+                if kb klow (fst (Growable.get items i)) > 0 then idx := i
+                else if
+                  kb klow (fst (Growable.get items i)) = 0 && i > 0
+                then idx := i - 1
+              done;
+              down (snd (Growable.get items !idx))
+            end
+          in
+          let id, head = down (Atomic.get t.root) in
+          (* walk right while the node still lies strictly left of klow
+             and cannot contain its predecessor *)
+          let rec rightmost id head =
+            let m = meta_of head in
+            if cmp_bound m.hi (B klow) < 0 && m.right <> nil_id then begin
+              let rhead = mt_get t ~tid m.right in
+              let rm = meta_of rhead in
+              if cmp_bound rm.lo (B klow) < 0 then rightmost m.right rhead
+              else (id, head)
+            end
+            else (id, head)
+          in
+          let _, head = rightmost id head in
+          let m = meta_of head in
+          let items = Growable.to_array (gather_leaf ~tid head) in
+          it.items <- items;
+          it.lo <- m.lo;
+          it.hi <- m.hi;
+          ignore (Array.length items);
+          (* last index with key < klow *)
+          let pos = lower_bound_kv ~tid items klow - 1 in
+          if pos >= 0 then it.pos <- pos
+          else
+            match m.lo with
+            | Neg_inf -> it.pos <- -1 (* before the first item *)
+            | B lower -> position_backward it lower
+            | Pos_inf -> assert false)
+
+    let current it =
+      if it.pos >= 0 && it.pos < Array.length it.items then
+        Some it.items.(it.pos)
+      else None
+
+    let at_end it = it.pos >= Array.length it.items && it.hi = Pos_inf
+    let at_begin it = it.pos < 0 && it.lo = Neg_inf
+
+    let next it =
+      with_epoch it.tree ~tid:it.tid @@ fun () ->
+      if not (at_end it) then begin
+        it.pos <- it.pos + 1;
+        if it.pos >= Array.length it.items then
+          match it.hi with
+          | Pos_inf -> it.pos <- Array.length it.items
+          | B k -> position_forward it k
+          | Neg_inf -> assert false
+      end
+
+    let prev it =
+      with_epoch it.tree ~tid:it.tid @@ fun () ->
+      if not (at_begin it) then begin
+        it.pos <- it.pos - 1;
+        if it.pos < 0 then
+          match it.lo with
+          | Neg_inf -> it.pos <- -1
+          | B k -> position_backward it k
+          | Pos_inf -> assert false
+      end
+
+    let seek_first t ?(tid = 0) () =
+      (* position before everything, then step to the first item *)
+      let it =
+        { tree = t; tid; items = [||]; lo = Neg_inf; hi = Pos_inf; pos = 0 }
+      in
+      (with_epoch t ~tid @@ fun () ->
+       retry_loop t ~tid @@ fun () ->
+       (* descend along the leftmost spine *)
+       let rec down id =
+         let head = mt_get t ~tid id in
+         (match head with
+         | LD { l_op = L_remove; _ } | ID { i_op = I_remove; _ } ->
+             raise Restart
+         | _ -> ());
+         if is_leaf_elem head then head
+         else
+           let items = gather_inner ~tid head in
+           down (snd (Growable.get items 0))
+       in
+       let head = down (Atomic.get t.root) in
+       let m = meta_of head in
+       it.items <- Growable.to_array (gather_leaf ~tid head);
+       it.lo <- m.lo;
+       it.hi <- m.hi;
+       it.pos <- 0);
+      if Array.length it.items = 0 then begin
+        (match it.hi with
+        | Pos_inf -> ()
+        | B k -> with_epoch t ~tid (fun () -> position_forward it k)
+        | Neg_inf -> assert false)
+      end;
+      it
+  end
+
+  (* Bulk range scan: like the iterator, but consumes each per-node
+     private copy in one go instead of stepping item by item. *)
+  let scan t ?(tid = 0) ?(n = max_int) k =
+    let out = ref [] and count = ref 0 in
+    let rec from_key k =
+      let items, _, hi =
+        with_epoch t ~tid @@ fun () -> Iterator.snapshot_node t ~tid k
+      in
+      let len = Array.length items in
+      let pos = ref (Iterator.lower_bound_kv ~tid items k) in
+      while !pos < len && !count < n do
+        out := items.(!pos) :: !out;
+        incr count;
+        incr pos
+      done;
+      if !count < n then
+        match hi with
+        | Pos_inf -> ()
+        | B next_k -> from_key next_k
+        | Neg_inf -> assert false
+    in
+    from_key k;
+    List.rev !out
+
+  let scan_all t ?(tid = 0) () =
+    let it = Iterator.seek_first t ~tid () in
+    let out = ref [] in
+    let rec go () =
+      match Iterator.current it with
+      | Some kv ->
+          out := kv :: !out;
+          Iterator.next it;
+          go ()
+      | None -> ()
+    in
+    go ();
+    List.rev !out
+
+  let cardinal t = List.length (scan_all t ())
+
+  (* ---------------------------------------------------------------- *)
+  (* GC control                                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  let gc_advance t = Epoch.advance t.epoch
+
+  let start_gc_thread t ?(interval_s = 0.04) () =
+    Epoch.start_background t.epoch ~interval_s
+
+  let stop_gc_thread t = Epoch.stop_background t.epoch
+  let quiesce t ~tid = Epoch.quiesce t.epoch ~tid
+
+  (* ---------------------------------------------------------------- *)
+  (* Introspection                                                     *)
+  (* ---------------------------------------------------------------- *)
+
+  let op_stats t =
+    {
+      inserts = ssum t f_inserts;
+      deletes = ssum t f_deletes;
+      updates = ssum t f_updates;
+      lookups = ssum t f_lookups;
+      splits = ssum t f_splits;
+      merges = ssum t f_merges;
+      consolidations = ssum t f_consolidations;
+      failed_cas = ssum t f_failed_cas;
+      restarts = ssum t f_restarts;
+      smo_helps = ssum t f_smo_helps;
+      prealloc_overflows = ssum t f_prealloc_overflows;
+    }
+
+  let prealloc_util = function
+    | None -> None
+    | Some pre ->
+        let used = min (Atomic.get pre.used) pre.cap in
+        let wasted = min (Atomic.get pre.wasted) used in
+        Some (float_of_int (used - wasted) /. float_of_int pre.cap)
+
+  let structure_stats t =
+    let tid = 0 in
+    let inner_nodes = ref 0
+    and leaf_nodes = ref 0
+    and inner_chain = ref 0
+    and leaf_chain = ref 0
+    and inner_size = ref 0
+    and leaf_size = ref 0
+    and iutil = ref 0.0
+    and iutil_n = ref 0
+    and lutil = ref 0.0
+    and lutil_n = ref 0 in
+    let rec walk id depth max_depth =
+      let head = mt_get t ~tid id in
+      let m = meta_of head in
+      if is_leaf_elem head then begin
+        incr leaf_nodes;
+        leaf_chain := !leaf_chain + m.depth;
+        leaf_size := !leaf_size + m.size;
+        (match prealloc_util (prealloc_of head) with
+        | Some u ->
+            lutil := !lutil +. u;
+            incr lutil_n
+        | None -> ());
+        max !max_depth (depth + 1) |> fun d -> max_depth := d
+      end
+      else begin
+        incr inner_nodes;
+        inner_chain := !inner_chain + m.depth;
+        inner_size := !inner_size + m.size;
+        (match prealloc_util (prealloc_of head) with
+        | Some u ->
+            iutil := !iutil +. u;
+            incr iutil_n
+        | None -> ());
+        let children = gather_inner ~tid head in
+        Growable.iter (fun (_, cid) -> walk cid (depth + 1) max_depth) children
+      end
+    in
+    let max_depth = ref 0 in
+    walk (Atomic.get t.root) 0 max_depth;
+    let avg num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den in
+    {
+      inner_nodes = !inner_nodes;
+      leaf_nodes = !leaf_nodes;
+      avg_inner_chain = avg !inner_chain !inner_nodes;
+      avg_leaf_chain = avg !leaf_chain !leaf_nodes;
+      avg_inner_size = avg !inner_size !inner_nodes;
+      avg_leaf_size = avg !leaf_size !leaf_nodes;
+      inner_prealloc_util =
+        (if !iutil_n = 0 then 0.0 else !iutil /. float_of_int !iutil_n);
+      leaf_prealloc_util =
+        (if !lutil_n = 0 then 0.0 else !lutil /. float_of_int !lutil_n);
+      depth = !max_depth;
+    }
+
+  let iter_nodes t f =
+    let tid = 0 in
+    let rec walk id =
+      let head = mt_get t ~tid id in
+      let m = meta_of head in
+      f ~leaf:(is_leaf_elem head) ~chain:m.depth ~size:m.size;
+      if not (is_leaf_elem head) then
+        Growable.iter (fun (_, cid) -> walk cid) (gather_inner ~tid head)
+    in
+    walk (Atomic.get t.root)
+
+  let memory_words t = Obj.reachable_words (Obj.repr t)
+
+  let mapping_table_stats t =
+    ( Mapping_table.high_water t.table,
+      Mapping_table.chunks_allocated t.table,
+      Mapping_table.capacity t.table )
+
+  (* ---------------------------------------------------------------- *)
+  (* Invariant checking (tests)                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  exception Invariant_violation of string
+
+  let fail_inv fmt = Format.kasprintf (fun s -> raise (Invariant_violation s)) fmt
+
+  (* Single-threaded full check: key ordering, bound containment, meta
+     consistency, leaf-level sibling chain continuity. *)
+  let verify_invariants t =
+    let tid = 0 in
+    let leaves : (bound * bound * int * int) Growable.t = Growable.create () in
+    (* (lo, hi, right, id) in key order *)
+    let rec walk id ~lo ~hi =
+      let head = mt_get t ~tid id in
+      let m = meta_of head in
+      if cmp_bound m.lo lo <> 0 then
+        fail_inv "node %d: lo %a expected %a" id pp_bound m.lo pp_bound lo;
+      if cmp_bound m.hi hi > 0 then
+        fail_inv "node %d: hi %a beyond expected %a" id pp_bound m.hi pp_bound hi;
+      if is_leaf_elem head then begin
+        let items = Growable.to_array (gather_leaf ~tid head) in
+        if Array.length items <> m.size then
+          fail_inv "leaf %d: meta size %d but %d items" id m.size
+            (Array.length items);
+        Array.iteri
+          (fun i (k, _) ->
+            if kb k m.lo < 0 then fail_inv "leaf %d: key below lo" id;
+            if kb k m.hi >= 0 then fail_inv "leaf %d: key above hi" id;
+            if i > 0 && K.compare (fst items.(i - 1)) k > 0 then
+              fail_inv "leaf %d: keys out of order" id;
+            if
+              t.cfg.unique_keys && i > 0
+              && K.compare (fst items.(i - 1)) k = 0
+            then fail_inv "leaf %d: duplicate key in unique mode" id)
+          items;
+        Growable.push leaves (m.lo, m.hi, m.right, id)
+      end
+      else begin
+        let items = Growable.to_array (gather_inner ~tid head) in
+        if Array.length items <> m.size then
+          fail_inv "inner %d: meta size %d but %d items" id m.size
+            (Array.length items);
+        if Array.length items = 0 then fail_inv "inner %d: empty" id;
+        if cmp_bound (fst items.(0)) m.lo <> 0 then
+          fail_inv "inner %d: first separator is not lo" id;
+        Array.iteri
+          (fun i (sep, cid) ->
+            if i > 0 && cmp_bound (fst items.(i - 1)) sep >= 0 then
+              fail_inv "inner %d: separators out of order" id;
+            let child_hi =
+              if i + 1 < Array.length items then fst items.(i + 1) else m.hi
+            in
+            walk cid ~lo:sep ~hi:child_hi)
+          items
+      end
+    in
+    walk (Atomic.get t.root) ~lo:Neg_inf ~hi:Pos_inf;
+    (* leaf sibling chain: hi of each leaf equals lo of the next *)
+    let n = Growable.length leaves in
+    for i = 0 to n - 2 do
+      let _, hi, right, id = Growable.get leaves i in
+      let lo', _, _, id' = Growable.get leaves (i + 1) in
+      if cmp_bound hi lo' <> 0 then
+        fail_inv "leaves %d,%d: hi/lo mismatch" id id';
+      if right <> id' then
+        fail_inv "leaf %d: right sibling %d, expected %d" id right id'
+    done;
+    if n > 0 then begin
+      let _, hi, right, id = Growable.get leaves (n - 1) in
+      if cmp_bound hi Pos_inf <> 0 || right <> nil_id then
+        fail_inv "last leaf %d: hi/right not terminal" id
+    end
+
+  (* Render the physical structure — every logical node with its delta
+     chain — for debugging and test failure forensics. *)
+  let dump t ppf =
+    let tid = 0 in
+    let pp_op ppf = function
+      | L_ins (k, _) -> Format.fprintf ppf "ins(%a)" K.pp k
+      | L_del (k, _) -> Format.fprintf ppf "del(%a)" K.pp k
+      | L_upd (k, _, _) -> Format.fprintf ppf "upd(%a)" K.pp k
+      | L_split (k, rid) -> Format.fprintf ppf "SPLIT(%a,->%d)" K.pp k rid
+      | L_merge (k, _, rid) -> Format.fprintf ppf "MERGE(%a,absorbed %d)" K.pp k rid
+      | L_remove -> Format.fprintf ppf "REMOVE"
+    in
+    let pp_iop ppf = function
+      | I_ins (k, cid, ns) ->
+          Format.fprintf ppf "ins(%a->%d,next %a)" K.pp k cid pp_bound ns
+      | I_del (k, k0, n0, k2) ->
+          Format.fprintf ppf "del(%a; [%a,%a)->%d)" K.pp k pp_bound k0
+            pp_bound k2 n0
+      | I_split (k, rid) -> Format.fprintf ppf "SPLIT(%a,->%d)" K.pp k rid
+      | I_merge (k, _, rid) -> Format.fprintf ppf "MERGE(%a,absorbed %d)" K.pp k rid
+      | I_remove -> Format.fprintf ppf "REMOVE"
+      | I_abort -> Format.fprintf ppf "ABORT"
+    in
+    let rec pp_chain ppf e =
+      match e with
+      | Leaf b ->
+          Format.fprintf ppf "base[%d items]" (Array.length b.lb_keys)
+      | Inner b ->
+          Format.fprintf ppf "base{";
+          Array.iteri
+            (fun i s ->
+              Format.fprintf ppf "%s%a->%d"
+                (if i > 0 then " " else "")
+                pp_bound s b.ib_ids.(i))
+            b.ib_seps;
+          Format.fprintf ppf "}"
+      | LD d ->
+          Format.fprintf ppf "%a :: %a" pp_op d.l_op pp_chain d.l_next
+      | ID d ->
+          Format.fprintf ppf "%a :: %a" pp_iop d.i_op pp_chain d.i_next
+    in
+    let rec walk id indent =
+      let head = mt_get t ~tid id in
+      let m = meta_of head in
+      Format.fprintf ppf "%s%s %d [%a,%a) right=%d size=%d depth=%d: %a@."
+        indent
+        (if is_leaf_elem head then "leaf" else "inner")
+        id pp_bound m.lo pp_bound m.hi m.right m.size m.depth pp_chain head;
+      if not (is_leaf_elem head) then
+        Growable.iter
+          (fun (_, cid) -> walk cid (indent ^ "  "))
+          (gather_inner ~tid head)
+    in
+    walk (Atomic.get t.root) ""
+
+  (* ---------------------------------------------------------------- *)
+  (* §6.3: frozen direct-pointer tree (mapping table disabled)         *)
+  (* ---------------------------------------------------------------- *)
+
+  type frozen =
+    | F_leaf of key array * value array
+    | F_inner of bound array * frozen array
+
+  let freeze t =
+    consolidate_all t;
+    let tid = 0 in
+    let rec conv id =
+      match mt_get t ~tid id with
+      | Leaf b -> F_leaf (b.lb_keys, b.lb_vals)
+      | Inner b -> F_inner (b.ib_seps, Array.map conv b.ib_ids)
+      | LD _ | ID _ ->
+          (* consolidate_all left a delta behind (concurrent writer):
+             freezing is a single-threaded operation *)
+          invalid_arg "Bwtree.freeze: tree is being mutated"
+    in
+    conv (Atomic.get t.root)
+
+  let frozen_lookup fz k =
+    let tid = 0 in
+    let rec go = function
+      | F_inner (seps, children) ->
+          cnt tid Counters.Pointer_deref;
+          let i = sep_index ~tid seps (Array.length seps) k in
+          go children.(i)
+      | F_leaf (keys, vals) ->
+          let n = Array.length keys in
+          let pos = lower_bound ~tid keys n k in
+          let out = ref [] in
+          let i = ref pos in
+          while !i < n && K.compare keys.(!i) k = 0 do
+            out := vals.(!i) :: !out;
+            incr i
+          done;
+          !out
+    in
+    go fz
+end

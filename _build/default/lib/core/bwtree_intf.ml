@@ -1,0 +1,243 @@
+(** Interface types for the Bw-Tree functor. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val to_binary : t -> string
+  (** Binary-comparable encoding. The Bw-Tree itself never uses it; it is
+      part of the key contract so that the same key modules drive the trie
+      indexes and the workload generators. *)
+
+  val dummy : t
+  (** Any value of the type; fills unused slots of the lock-based indexes'
+      fixed-capacity node arrays. Never compared or returned. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module type VALUE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Every optimization the paper evaluates is an independent switch, so the
+    same code base serves as the optimized OpenBw-Tree, the good-faith
+    baseline Bw-Tree, and each ablation in between. *)
+type config = {
+  leaf_max : int;  (** max key-value items in a logical leaf (paper: 128) *)
+  inner_max : int;  (** max separator items in a logical inner node (64) *)
+  leaf_chain_max : int;  (** leaf Delta Chain consolidation threshold (24) *)
+  inner_chain_max : int;  (** inner Delta Chain threshold (2) *)
+  leaf_min : int;  (** leaf underflow (merge) threshold *)
+  inner_min : int;  (** inner underflow threshold *)
+  unique_keys : bool;
+      (** enforce unique keys; [false] enables the §3.1 non-unique support *)
+  preallocate : bool;  (** §4.1 delta-record pre-allocation *)
+  fast_consolidation : bool;  (** §4.3 segment-based consolidation *)
+  search_shortcuts : bool;  (** §4.4 offset-guided micro-indexing *)
+  use_atomic_cas : bool;
+      (** [false] replaces mapping-table CaS with plain load/compare/store
+          (§6.3 "disable CaS"); single-threaded use only *)
+  inplace_leaf_update : bool;
+      (** [true] rewrites leaf bases copy-on-write instead of appending
+          deltas (§6.3 "disable delta updates"); single-threaded only *)
+  gc_scheme : Epoch.scheme;  (** §4.2; paper default for OpenBw is
+      decentralized, for baseline Bw-Tree centralized *)
+  gc_threshold : int;  (** local garbage list trigger (1024) *)
+  max_threads : int;
+}
+
+let default_config =
+  {
+    leaf_max = 128;
+    inner_max = 64;
+    leaf_chain_max = 24;
+    inner_chain_max = 2;
+    leaf_min = 16;
+    inner_min = 8;
+    unique_keys = true;
+    preallocate = true;
+    fast_consolidation = true;
+    search_shortcuts = true;
+    use_atomic_cas = true;
+    inplace_leaf_update = false;
+    gc_scheme = Epoch.Decentralized;
+    gc_threshold = 1024;
+    max_threads = 64;
+  }
+
+(** A good-faith reading of Microsoft's original design [29]: heap-allocated
+    delta records, sort-based consolidation, no search shortcuts,
+    centralized epoch GC, chain threshold 8 everywhere. *)
+let microsoft_config =
+  {
+    default_config with
+    leaf_chain_max = 8;
+    inner_chain_max = 8;
+    preallocate = false;
+    fast_consolidation = false;
+    search_shortcuts = false;
+    gc_scheme = Epoch.Centralized;
+  }
+
+(** Operation counters, striped per thread. *)
+type op_stats = {
+  inserts : int;
+  deletes : int;
+  updates : int;
+  lookups : int;
+  splits : int;
+  merges : int;
+  consolidations : int;
+  failed_cas : int;  (** delta-append CaS failures *)
+  restarts : int;  (** operation attempts aborted and retried from the root *)
+  smo_helps : int;  (** help-along completions attempted *)
+  prealloc_overflows : int;  (** consolidations forced by slot exhaustion *)
+}
+
+(** Snapshot of the physical structure, computed by a full walk
+    (Table 2's IDCL/LDCL/INS/LNS/IPU/LPU statistics). *)
+type structure_stats = {
+  inner_nodes : int;
+  leaf_nodes : int;
+  avg_inner_chain : float;
+  avg_leaf_chain : float;
+  avg_inner_size : float;
+  avg_leaf_size : float;
+  inner_prealloc_util : float;  (** fraction of pre-allocated slots used *)
+  leaf_prealloc_util : float;
+  depth : int;  (** tree height: root to leaf, in logical nodes *)
+}
+
+(** Public interface of one Bw-Tree instantiation. *)
+module type S = sig
+  type key
+  type value
+
+  type t
+  (** A concurrent ordered index from [key] to [value]. All operations are
+      lock-free (writers append delta records published by CaS; readers
+      never write shared memory except epoch bookkeeping) and may be called
+      from any number of domains concurrently, provided each caller passes
+      a distinct [tid] below [config.max_threads]. [tid] defaults to [0],
+      fine for single-threaded use. *)
+
+  val create : ?config:config -> unit -> t
+  (** A fresh index. [config] defaults to {!default_config}, the fully
+      optimized OpenBw-Tree; {!microsoft_config} selects the baseline
+      Bw-Tree design. *)
+
+  val config : t -> config
+
+  (** {1 Point operations} *)
+
+  val insert : t -> ?tid:int -> key -> value -> bool
+  (** [false] if the key (or, with non-unique keys, the exact (key, value)
+      pair) is already present. *)
+
+  val delete : t -> ?tid:int -> key -> value -> bool
+  (** Removes the key. With non-unique keys the exact (key, value) pair is
+      removed — delete deltas carry the value precisely for this (§3.1).
+      In unique mode the value argument is ignored. *)
+
+  val update : t -> ?tid:int -> key -> value -> bool
+  (** Replaces the current value (posting an update delta); [false] if the
+      key is absent. *)
+
+  val upsert : t -> ?tid:int -> key -> value -> unit
+  val lookup : t -> ?tid:int -> key -> value list
+  (** All visible values of the key — a singleton or empty list in unique
+      mode, computed with the S{_present}/S{_deleted} walk (§3.1)
+      otherwise. *)
+
+  val mem : t -> ?tid:int -> key -> bool
+
+  (** {1 Range operations (§3.2, Appendix C)} *)
+
+  module Iterator : sig
+    type iter
+    (** A cursor over the index. Each iterator owns a private consolidated
+        copy of one logical leaf node; moving past its boundary
+        re-traverses from the root with the node's high key (forward) or
+        low key under the go-left rule (backward). Never blocks writers. *)
+
+    val seek : t -> ?tid:int -> key -> iter
+    (** Positioned at the first item whose key is >= the argument. *)
+
+    val seek_first : t -> ?tid:int -> unit -> iter
+    val current : iter -> (key * value) option
+    (** [None] when positioned before the first or after the last item. *)
+
+    val next : iter -> unit
+    val prev : iter -> unit
+    (** [next]/[prev] from an exhausted end re-enter the data, so a scan
+        can reverse direction at any point. *)
+  end
+
+  val scan : t -> ?tid:int -> ?n:int -> key -> (key * value) list
+  (** Up to [n] items starting at the first key >= the argument — the
+      YCSB-E operation. *)
+
+  val scan_all : t -> ?tid:int -> unit -> (key * value) list
+  val cardinal : t -> int
+
+  (** {1 Maintenance} *)
+
+  val consolidate_all : t -> unit
+  (** Replaces every delta chain with a fresh base node (single-threaded
+      utility; used by tests and the §6.3 "-DC" experiment). *)
+
+  val gc_advance : t -> unit
+  (** Advance the epoch clock once (cooperative alternative to the
+      background thread). *)
+
+  val start_gc_thread : t -> ?interval_s:float -> unit -> unit
+  (** Start the epoch-advancing domain (default 40 ms, the paper's
+      interval). *)
+
+  val stop_gc_thread : t -> unit
+
+  val quiesce : t -> tid:int -> unit
+  (** Worker [tid] will issue no more operations for a while; its
+      published epoch stops holding back reclamation. *)
+
+  val epoch : t -> Epoch.t
+
+  (** {1 Introspection} *)
+
+  val op_stats : t -> op_stats
+  val structure_stats : t -> structure_stats
+
+  (** [iter_nodes t f] visits every logical node with its Delta-Chain
+      length and item count — the raw data behind {!structure_stats}, for
+      histograms. *)
+  val iter_nodes : t -> (leaf:bool -> chain:int -> size:int -> unit) -> unit
+  val memory_words : t -> int
+
+  val mapping_table_stats : t -> int * int * int
+  (** (ids handed out, chunks faulted in, addressable capacity). *)
+
+  exception Invariant_violation of string
+
+  val verify_invariants : t -> unit
+  (** Full structural check (ordering, bounds, metas, sibling links);
+      quiescent callers only. Raises {!Invariant_violation}. *)
+
+  val dump : t -> Format.formatter -> unit
+  (** Renders every logical node with its delta chain, for debugging. *)
+
+  (** {1 §6.3 decomposition hooks} *)
+
+  type frozen
+
+  val freeze : t -> frozen
+  (** Consolidates everything and converts the tree to direct physical
+      pointers — the "disable mapping table" configuration. The source
+      tree must be quiescent. *)
+
+  val frozen_lookup : frozen -> key -> value list
+end

@@ -1,0 +1,1 @@
+lib/harness/drivers.ml: Art_olc Btree_olc Bwtree Index_iface Int_key Int_value List Masstree Runner Skiplist String_key

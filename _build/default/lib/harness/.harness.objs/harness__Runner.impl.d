@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Atomic Bw_util Domain List Printf Unix Workload

@@ -1,0 +1,222 @@
+(** Concrete driver instances: the six indexes of §6 (plus configuration
+    variants of the Bw-Tree), over integer and string (email) keys. *)
+
+open Index_iface
+
+module Bw_int = Bwtree.Make (Int_key) (Int_value)
+module Bw_str = Bwtree.Make (String_key) (Int_value)
+module Bt_int = Btree_olc.Make (Int_key) (Int_value)
+module Bt_str = Btree_olc.Make (String_key) (Int_value)
+module Sl_int = Skiplist.Make (Int_key) (Int_value)
+module Sl_str = Skiplist.Make (String_key) (Int_value)
+module Ar_int = Art_olc.Make (Int_key) (Int_value)
+module Ar_str = Art_olc.Make (String_key) (Int_value)
+module Mt_int = Masstree.Make (Int_key) (Int_value)
+module Mt_str = Masstree.Make (String_key) (Int_value)
+
+let hd_opt = function [] -> None | v :: _ -> Some v
+
+(* --- Bw-Tree drivers (OpenBw, baseline Bw, and arbitrary configs) --- *)
+
+let bwtree_driver_int ?(name = "OpenBw-Tree") ?config () : int Runner.driver
+    =
+  let t = Bw_int.create ?config () in
+  let tree = t in
+  {
+    Runner.name;
+    insert = (fun ~tid k v -> Bw_int.insert tree ~tid k v);
+    read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
+    update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
+    remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
+    scan = (fun ~tid k n -> List.length (Bw_int.scan tree ~tid ~n k));
+    start_aux = (fun () -> Bw_int.start_gc_thread tree ());
+    stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
+    thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
+    memory_words = (fun () -> Bw_int.memory_words tree);
+  }
+
+(* exposes the underlying tree for experiments that need statistics *)
+let bwtree_instance_int ?config () =
+  let tree = Bw_int.create ?config () in
+  let driver name : int Runner.driver =
+    {
+      Runner.name;
+      insert = (fun ~tid k v -> Bw_int.insert tree ~tid k v);
+      read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
+      update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
+      remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
+      scan = (fun ~tid k n -> List.length (Bw_int.scan tree ~tid ~n k));
+      start_aux = (fun () -> Bw_int.start_gc_thread tree ());
+      stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
+      thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
+      memory_words = (fun () -> Bw_int.memory_words tree);
+    }
+  in
+  (tree, driver)
+
+let bwtree_driver_str ?(name = "OpenBw-Tree") ?config () :
+    string Runner.driver =
+  let tree = Bw_str.create ?config () in
+  {
+    Runner.name;
+    insert = (fun ~tid k v -> Bw_str.insert tree ~tid k v);
+    read = (fun ~tid k -> hd_opt (Bw_str.lookup tree ~tid k));
+    update = (fun ~tid k v -> Bw_str.update tree ~tid k v);
+    remove = (fun ~tid k -> Bw_str.delete tree ~tid k 0);
+    scan = (fun ~tid k n -> List.length (Bw_str.scan tree ~tid ~n k));
+    start_aux = (fun () -> Bw_str.start_gc_thread tree ());
+    stop_aux = (fun () -> Bw_str.stop_gc_thread tree);
+    thread_done = (fun ~tid -> Bw_str.quiesce tree ~tid);
+    memory_words = (fun () -> Bw_str.memory_words tree);
+  }
+
+(* --- lock-based / lock-free comparators --- *)
+
+let btree_driver_int () : int Runner.driver =
+  let t = Bt_int.create () in
+  {
+    Runner.name = "B+Tree";
+    insert = (fun ~tid k v -> Bt_int.insert t ~tid k v);
+    read = (fun ~tid k -> Bt_int.lookup t ~tid k);
+    update = (fun ~tid k v -> Bt_int.update t ~tid k v);
+    remove = (fun ~tid k -> Bt_int.delete t ~tid k);
+    scan = (fun ~tid k n -> Bt_int.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Bt_int.memory_words t);
+  }
+
+let btree_driver_str () : string Runner.driver =
+  let t = Bt_str.create () in
+  {
+    Runner.name = "B+Tree";
+    insert = (fun ~tid k v -> Bt_str.insert t ~tid k v);
+    read = (fun ~tid k -> Bt_str.lookup t ~tid k);
+    update = (fun ~tid k v -> Bt_str.update t ~tid k v);
+    remove = (fun ~tid k -> Bt_str.delete t ~tid k);
+    scan = (fun ~tid k n -> Bt_str.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Bt_str.memory_words t);
+  }
+
+let skiplist_driver_int ?(policy = Skiplist.Background) () :
+    int Runner.driver =
+  let t = Sl_int.create ~policy () in
+  {
+    Runner.name =
+      (match policy with
+      | Skiplist.Background -> "SkipList"
+      | Skiplist.Inline -> "SkipList-inline");
+    insert = (fun ~tid k v -> Sl_int.insert t ~tid k v);
+    read = (fun ~tid k -> Sl_int.lookup t ~tid k);
+    update = (fun ~tid k v -> Sl_int.update t ~tid k v);
+    remove = (fun ~tid k -> Sl_int.delete t ~tid k);
+    scan = (fun ~tid k n -> Sl_int.scan t ~tid k n);
+    start_aux = (fun () -> Sl_int.start_aux t);
+    stop_aux = (fun () -> Sl_int.stop_aux t);
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Sl_int.memory_words t);
+  }
+
+let skiplist_driver_str ?(policy = Skiplist.Background) () :
+    string Runner.driver =
+  let t = Sl_str.create ~policy () in
+  {
+    Runner.name = "SkipList";
+    insert = (fun ~tid k v -> Sl_str.insert t ~tid k v);
+    read = (fun ~tid k -> Sl_str.lookup t ~tid k);
+    update = (fun ~tid k v -> Sl_str.update t ~tid k v);
+    remove = (fun ~tid k -> Sl_str.delete t ~tid k);
+    scan = (fun ~tid k n -> Sl_str.scan t ~tid k n);
+    start_aux = (fun () -> Sl_str.start_aux t);
+    stop_aux = (fun () -> Sl_str.stop_aux t);
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Sl_str.memory_words t);
+  }
+
+let art_driver_int () : int Runner.driver =
+  let t = Ar_int.create () in
+  {
+    Runner.name = "ART";
+    insert = (fun ~tid k v -> Ar_int.insert t ~tid k v);
+    read = (fun ~tid k -> Ar_int.lookup t ~tid k);
+    update = (fun ~tid k v -> Ar_int.update t ~tid k v);
+    remove = (fun ~tid k -> Ar_int.delete t ~tid k);
+    scan = (fun ~tid k n -> Ar_int.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Ar_int.memory_words t);
+  }
+
+let art_driver_str () : string Runner.driver =
+  let t = Ar_str.create () in
+  {
+    Runner.name = "ART";
+    insert = (fun ~tid k v -> Ar_str.insert t ~tid k v);
+    read = (fun ~tid k -> Ar_str.lookup t ~tid k);
+    update = (fun ~tid k v -> Ar_str.update t ~tid k v);
+    remove = (fun ~tid k -> Ar_str.delete t ~tid k);
+    scan = (fun ~tid k n -> Ar_str.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Ar_str.memory_words t);
+  }
+
+let masstree_driver_int () : int Runner.driver =
+  let t = Mt_int.create () in
+  {
+    Runner.name = "Masstree";
+    insert = (fun ~tid k v -> Mt_int.insert t ~tid k v);
+    read = (fun ~tid k -> Mt_int.lookup t ~tid k);
+    update = (fun ~tid k v -> Mt_int.update t ~tid k v);
+    remove = (fun ~tid k -> Mt_int.delete t ~tid k);
+    scan = (fun ~tid k n -> Mt_int.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Mt_int.memory_words t);
+  }
+
+let masstree_driver_str () : string Runner.driver =
+  let t = Mt_str.create () in
+  {
+    Runner.name = "Masstree";
+    insert = (fun ~tid k v -> Mt_str.insert t ~tid k v);
+    read = (fun ~tid k -> Mt_str.lookup t ~tid k);
+    update = (fun ~tid k v -> Mt_str.update t ~tid k v);
+    remove = (fun ~tid k -> Mt_str.delete t ~tid k);
+    scan = (fun ~tid k n -> Mt_str.scan t ~tid k n);
+    start_aux = ignore;
+    stop_aux = ignore;
+    thread_done = (fun ~tid -> ignore tid);
+    memory_words = (fun () -> Mt_str.memory_words t);
+  }
+
+(* --- the six-index lineup used by §6 experiments --- *)
+
+let int_lineup () : (string * (unit -> int Runner.driver)) list =
+  [
+    ("Bw-Tree", fun () -> bwtree_driver_int ~name:"Bw-Tree"
+                    ~config:Bwtree.microsoft_config ());
+    ("OpenBw-Tree", fun () -> bwtree_driver_int ());
+    ("SkipList", fun () -> skiplist_driver_int ());
+    ("Masstree", fun () -> masstree_driver_int ());
+    ("B+Tree", fun () -> btree_driver_int ());
+    ("ART", fun () -> art_driver_int ());
+  ]
+
+let str_lineup () : (string * (unit -> string Runner.driver)) list =
+  [
+    ("Bw-Tree", fun () -> bwtree_driver_str ~name:"Bw-Tree"
+                    ~config:Bwtree.microsoft_config ());
+    ("OpenBw-Tree", fun () -> bwtree_driver_str ());
+    ("SkipList", fun () -> skiplist_driver_str ());
+    ("Masstree", fun () -> masstree_driver_str ());
+    ("B+Tree", fun () -> btree_driver_str ());
+    ("ART", fun () -> art_driver_str ());
+  ]

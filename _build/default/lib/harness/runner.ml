@@ -1,0 +1,158 @@
+(** Benchmark harness: drives any index through YCSB-style traces with a
+    configurable number of worker domains and measures throughput, memory
+    and software event counters.
+
+    The protocol mirrors the paper's framework (§5): a load phase inserts
+    [num_keys] keys (measured and reported as the Insert-only workload),
+    then the measured phase replays pre-generated per-thread op traces.
+    Worker domains synchronize on a start barrier so trace generation and
+    domain spawning never pollute the measured section. *)
+
+module Counters = Bw_util.Counters
+
+(* ------------------------------------------------------------------ *)
+(* Drivers: a uniform closure-record view of one index instance         *)
+(* ------------------------------------------------------------------ *)
+
+type 'k driver = {
+  name : string;
+  insert : tid:int -> 'k -> int -> bool;
+  read : tid:int -> 'k -> int option;
+  update : tid:int -> 'k -> int -> bool;
+  remove : tid:int -> 'k -> bool;
+  scan : tid:int -> 'k -> int -> int;
+  start_aux : unit -> unit;
+  stop_aux : unit -> unit;
+  thread_done : tid:int -> unit;
+  memory_words : unit -> int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Start barrier                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Barrier = struct
+  type t = { waiting : int Atomic.t; released : bool Atomic.t; parties : int }
+
+  let create parties =
+    { waiting = Atomic.make 0; released = Atomic.make false; parties }
+
+  let arrive t =
+    let n = 1 + Atomic.fetch_and_add t.waiting 1 in
+    if n = t.parties then Atomic.set t.released true
+    else
+      while not (Atomic.get t.released) do
+        Domain.cpu_relax ()
+      done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Measured runs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  ops : int;
+  seconds : float;
+  mops : float;
+  mem_words : int;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* Run one phase: worker [tid] executes [work tid] after the barrier.
+   Returns the wall-clock of the slowest worker section. *)
+let run_phase ~nthreads (work : int -> unit) =
+  if nthreads = 1 then begin
+    let (), dt = time (fun () -> work 0) in
+    dt
+  end
+  else begin
+    let barrier = Barrier.create nthreads in
+    let t_start = ref 0.0 in
+    let domains =
+      Array.init nthreads (fun tid ->
+          Domain.spawn (fun () ->
+              Barrier.arrive barrier;
+              if tid = 0 then t_start := Unix.gettimeofday ();
+              work tid))
+    in
+    Array.iter Domain.join domains;
+    Unix.gettimeofday () -. !t_start
+  end
+
+let exec_op (d : 'k driver) ~tid (op : 'k Workload.op) =
+  match op with
+  | Workload.Insert (k, v) -> ignore (d.insert ~tid k v)
+  | Workload.Read k -> ignore (d.read ~tid k)
+  | Workload.Update (k, v) -> ignore (d.update ~tid k v)
+  | Workload.Scan (k, n) -> ignore (d.scan ~tid k n)
+
+(* Load phase: insert the key set with [nthreads] workers (striped), and
+   report it as the Insert-only workload result. *)
+let load (d : 'k driver) ~nthreads (trace : ('k * int) array) =
+  d.start_aux ();
+  let n = Array.length trace in
+  let seconds =
+    run_phase ~nthreads (fun tid ->
+        let i = ref tid in
+        while !i < n do
+          let k, v = trace.(!i) in
+          ignore (d.insert ~tid k v);
+          i := !i + nthreads
+        done;
+        d.thread_done ~tid)
+  in
+  {
+    ops = n;
+    seconds;
+    mops = Bw_util.Stats.throughput_mops ~ops:n ~seconds;
+    mem_words = 0;
+  }
+
+(* Measured phase over pre-generated per-thread traces. *)
+let run (d : 'k driver) (traces : 'k Workload.op array array) =
+  let nthreads = Array.length traces in
+  d.start_aux ();
+  let seconds =
+    run_phase ~nthreads (fun tid ->
+        let ops = traces.(tid) in
+        for i = 0 to Array.length ops - 1 do
+          exec_op d ~tid ops.(i)
+        done;
+        d.thread_done ~tid)
+  in
+  let ops = Array.fold_left (fun acc a -> acc + Array.length a) 0 traces in
+  {
+    ops;
+    seconds;
+    mops = Bw_util.Stats.throughput_mops ~ops ~seconds;
+    mem_words = 0;
+  }
+
+let with_memory (d : _ driver) (r : result) =
+  { r with mem_words = d.memory_words () }
+
+(* Median over [repeats] measured runs (fresh traces are the caller's
+   concern; reusing the same trace arrays is fine for read-dominated
+   mixes). *)
+let median_of ~repeats f =
+  let xs = Array.init (max 1 repeats) (fun _ -> (f ()).mops) in
+  Bw_util.Stats.median xs
+
+(* ------------------------------------------------------------------ *)
+(* Table output                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let print_row ?(unit_ = "Mops/s") label cells =
+  Printf.printf "%-34s" label;
+  List.iter (fun (name, v) -> Printf.printf " | %s %8.3f" name v) cells;
+  Printf.printf " (%s)\n%!" unit_
+
+let print_text_row label text =
+  Printf.printf "%-34s | %s\n%!" label text

@@ -1,0 +1,70 @@
+(** Shared contracts for all six indexes under comparison (§6).
+
+    Every index — OpenBw-Tree, baseline Bw-Tree, SkipList, Masstree,
+    B+Tree-OLC and ART-OLC — is driven through {!INDEX}, so the workload
+    harness, the tests and the benchmarks treat them uniformly. *)
+
+(** 64-bit integer keys (Mono-Int / Rand-Int workloads). *)
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+  let to_binary = Bw_util.Key_codec.of_int
+  let dummy = 0
+  let pp = Format.pp_print_int
+end
+
+(** String keys (Email workload: fixed 32-byte strings). *)
+module String_key = struct
+  type t = string
+
+  let compare = String.compare
+  let to_binary = Bw_util.Key_codec.of_string
+  let dummy = ""
+  let pp = Format.pp_print_string
+end
+
+(** Values are 64-bit integers standing in for tuple pointers (§5.1). *)
+module Int_value = struct
+  type t = int
+
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+(** The uniform index driver. [tid] is the dense worker-thread id used for
+    striped statistics and epoch membership. *)
+module type INDEX = sig
+  type t
+  type key
+
+  val name : string
+
+  val create : unit -> t
+
+  val insert : t -> tid:int -> key -> int -> bool
+  (** [false] if the key was already present (unique-key semantics). *)
+
+  val read : t -> tid:int -> key -> int option
+  val update : t -> tid:int -> key -> int -> bool
+  val remove : t -> tid:int -> key -> bool
+
+  val scan : t -> tid:int -> key -> int -> int
+  (** [scan t k n] visits up to [n] items starting at the first key >= [k]
+      and returns the number visited (the YCSB-E operation). *)
+
+  val start_aux : t -> unit
+  (** Start any auxiliary threads the design needs (epoch advancer,
+      skip-list tower builder). Idempotent. *)
+
+  val stop_aux : t -> unit
+
+  val thread_done : t -> tid:int -> unit
+  (** Worker [tid] will issue no more operations (releases its epoch). *)
+
+  val memory_words : t -> int
+  (** Live heap words reachable from the index, for the Fig. 15 memory
+      comparison. *)
+end
+
+type 'k index = (module INDEX with type key = 'k)

@@ -1,0 +1,91 @@
+type 'a t = {
+  dummy : 'a;
+  chunk_bits : int;
+  chunk_mask : int;
+  (* A directory slot holds [absent] (a shared sentinel) until its chunk is
+     faulted in. *)
+  directory : 'a Atomic.t array Atomic.t array;
+  absent : 'a Atomic.t array;
+  next_id : int Atomic.t;
+  free : int list Atomic.t;
+  chunks : int Atomic.t;
+}
+
+let create ?(chunk_bits = 16) ?(dir_bits = 12) ~dummy () =
+  if chunk_bits < 1 || chunk_bits > 24 then
+    invalid_arg "Mapping_table.create: chunk_bits out of range";
+  if dir_bits < 1 || dir_bits > 20 then
+    invalid_arg "Mapping_table.create: dir_bits out of range";
+  let absent = [||] in
+  {
+    dummy;
+    chunk_bits;
+    chunk_mask = (1 lsl chunk_bits) - 1;
+    directory = Array.init (1 lsl dir_bits) (fun _ -> Atomic.make absent);
+    absent;
+    next_id = Atomic.make 0;
+    free = Atomic.make [];
+    chunks = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.directory lsl t.chunk_bits
+
+(* Fault in the chunk covering [id], racing installers resolved by CaS: the
+   loser's freshly-built chunk is garbage-collected, mirroring how the OS
+   hands a single physical page to racing faulting threads. *)
+let chunk_for t id =
+  if id < 0 || id >= capacity t then invalid_arg "Mapping_table: id out of range";
+  let slot = t.directory.(id lsr t.chunk_bits) in
+  let c = Atomic.get slot in
+  if c != t.absent then c
+  else begin
+    let fresh =
+      Array.init (1 lsl t.chunk_bits) (fun _ -> Atomic.make t.dummy)
+    in
+    if Atomic.compare_and_set slot t.absent fresh then begin
+      ignore (Atomic.fetch_and_add t.chunks 1);
+      fresh
+    end
+    else Atomic.get slot
+  end
+
+let cell t id = (chunk_for t id).(id land t.chunk_mask)
+
+let get t id = Atomic.get (cell t id)
+
+let cas t id ~expect ~repl = Atomic.compare_and_set (cell t id) expect repl
+
+let cas_unsafe t id ~expect ~repl =
+  let c = cell t id in
+  if Atomic.get c == expect then begin
+    Atomic.set c repl;
+    true
+  end
+  else false
+
+let set t id v = Atomic.set (cell t id) v
+
+let rec pop_free t =
+  match Atomic.get t.free with
+  | [] -> None
+  | id :: rest as old ->
+      if Atomic.compare_and_set t.free old rest then Some id else pop_free t
+
+let allocate t v =
+  let id =
+    match pop_free t with
+    | Some id -> id
+    | None -> Atomic.fetch_and_add t.next_id 1
+  in
+  set t id v;
+  id
+
+let rec free_id t id =
+  set t id t.dummy;
+  let old = Atomic.get t.free in
+  if not (Atomic.compare_and_set t.free old (id :: old)) then free_id t id
+
+let chunks_allocated t = Atomic.get t.chunks
+let high_water t = Atomic.get t.next_id
+let free_list_length t = List.length (Atomic.get t.free)
+let rebuild_capacity_hint t = high_water t - free_list_length t

@@ -1,0 +1,63 @@
+(** The Bw-Tree's indirection layer (§2.2, §3.3).
+
+    Maps logical node ids to physical pointers, so a single
+    compare-and-swap redirects every logical link to a node at once.
+
+    The paper grows the table by reserving a huge virtual address range and
+    letting the OS fault in physical pages lazily (the KISS-tree trick).
+    OCaml cannot hook page faults into its heap, so this implementation uses
+    the closest equivalent with the same observable property — lock-free,
+    incremental growth with no stop-the-world resize: a fixed directory of
+    chunk slots whose 2{^chunk_bits}-entry chunks are allocated on first
+    touch and installed with CaS (a losing racer's chunk is discarded).
+
+    Shrinking is impossible without blocking all threads, exactly as the
+    paper concedes; {!rebuild_capacity_hint} documents that path.
+
+    Ids of removed nodes (after node merges) are recycled through a
+    lock-free Treiber stack. *)
+
+type 'a t
+
+val create : ?chunk_bits:int -> ?dir_bits:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] makes an empty table. [dummy] fills never-assigned
+    cells (reading an unallocated id returns it). Default geometry:
+    [chunk_bits = 16] (64 Ki entries per chunk), [dir_bits = 12] (4096
+    chunks ⇒ capacity 2{^28} ids). *)
+
+val allocate : 'a t -> 'a -> int
+(** Claim a fresh (or recycled) id and install the given pointer. *)
+
+val get : 'a t -> int -> 'a
+(** Current physical pointer for an id. *)
+
+val cas : 'a t -> int -> expect:'a -> repl:'a -> bool
+(** Atomic pointer swing; compares by physical equality. This is the single
+    linearization primitive of the Bw-Tree. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Unconditional store — only for initialization and tests. *)
+
+val cas_unsafe : 'a t -> int -> expect:'a -> repl:'a -> bool
+(** Non-atomic compare-then-store: a plain load, comparison and store with
+    no read-modify-write instruction. Exists solely for the paper's §6.3
+    "disable CaS" decomposition experiment and is only correct
+    single-threaded. *)
+
+val free_id : 'a t -> int -> unit
+(** Recycle an id whose node has been removed. The caller must guarantee
+    (via epochs) that no thread can still traverse to it. *)
+
+val capacity : 'a t -> int
+(** Maximum number of ids the directory geometry can address. *)
+
+val chunks_allocated : 'a t -> int
+val high_water : 'a t -> int
+(** Highest id ever handed out, plus one. *)
+
+val free_list_length : 'a t -> int
+
+val rebuild_capacity_hint : 'a t -> int
+(** The paper's only answer to shrinking: block the world and rebuild. This
+    reports the id count a rebuilt table would need ([high_water] minus
+    recycled ids) so a caller implementing offline rebuild can size it. *)

@@ -1,0 +1,1 @@
+lib/pagestore/checkpoint.ml: Array Buffer Bwtree Codec Hashtbl List Log Option String

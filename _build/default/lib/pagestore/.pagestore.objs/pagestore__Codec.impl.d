@@ -1,0 +1,1 @@
+lib/pagestore/codec.ml: Buffer Bytes Int64 String

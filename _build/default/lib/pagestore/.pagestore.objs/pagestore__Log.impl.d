@@ -1,0 +1,1 @@
+lib/pagestore/log.ml: Array Bw_util Bytes Char Int32 List String

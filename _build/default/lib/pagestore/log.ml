@@ -1,0 +1,108 @@
+type offset = int
+
+(* Record layout within a segment:
+     magic (1 byte, 0xA5) | length (4 bytes LE) | crc32 (4 bytes LE) | payload
+   A magic of 0x00 (fresh segment fill) terminates the segment scan. *)
+
+let magic = '\xA5'
+let header_bytes = 9
+
+type segment = { buf : Bytes.t; mutable used : int }
+
+type t = {
+  segment_bytes : int;
+  mutable segments : segment array;
+  mutable nrecords : int;
+}
+
+let create ?(segment_bytes = 256 * 1024) () =
+  if segment_bytes < 64 then invalid_arg "Log.create: segment too small";
+  {
+    segment_bytes;
+    segments = [| { buf = Bytes.make segment_bytes '\x00'; used = 0 } |];
+    nrecords = 0;
+  }
+
+let segment_count t = Array.length t.segments
+let segment_bytes t = t.segment_bytes
+let records t = t.nrecords
+
+let bytes_used t =
+  Array.fold_left (fun acc s -> acc + s.used) 0 t.segments
+
+let fresh_segment t =
+  let s = { buf = Bytes.make t.segment_bytes '\x00'; used = 0 } in
+  t.segments <- Array.append t.segments [| s |];
+  s
+
+let append t payload =
+  let need = header_bytes + String.length payload in
+  if need > t.segment_bytes then
+    invalid_arg "Log.append: record larger than a segment";
+  let seg_idx, seg =
+    let last = Array.length t.segments - 1 in
+    let s = t.segments.(last) in
+    if s.used + need <= t.segment_bytes then (last, s)
+    else (last + 1, fresh_segment t)
+  in
+  let pos = seg.used in
+  Bytes.set seg.buf pos magic;
+  Bytes.set_int32_le seg.buf (pos + 1) (Int32.of_int (String.length payload));
+  Bytes.set_int32_le seg.buf (pos + 5) (Bw_util.Crc32.string payload);
+  Bytes.blit_string payload 0 seg.buf (pos + header_bytes)
+    (String.length payload);
+  seg.used <- pos + need;
+  t.nrecords <- t.nrecords + 1;
+  (seg_idx * t.segment_bytes) + pos
+
+let decode_at t off =
+  let seg_idx = off / t.segment_bytes and pos = off mod t.segment_bytes in
+  if seg_idx >= Array.length t.segments then failwith "Log.read: bad address";
+  let seg = t.segments.(seg_idx) in
+  if pos + header_bytes > seg.used then failwith "Log.read: bad address";
+  if Bytes.get seg.buf pos <> magic then failwith "Log.read: bad address";
+  let len = Int32.to_int (Bytes.get_int32_le seg.buf (pos + 1)) in
+  if len < 0 || pos + header_bytes + len > seg.used then
+    failwith "Log.read: bad address";
+  let stored_crc = Bytes.get_int32_le seg.buf (pos + 5) in
+  let payload = Bytes.sub_string seg.buf (pos + header_bytes) len in
+  if Bw_util.Crc32.string payload <> stored_crc then
+    failwith "Log.read: corrupted record (crc mismatch)";
+  payload
+
+let read = decode_at
+
+let iter t f =
+  Array.iteri
+    (fun seg_idx seg ->
+      let pos = ref 0 in
+      while
+        !pos + header_bytes <= seg.used && Bytes.get seg.buf !pos = magic
+      do
+        let off = (seg_idx * t.segment_bytes) + !pos in
+        let payload = decode_at t off in
+        f off payload;
+        pos := !pos + header_bytes + String.length payload
+      done)
+    t.segments
+
+let compact t ~live ~relocate =
+  let before = bytes_used t in
+  let survivors = ref [] in
+  iter t (fun off payload -> if live off then survivors := (off, payload) :: !survivors);
+  let survivors = List.rev !survivors in
+  t.segments <- [| { buf = Bytes.make t.segment_bytes '\x00'; used = 0 } |];
+  t.nrecords <- 0;
+  List.iter
+    (fun (old_off, payload) ->
+      let new_off = append t payload in
+      relocate old_off new_off)
+    survivors;
+  before - bytes_used t
+
+let corrupt_for_testing t off =
+  let seg_idx = off / t.segment_bytes and pos = off mod t.segment_bytes in
+  let seg = t.segments.(seg_idx) in
+  let target = pos + header_bytes in
+  Bytes.set seg.buf target
+    (Char.chr (Char.code (Bytes.get seg.buf target) lxor 0xFF))

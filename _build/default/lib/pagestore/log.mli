@@ -1,0 +1,54 @@
+(** A simulated log-structured flash store (the LLAMA substrate, §2.2/§8).
+
+    The paper emphasizes that the Bw-Tree's mapping table exists not only
+    for lock-free in-memory updates but "also serves the purpose of
+    supporting log-structured updates when deployed with SSD": node
+    pointers can designate flash offsets, and pages are written
+    out-of-place to an append-only log. This module is that log, simulated
+    in memory (the container has no raw flash): fixed-size segments,
+    append-only records with CRC-validated headers, sequential segment
+    iteration, and greedy segment garbage collection driven by a
+    caller-provided liveness oracle — the mechanics a real deployment
+    exercises, minus the device.
+
+    Records never span segments. Offsets are stable logical addresses
+    (segment index ⋅ segment size + position) until {!compact} relocates
+    live records and invalidates the old addresses via the caller's
+    [relocate] callback — exactly how LLAMA fixes up the mapping table. *)
+
+type t
+
+type offset = int
+(** Logical address of a record in the log. *)
+
+val create : ?segment_bytes:int -> unit -> t
+(** Default segment size 256 KiB. *)
+
+val append : t -> string -> offset
+(** Append one record; returns its address. Raises [Invalid_argument] if
+    the payload cannot fit a segment. *)
+
+val read : t -> offset -> string
+(** Fetch a record's payload. Raises [Failure] on an invalid address or a
+    corrupted record (CRC mismatch). *)
+
+val iter : t -> (offset -> string -> unit) -> unit
+(** Visit every record (live and dead) in log order. *)
+
+(** Accounting. *)
+
+val records : t -> int
+val bytes_used : t -> int
+(** Total bytes occupied, headers included. *)
+
+val segment_count : t -> int
+val segment_bytes : t -> int
+
+val compact : t -> live:(offset -> bool) -> relocate:(offset -> offset -> unit) -> int
+(** [compact t ~live ~relocate] rewrites the log keeping only records for
+    which [live] answers true, calling [relocate old_off new_off] for each
+    survivor, and returns the number of bytes reclaimed. Single-threaded
+    (the simulated device has one GC context, like a flash FTL). *)
+
+val corrupt_for_testing : t -> offset -> unit
+(** Flip a payload byte so that {!read} fails its CRC check. Tests only. *)

@@ -1,0 +1,1 @@
+lib/util/growable.ml: Array

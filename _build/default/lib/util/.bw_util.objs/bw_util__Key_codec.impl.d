@@ -1,0 +1,1 @@
+lib/util/key_codec.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/util/key_codec.mli:

@@ -1,0 +1,71 @@
+type event =
+  | Pointer_deref
+  | Key_compare
+  | Allocation
+  | Cas_attempt
+  | Cas_failure
+  | Restart
+  | Node_visit
+  | Epoch_enter
+
+let n_events = 8
+
+let event_index = function
+  | Pointer_deref -> 0
+  | Key_compare -> 1
+  | Allocation -> 2
+  | Cas_attempt -> 3
+  | Cas_failure -> 4
+  | Restart -> 5
+  | Node_visit -> 6
+  | Epoch_enter -> 7
+
+let all_events =
+  [
+    Pointer_deref; Key_compare; Allocation; Cas_attempt; Cas_failure;
+    Restart; Node_visit; Epoch_enter;
+  ]
+
+(* One int array per thread slot, padded to its own row so that hot
+   increments from different domains do not share cache lines. *)
+let pad = 16
+
+type t = { slots : int array array; max_threads : int }
+
+let create ~max_threads =
+  {
+    slots = Array.init max_threads (fun _ -> Array.make (n_events * pad) 0);
+    max_threads;
+  }
+
+let incr t ~tid ev =
+  let row = t.slots.(tid mod t.max_threads) in
+  let i = event_index ev * pad in
+  row.(i) <- row.(i) + 1
+
+let add t ~tid ev n =
+  let row = t.slots.(tid mod t.max_threads) in
+  let i = event_index ev * pad in
+  row.(i) <- row.(i) + n
+
+let read t ev =
+  let i = event_index ev * pad in
+  Array.fold_left (fun acc row -> acc + row.(i)) 0 t.slots
+
+let snapshot t = List.map (fun ev -> (ev, read t ev)) all_events
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.slots
+
+let pp_event ppf = function
+  | Pointer_deref -> Format.pp_print_string ppf "ptr-deref"
+  | Key_compare -> Format.pp_print_string ppf "key-cmp"
+  | Allocation -> Format.pp_print_string ppf "alloc"
+  | Cas_attempt -> Format.pp_print_string ppf "cas"
+  | Cas_failure -> Format.pp_print_string ppf "cas-fail"
+  | Restart -> Format.pp_print_string ppf "restart"
+  | Node_visit -> Format.pp_print_string ppf "node-visit"
+  | Epoch_enter -> Format.pp_print_string ppf "epoch-enter"
+
+let global = create ~max_threads:64
+let enabled = ref false

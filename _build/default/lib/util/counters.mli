@@ -1,0 +1,49 @@
+(** Software performance counters.
+
+    The paper explains its index comparison with hardware counters (L1/L3
+    misses, IPC, branches — Table 3). Hardware counters are not available
+    here, so the harness counts the *software events that cause them*:
+    pointer dereferences (mapping-table lookups, delta-chain hops, node
+    descents), key comparisons, allocations, CaS attempts and failures, and
+    operation restarts.
+
+    Counters are striped per domain (each domain owns a padded slot) so that
+    counting never introduces the very contention it is meant to measure.
+    Slot assignment is by the runner's thread id, not [Domain.self], so
+    single-domain simulations can still stripe. *)
+
+type event =
+  | Pointer_deref  (** chasing one pointer: chain hop, table lookup, child *)
+  | Key_compare
+  | Allocation     (** allocation of an index node / delta / tower *)
+  | Cas_attempt
+  | Cas_failure
+  | Restart        (** operation aborted and retried from the root *)
+  | Node_visit     (** logical node (or trie node) examined *)
+  | Epoch_enter    (** epoch protection acquired *)
+
+val n_events : int
+
+type t
+
+val create : max_threads:int -> t
+
+val incr : t -> tid:int -> event -> unit
+val add : t -> tid:int -> event -> int -> unit
+
+val read : t -> event -> int
+(** Sum over all thread slots. *)
+
+val snapshot : t -> (event * int) list
+val reset : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+
+val global : t
+(** A process-wide instance used by index implementations; sized for up to
+    64 threads. The harness resets it around measured sections. *)
+
+val enabled : bool ref
+(** When false (the default for pure unit tests), {!incr}/{!add} on
+    {!global} become no-ops cheaply at the call sites that check it. The
+    harness flips it on for counter experiments. *)

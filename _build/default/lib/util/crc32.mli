@@ -1,0 +1,5 @@
+(** CRC-32 (ISO 3309 / zlib polynomial) checksums, used by the page store
+    to validate log records. *)
+
+val string : ?init:int32 -> string -> int32
+val bytes : ?init:int32 -> Bytes.t -> pos:int -> len:int -> int32

@@ -1,0 +1,85 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () =
+  { data = [||]; len = 0 } |> fun t ->
+  ignore capacity;
+  t
+
+(* The backing array is created lazily on first push because we have no
+   dummy element of type 'a. *)
+
+let length t = t.len
+
+let grow t elt =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 8 else cap * 2 in
+  let data = Array.make new_cap elt in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len >= Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Growable: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let sort cmp t =
+  let a = to_array t in
+  Array.sort cmp a;
+  Array.blit a 0 t.data 0 t.len
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    Some t.data.(t.len)
+  end
+
+let insert_at t i x =
+  if i < 0 || i > t.len then invalid_arg "Growable.insert_at";
+  if t.len >= Array.length t.data then grow t x;
+  Array.blit t.data i t.data (i + 1) (t.len - i);
+  t.data.(i) <- x;
+  t.len <- t.len + 1
+
+let remove_at t i =
+  check t i;
+  Array.blit t.data (i + 1) t.data i (t.len - 1 - i);
+  t.len <- t.len - 1
+
+let truncate t n =
+  if n < 0 then invalid_arg "Growable.truncate";
+  if n < t.len then t.len <- n

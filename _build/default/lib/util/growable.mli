@@ -1,0 +1,34 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Amortized O(1) push; not thread-safe. Used for thread-local garbage
+    lists, iterator buffers and consolidation scratch space. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val clear : 'a t -> unit
+(** Drops all elements (and their references, so they can be collected). *)
+
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** Sorts the populated prefix in place. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val insert_at : 'a t -> int -> 'a -> unit
+(** [insert_at t i x] shifts elements [i..] right and writes [x] at [i].
+    [i] may equal [length t] (append). *)
+
+val remove_at : 'a t -> int -> unit
+(** Shifts elements left over position [i]. *)
+
+val truncate : 'a t -> int -> unit
+(** Keeps only the first [n] elements. No-op if already shorter. *)

@@ -1,0 +1,71 @@
+type t = { tbl : (int, int) Hashtbl.t; mutable count : int; mutable total : int }
+
+let create () = { tbl = Hashtbl.create 64; count = 0; total = 0 }
+
+let addn t v n =
+  Hashtbl.replace t.tbl v (n + Option.value ~default:0 (Hashtbl.find_opt t.tbl v));
+  t.count <- t.count + n;
+  t.total <- t.total + (v * n)
+
+let add t v = addn t v 1
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+let buckets t =
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let nonempty t = if t.count = 0 then invalid_arg "Histogram: empty"
+
+let min_value t =
+  nonempty t;
+  fst (List.hd (buckets t))
+
+let max_value t =
+  nonempty t;
+  fst (List.hd (List.rev (buckets t)))
+
+let percentile t p =
+  nonempty t;
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile";
+  let rank =
+    max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.count)))
+  in
+  let rec go seen = function
+    | [] -> max_value t
+    | (v, n) :: rest -> if seen + n >= rank then v else go (seen + n) rest
+  in
+  go 0 (buckets t)
+
+let pp ?(width = 40) ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)@."
+  else begin
+    let bs = buckets t in
+    (* group into at most ~20 ranges *)
+    let lo = min_value t and hi = max_value t in
+    let span = hi - lo + 1 in
+    let step = max 1 ((span + 19) / 20) in
+    let grouped = Hashtbl.create 32 in
+    List.iter
+      (fun (v, n) ->
+        let b = (v - lo) / step in
+        Hashtbl.replace grouped b
+          (n + Option.value ~default:0 (Hashtbl.find_opt grouped b)))
+      bs;
+    let rows =
+      Hashtbl.fold (fun b n acc -> (b, n) :: acc) grouped []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let biggest = List.fold_left (fun m (_, n) -> max m n) 1 rows in
+    List.iter
+      (fun (b, n) ->
+        let from = lo + (b * step) and to_ = min hi (lo + ((b + 1) * step) - 1) in
+        let label =
+          if step = 1 then Printf.sprintf "%6d" from
+          else Printf.sprintf "%5d-%-5d" from to_
+        in
+        let bar = String.make (max 1 (n * width / biggest)) '#' in
+        Format.fprintf ppf "%s | %-7d %s@." label n bar)
+      rows
+  end

@@ -1,0 +1,29 @@
+(** Integer histograms for structure statistics (chain lengths, node
+    occupancy, scan lengths). *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val addn : t -> int -> int -> unit
+
+val count : t -> int
+(** Number of observations. *)
+
+val total : t -> int
+(** Sum of observed values. *)
+
+val mean : t -> float
+val min_value : t -> int
+(** Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> int
+val percentile : t -> float -> int
+(** Nearest-rank percentile, [p] in [\[0, 100\]]. *)
+
+val buckets : t -> (int * int) list
+(** (value, occurrences), ascending by value. *)
+
+val pp : ?width:int -> Format.formatter -> t -> unit
+(** Render an ASCII bar chart, one row per distinct value (values are
+    grouped into at most ~20 ranges when the domain is wide). *)

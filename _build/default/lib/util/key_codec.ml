@@ -1,0 +1,28 @@
+let of_int k =
+  (* Flip the sign bit so negative ints sort below non-negative ones under
+     unsigned byte-wise comparison. *)
+  let v = Int64.logxor (Int64.of_int k) Int64.min_int in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 v;
+  Bytes.unsafe_to_string b
+
+let to_int s =
+  if String.length s <> 8 then invalid_arg "Key_codec.to_int: need 8 bytes";
+  let v = Bytes.get_int64_be (Bytes.unsafe_of_string s) 0 in
+  Int64.to_int (Int64.logxor v Int64.min_int)
+
+let of_string s = s
+
+let slice64 s i =
+  let off = i * 8 in
+  let len = String.length s in
+  let v = ref 0L in
+  for j = 0 to 7 do
+    let byte = if off + j < len then Char.code s.[off + j] else 0 in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+  done;
+  !v
+
+let slice_count s =
+  let len = String.length s in
+  if len = 0 then 1 else (len + 7) / 8

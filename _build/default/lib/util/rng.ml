@@ -1,0 +1,39 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state golden_gamma;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  create ~seed
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Rng.next_int: bound must be positive";
+  (* Mask to a non-negative OCaml int, then reduce modulo the bound. The
+     modulo bias is negligible for the bounds used here (≪ 2^62). *)
+  let raw = Int64.to_int (next_int64 t) land max_int in
+  raw mod bound
+
+let next_float t =
+  (* 53 high bits → [0,1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let next_bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = next_int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

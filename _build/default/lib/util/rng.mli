@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast SplitMix64 generator. Every component of this repository
+    that needs randomness (workload generation, skip-list towers, property
+    tests' fixtures) goes through this module so that runs are reproducible
+    from a seed. *)
+
+type t
+(** Mutable generator state. Not thread-safe: give each domain its own. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to hand distinct streams to worker domains. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val next_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val next_bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,56 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let sum = ref 0.0 in
+  for i = 1 to n do
+    sum := !sum +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !sum
+
+let create ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta <= 0.0 || theta >= 1.0 then
+    invalid_arg "Zipf.create: theta must be in (0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; zeta2 }
+
+let sample t rng =
+  let u = Rng.next_float rng in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let v =
+      float_of_int t.n
+      *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha
+    in
+    let k = int_of_float v in
+    if k >= t.n then t.n - 1 else if k < 0 then 0 else k
+
+(* FNV-1a-style mix used to scatter ranks across the item space. *)
+let scramble x n =
+  let h = ref 0xCBF29CE484222325L in
+  let x = ref (Int64.of_int x) in
+  for _ = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand !x 0xFFL) in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001B3L;
+    x := Int64.shift_right_logical !x 8
+  done;
+  Int64.to_int (Int64.logand !h (Int64.of_int max_int)) mod n
+
+let sample_scrambled t rng = scramble (sample t rng) t.n
+
+let n t = t.n

@@ -1,0 +1,22 @@
+(** Zipfian-distributed integer sampling, as used by YCSB.
+
+    Implements the rejection-free method of Gray et al. ("Quickly generating
+    billion-record synthetic databases", SIGMOD 1994), the same algorithm as
+    YCSB's [ZipfianGenerator]. A scrambled variant spreads the hot items
+    across the key space like YCSB's [ScrambledZipfianGenerator]. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [create ~n ()] prepares a sampler over [\[0, n)] with skew [theta]
+    (default 0.99, YCSB's default). [n] must be positive; [theta] must be in
+    (0, 1). *)
+
+val sample : t -> Rng.t -> int
+(** Draw one value in [\[0, n)]. Item 0 is the most popular. *)
+
+val sample_scrambled : t -> Rng.t -> int
+(** Like {!sample} but with popularity ranks hashed across [\[0, n)], so hot
+    keys are not clustered at the low end. *)
+
+val n : t -> int

@@ -1,0 +1,190 @@
+type mix = Insert_only | Read_only | Read_update | Scan_insert
+
+let mix_of_string = function
+  | "insert-only" | "insert" -> Some Insert_only
+  | "read-only" | "ycsb-c" | "c" -> Some Read_only
+  | "read-update" | "ycsb-a" | "a" -> Some Read_update
+  | "scan-insert" | "ycsb-e" | "e" -> Some Scan_insert
+  | _ -> None
+
+let pp_mix ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Insert_only -> "Insert-only"
+    | Read_only -> "Read-only"
+    | Read_update -> "Read/Update"
+    | Scan_insert -> "Scan/Insert")
+
+type key_space = Mono_int | Rand_int | Email | Mono_hc
+
+let pp_key_space ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Mono_int -> "Mono-Int"
+    | Rand_int -> "Rand-Int"
+    | Email -> "Email"
+    | Mono_hc -> "Mono-HC")
+
+type 'k op =
+  | Insert of 'k * int
+  | Read of 'k
+  | Update of 'k * int
+  | Scan of 'k * int
+
+type config = {
+  num_keys : int;
+  num_ops : int;
+  theta : float;
+  seed : int64;
+  scan_max : int;
+}
+
+let default_config =
+  { num_keys = 100_000; num_ops = 200_000; theta = 0.99; seed = 1L; scan_max = 95 }
+
+module Keys = struct
+  let mono_int i = i
+
+  (* SplitMix64 finalizer: a bijection on 64-bit words, so distinct indexes
+     give distinct "random" keys (masked to a non-negative OCaml int) *)
+  let rand_int i =
+    let open Int64 in
+    let z = add (of_int i) 0x9E3779B97F4A7C15L in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    Int64.to_int z land Stdlib.max_int
+
+  let names =
+    [| "alice"; "bob"; "carol"; "dave"; "erin"; "frank"; "grace"; "heidi";
+       "ivan"; "judy"; "mallory"; "niaj"; "olivia"; "peggy"; "rupert";
+       "sybil"; "trent"; "victor"; "walter"; "yolanda" |]
+
+  let domains =
+    [| "example.com"; "mail.net"; "corp.org"; "inbox.io"; "db.edu";
+       "cloud.dev"; "shop.biz"; "web.co" |]
+
+  (* Deterministic 32-byte email-ish string: realistic shared prefixes
+     (names, domains) with a numeric discriminator, padded to fixed width
+     like the paper's 32-byte storage. *)
+  let email i =
+    let h = rand_int i in
+    let name = names.(h mod Array.length names) in
+    let domain = domains.((h / 97) mod Array.length domains) in
+    let s = Printf.sprintf "%s.%07d@%s" name (i mod 10_000_000) domain in
+    let n = String.length s in
+    if n >= 32 then String.sub s 0 32 else s ^ String.make (32 - n) '_'
+end
+
+let int_key_of space i =
+  match space with
+  | Mono_int | Mono_hc -> Keys.mono_int i
+  | Rand_int -> Keys.rand_int i
+  | Email -> invalid_arg "Workload.int_key_of: Email keys are strings"
+
+let email_key_of = Keys.email
+
+let load_trace cfg space (conv : int -> 'k) : ('k * int) array =
+  let arr = Array.init cfg.num_keys (fun i -> (conv i, i + 1)) in
+  (match space with
+  | Mono_int | Mono_hc -> () (* insert in ascending order *)
+  | Rand_int | Email ->
+      (* rand_int conversion already scrambles; emails are inserted in
+         trace order, which the scramble also randomizes *)
+      ());
+  arr
+
+let ops_trace cfg space mix ~tid ~nthreads (conv : int -> 'k) : 'k op array =
+  ignore space;
+  let rng =
+    Bw_util.Rng.create
+      ~seed:(Int64.add cfg.seed (Int64.of_int ((tid + 1) * 7919)))
+  in
+  let zipf = Bw_util.Zipf.create ~theta:cfg.theta ~n:cfg.num_keys () in
+  let existing () = conv (Bw_util.Zipf.sample_scrambled zipf rng) in
+  (* fresh keys for inserts: beyond the loaded range, partitioned by thread
+     so concurrent inserts never collide on the same key *)
+  let next_fresh = ref (cfg.num_keys + tid) in
+  let fresh () =
+    let i = !next_fresh in
+    next_fresh := i + nthreads;
+    conv i
+  in
+  let n = cfg.num_ops / nthreads in
+  Array.init n (fun j ->
+      match mix with
+      | Insert_only -> Insert (fresh (), j + 1)
+      | Read_only -> Read (existing ())
+      | Read_update ->
+          if Bw_util.Rng.next_bool rng then Read (existing ())
+          else Update (existing (), j + 1)
+      | Scan_insert ->
+          if Bw_util.Rng.next_int rng 100 < 5 then Insert (fresh (), j + 1)
+          else Scan (existing (), 1 + Bw_util.Rng.next_int rng cfg.scan_max))
+
+module Hc = struct
+  type t = { clock : int Atomic.t; shift : int }
+
+  let create ~nthreads =
+    let shift =
+      let rec bits n acc = if n <= 1 then acc else bits (n lsr 1) (acc + 1) in
+      max 1 (bits (nthreads - 1) 0 + 1)
+    in
+    { clock = Atomic.make 0; shift }
+
+  let next t ~tid =
+    let c = Atomic.fetch_and_add t.clock 1 in
+    (c lsl t.shift) lor tid
+end
+
+module Trace_io = struct
+  let render_op string_of_key = function
+    | Insert (k, v) -> Printf.sprintf "I %s %d" (string_of_key k) v
+    | Read k -> Printf.sprintf "R %s" (string_of_key k)
+    | Update (k, v) -> Printf.sprintf "U %s %d" (string_of_key k) v
+    | Scan (k, n) -> Printf.sprintf "S %s %d" (string_of_key k) n
+
+  let parse_op key_of_string line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "I"; k; v ] -> Insert (key_of_string k, int_of_string v)
+    | [ "R"; k ] -> Read (key_of_string k)
+    | [ "U"; k; v ] -> Update (key_of_string k, int_of_string v)
+    | [ "S"; k; n ] -> Scan (key_of_string k, int_of_string n)
+    | _ -> failwith ("Workload.Trace_io: malformed line: " ^ line)
+
+  let save string_of_key path ops =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+    Array.iter
+      (fun op ->
+        output_string oc (render_op string_of_key op);
+        output_char oc '\n')
+      ops
+
+  let load key_of_string path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let ops = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           ops := parse_op key_of_string line :: !ops
+       done
+     with End_of_file -> ());
+    Array.of_list (List.rev !ops)
+
+  let hex s =
+    String.concat "" (List.init (String.length s)
+                        (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+  let unhex h =
+    if String.length h mod 2 <> 0 then failwith "Workload.Trace_io: odd hex";
+    String.init (String.length h / 2) (fun i ->
+        Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+  let save_int path ops = save string_of_int path ops
+  let load_int path = load int_of_string path
+  let save_string path ops = save hex path ops
+  let load_string path = load unhex path
+end

@@ -1,0 +1,95 @@
+(** YCSB-style workload generation (§5.1).
+
+    The paper drives every experiment with four YCSB microbenchmarks over
+    three key types:
+
+    - {b Insert-only}: the initialization phase, measured as a workload.
+    - {b Read-only} (YCSB-C): point lookups, Zipfian-distributed.
+    - {b Read/Update} (YCSB-A): 50% reads / 50% updates, Zipfian.
+    - {b Scan/Insert} (YCSB-E): 95% short range scans (average length 48) /
+      5% inserts, Zipfian start keys.
+
+    Key spaces: [Mono_int] (monotonically increasing 64-bit integers),
+    [Rand_int] (random 64-bit integers), [Email] (synthesized 32-byte
+    email-like strings standing in for the paper's proprietary trace), and
+    [Mono_hc] — the §6.2 high-contention generator where every thread draws
+    strictly increasing keys from a shared clock so all inserts collide on
+    the rightmost leaf (an RDTSC substitute).
+
+    Generation is deterministic from the seed. Traces are materialized as
+    arrays so that generation cost never pollutes the measured section. *)
+
+type mix = Insert_only | Read_only | Read_update | Scan_insert
+
+val mix_of_string : string -> mix option
+val pp_mix : Format.formatter -> mix -> unit
+
+type key_space = Mono_int | Rand_int | Email | Mono_hc
+
+val pp_key_space : Format.formatter -> key_space -> unit
+
+(** One request. ['k] is the concrete key type (int or string). *)
+type 'k op =
+  | Insert of 'k * int
+  | Read of 'k
+  | Update of 'k * int
+  | Scan of 'k * int  (** start key, scan length *)
+
+type config = {
+  num_keys : int;  (** distinct keys loaded before the measured phase *)
+  num_ops : int;  (** operations in the measured phase *)
+  theta : float;  (** Zipfian skew (YCSB default 0.99) *)
+  seed : int64;
+  scan_max : int;  (** YCSB-E scan lengths are uniform in [1, scan_max],
+                       giving average [scan_max/2] (paper: avg 48) *)
+}
+
+val default_config : config
+
+(** Key mapping: index in [0, num_keys) → concrete key. *)
+module Keys : sig
+  val mono_int : int -> int
+  val rand_int : int -> int
+  (** A bijective-ish scramble of the index (SplitMix64 finalizer). *)
+
+  val email : int -> string
+  (** Fixed 32-byte synthetic email; shares domain/name prefixes across
+      indexes like a real trace. *)
+end
+
+(** The load phase: the keys to insert, in workload order (mono: ascending;
+    rand/email: shuffled), as an array of (key, value). *)
+val load_trace : config -> key_space -> (int -> 'k) -> ('k * int) array
+
+(** The measured phase for one worker: [ops_trace cfg space mix ~tid
+    ~nthreads conv] returns this worker's private op array. Inserts draw
+    fresh keys (beyond [num_keys]) partitioned by thread; reads/updates/
+    scan-starts draw Zipfian-scrambled existing keys. *)
+val ops_trace :
+  config -> key_space -> mix -> tid:int -> nthreads:int -> (int -> 'k) -> 'k op array
+
+(** High-contention key source (§6.2): strictly increasing global counter
+    tagged with the thread id in the low bits, so concurrent threads all
+    append at the right edge of the index. *)
+module Hc : sig
+  type t
+
+  val create : nthreads:int -> t
+  val next : t -> tid:int -> int
+end
+
+val int_key_of : key_space -> int -> int
+(** Index → int key for the integer key spaces. Raises on [Email]. *)
+
+val email_key_of : int -> string
+
+(** Persisting traces to disk so experiments are replayable and shareable
+    across runs and implementations. One line per operation; keys are
+    rendered via the caller's codec (ints in decimal, strings hex-encoded
+    by {!Trace_io.save_string}). *)
+module Trace_io : sig
+  val save_int : string -> int op array -> unit
+  val load_int : string -> int op array
+  val save_string : string -> string op array -> unit
+  val load_string : string -> string op array
+end

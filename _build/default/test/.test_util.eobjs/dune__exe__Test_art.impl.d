@@ -1,0 +1,1 @@
+test/test_art.ml: Alcotest Array Art_olc Atomic Bw_util Domain Index_iface Int Int64 List Map Workload

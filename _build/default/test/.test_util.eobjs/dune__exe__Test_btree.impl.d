@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Atomic Btree_olc Bw_util Domain Index_iface Int Int64 Map Workload

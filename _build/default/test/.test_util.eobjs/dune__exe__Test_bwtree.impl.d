@@ -1,0 +1,1 @@
+test/test_bwtree.ml: Alcotest Array Buffer Bw_util Bwtree Epoch Format Gen Index_iface Int List Map QCheck QCheck_alcotest Set String Workload

@@ -1,0 +1,1 @@
+test/test_bwtree_concurrent.ml: Alcotest Array Atomic Bw_util Bwtree Domain Epoch Index_iface Int64 List Workload

@@ -1,0 +1,1 @@
+test/test_bwtree_props.ml: Alcotest Bwtree Gen Index_iface Int List Map QCheck QCheck_alcotest Set

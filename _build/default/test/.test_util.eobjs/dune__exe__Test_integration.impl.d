@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Atomic Bw_util Domain Drivers Harness Int List Map Printf Runner Unix Workload

@@ -1,0 +1,1 @@
+test/test_mapping_table.ml: Alcotest Array Atomic Domain Hashtbl Mapping_table String

@@ -1,0 +1,1 @@
+test/test_masstree.ml: Alcotest Array Bw_util Domain Index_iface Int Int64 List Map Masstree Printf String Workload

@@ -1,0 +1,1 @@
+test/test_pagestore.ml: Alcotest Array Buffer Bw_util Bwtree Gen Hashtbl Index_iface List Pagestore Printf QCheck QCheck_alcotest String Workload

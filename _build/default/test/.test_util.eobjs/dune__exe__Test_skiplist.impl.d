@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Atomic Bw_util Domain Fun Index_iface Int Int64 Map Skiplist

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bw_util Format Fun Hashtbl Int List QCheck QCheck_alcotest String

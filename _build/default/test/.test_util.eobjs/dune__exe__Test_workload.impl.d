@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Fun Hashtbl List Option String Sys Workload

@@ -1,0 +1,210 @@
+(* Tests for ART with optimistic lock coupling: node growth through all
+   four layouts, path compression splits, ordered scans, deletions, and
+   concurrency. *)
+
+module IK = Index_iface.Int_key
+module SK = Index_iface.String_key
+module IV = Index_iface.Int_value
+module A = Art_olc.Make (IK) (IV)
+module AS = Art_olc.Make (SK) (IV)
+module IntMap = Map.Make (Int)
+
+let rng = Bw_util.Rng.create ~seed:0xA27L
+
+let test_basic () =
+  let t = A.create () in
+  Alcotest.(check (option int)) "empty" None (A.lookup t ~tid:0 1);
+  Alcotest.(check bool) "insert" true (A.insert t ~tid:0 1 10);
+  Alcotest.(check bool) "dup" false (A.insert t ~tid:0 1 11);
+  Alcotest.(check (option int)) "found" (Some 10) (A.lookup t ~tid:0 1);
+  Alcotest.(check bool) "update" true (A.update t ~tid:0 1 20);
+  Alcotest.(check (option int)) "updated" (Some 20) (A.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete" true (A.delete t ~tid:0 1);
+  Alcotest.(check (option int)) "gone" None (A.lookup t ~tid:0 1)
+
+let test_node_growth () =
+  (* keys 0..N with a common 7-byte prefix differ in the last byte only,
+     forcing one node to grow N4 -> N16 -> N48 -> N256 *)
+  let t = A.create () in
+  for b = 0 to 255 do
+    assert (A.insert t ~tid:0 b b)
+  done;
+  for b = 0 to 255 do
+    Alcotest.(check (option int)) "dense byte fan-out" (Some b)
+      (A.lookup t ~tid:0 b)
+  done;
+  Alcotest.(check int) "cardinal" 256 (A.cardinal t)
+
+let test_path_compression_split () =
+  (* widely-spaced keys share long prefixes; inserting a key that diverges
+     inside a compressed path must split it *)
+  let t = A.create () in
+  let keys = [ 0; 1 lsl 56; (1 lsl 56) + 1; 1 lsl 40; 255 ] in
+  List.iter (fun k -> assert (A.insert t ~tid:0 k k)) keys;
+  List.iter
+    (fun k -> Alcotest.(check (option int)) "after splits" (Some k)
+        (A.lookup t ~tid:0 k))
+    keys
+
+let test_model () =
+  let t = A.create () in
+  let model = ref IntMap.empty in
+  for _ = 1 to 30_000 do
+    let k = Bw_util.Rng.next_int rng 5_000 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        Alcotest.(check bool) "insert" expected (A.insert t ~tid:0 k (k * 3));
+        if expected then model := IntMap.add k (k * 3) !model
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "delete" expected (A.delete t ~tid:0 k);
+        model := IntMap.remove k !model
+    | 2 ->
+        let v = Bw_util.Rng.next_int rng 99 in
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "update" expected (A.update t ~tid:0 k v);
+        if expected then model := IntMap.add k v !model
+    | _ ->
+        Alcotest.(check (option int)) "lookup" (IntMap.find_opt k !model)
+          (A.lookup t ~tid:0 k)
+  done;
+  Alcotest.(check int) "cardinal" (IntMap.cardinal !model) (A.cardinal t)
+
+let test_scan_counts () =
+  let t = A.create () in
+  for k = 0 to 999 do
+    assert (A.insert t ~tid:0 (k * 2) k)
+  done;
+  Alcotest.(check int) "scan from 0" 100 (A.scan t ~tid:0 0 100);
+  Alcotest.(check int) "scan middle" 100 (A.scan t ~tid:0 1_000 100);
+  Alcotest.(check int) "scan tail" 10 (A.scan t ~tid:0 1_980 100);
+  Alcotest.(check int) "scan past end" 0 (A.scan t ~tid:0 10_000 100);
+  (* seek between keys: 999 is odd, first qualifying key is 1000 *)
+  Alcotest.(check int) "seek rounds up" 100 (A.scan t ~tid:0 999 100)
+
+let test_string_keys_prefixes () =
+  let t = AS.create () in
+  let keys =
+    [ "app"; "apple"; "apples"; "application"; "banana"; "band"; "bandit" ]
+  in
+  List.iteri (fun i k -> assert (AS.insert t ~tid:0 k i)) keys;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check (option int)) ("lookup " ^ k) (Some i)
+        (AS.lookup t ~tid:0 k))
+    keys;
+  Alcotest.(check (option int)) "no phantom" None (AS.lookup t ~tid:0 "appl");
+  Alcotest.(check int) "cardinal" (List.length keys) (AS.cardinal t)
+
+let test_email_corpus () =
+  let t = AS.create () in
+  for i = 0 to 9_999 do
+    assert (AS.insert t ~tid:0 (Workload.email_key_of i) i)
+  done;
+  for i = 0 to 9_999 do
+    assert (AS.lookup t ~tid:0 (Workload.email_key_of i) = Some i)
+  done;
+  Alcotest.(check int) "cardinal" 10_000 (AS.cardinal t)
+
+let test_concurrent_inserts () =
+  let t = A.create () in
+  let nthreads = 6 and per = 8_000 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = (i * nthreads) + tid in
+              assert (A.insert t ~tid k k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all inserted" (nthreads * per) (A.cardinal t);
+  for k = 0 to (nthreads * per) - 1 do
+    assert (A.lookup t ~tid:0 k = Some k)
+  done
+
+let test_concurrent_mixed () =
+  let t = A.create () in
+  for k = 0 to 1_999 do
+    assert (A.insert t ~tid:0 k k)
+  done;
+  let nthreads = 6 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (tid + 3)) in
+            for _ = 1 to 15_000 do
+              let k = Bw_util.Rng.next_int rng 4_000 in
+              match Bw_util.Rng.next_int rng 4 with
+              | 0 -> ignore (A.insert t ~tid k k)
+              | 1 -> ignore (A.delete t ~tid k)
+              | 2 -> ignore (A.update t ~tid k (k + 1))
+              | _ -> ignore (A.lookup t ~tid k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  (* remaining values must be k or k+1 *)
+  for k = 0 to 3_999 do
+    match A.lookup t ~tid:0 k with
+    | None -> ()
+    | Some v ->
+        Alcotest.(check bool) "value provenance" true (v = k || v = k + 1)
+  done
+
+let test_concurrent_readers () =
+  let t = A.create () in
+  for k = 0 to 999 do
+    assert (A.insert t ~tid:0 k k)
+  done;
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rng = Bw_util.Rng.create ~seed:77L in
+        while not (Atomic.get stop) do
+          let k = 10_000 + Bw_util.Rng.next_int rng 100_000 in
+          ignore (A.insert t ~tid:0 k k);
+          ignore (A.delete t ~tid:0 k)
+        done)
+  in
+  let ok = ref true in
+  let readers =
+    Array.init 3 (fun w ->
+        Domain.spawn (fun () ->
+            let tid = w + 1 in
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (w + 5)) in
+            for _ = 1 to 30_000 do
+              let k = Bw_util.Rng.next_int rng 1_000 in
+              if A.lookup t ~tid k <> Some k then ok := false
+            done))
+  in
+  Array.iter Domain.join readers;
+  Atomic.set stop true;
+  Domain.join writer;
+  Alcotest.(check bool) "stable keys always visible" true !ok
+
+let () =
+  Alcotest.run "art_olc"
+    [
+      ( "single-thread",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "node growth to N256" `Quick test_node_growth;
+          Alcotest.test_case "path compression splits" `Quick
+            test_path_compression_split;
+          Alcotest.test_case "model" `Slow test_model;
+          Alcotest.test_case "scan" `Quick test_scan_counts;
+        ] );
+      ( "strings",
+        [
+          Alcotest.test_case "shared prefixes" `Quick
+            test_string_keys_prefixes;
+          Alcotest.test_case "email corpus" `Slow test_email_corpus;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts" `Slow test_concurrent_inserts;
+          Alcotest.test_case "mixed" `Slow test_concurrent_mixed;
+          Alcotest.test_case "readers+writer" `Slow test_concurrent_readers;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the B+Tree with optimistic lock coupling. *)
+
+module IK = Index_iface.Int_key
+module IV = Index_iface.Int_value
+module B = Btree_olc.Make (IK) (IV)
+module BS = Btree_olc.Make (Index_iface.String_key) (IV)
+module IntMap = Map.Make (Int)
+
+let rng = Bw_util.Rng.create ~seed:0xB7EEL
+
+let test_basic () =
+  let t = B.create () in
+  Alcotest.(check (option int)) "empty" None (B.lookup t ~tid:0 1);
+  Alcotest.(check bool) "insert" true (B.insert t ~tid:0 1 10);
+  Alcotest.(check bool) "dup" false (B.insert t ~tid:0 1 11);
+  Alcotest.(check (option int)) "found" (Some 10) (B.lookup t ~tid:0 1);
+  Alcotest.(check bool) "update" true (B.update t ~tid:0 1 20);
+  Alcotest.(check (option int)) "updated" (Some 20) (B.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete" true (B.delete t ~tid:0 1);
+  Alcotest.(check (option int)) "gone" None (B.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete again" false (B.delete t ~tid:0 1)
+
+let test_model () =
+  let t = B.create () in
+  let model = ref IntMap.empty in
+  for _ = 1 to 30_000 do
+    let k = Bw_util.Rng.next_int rng 4_000 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        Alcotest.(check bool) "insert" expected (B.insert t ~tid:0 k (k * 3));
+        if expected then model := IntMap.add k (k * 3) !model
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "delete" expected (B.delete t ~tid:0 k);
+        model := IntMap.remove k !model
+    | 2 ->
+        let v = Bw_util.Rng.next_int rng 99 in
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "update" expected (B.update t ~tid:0 k v);
+        if expected then model := IntMap.add k v !model
+    | _ ->
+        Alcotest.(check (option int)) "lookup" (IntMap.find_opt k !model)
+          (B.lookup t ~tid:0 k)
+  done;
+  B.verify_invariants t;
+  Alcotest.(check int) "cardinal" (IntMap.cardinal !model) (B.cardinal t)
+
+let test_multilevel_growth () =
+  let t = B.create () in
+  let n = 200_000 in
+  for k = 0 to n - 1 do
+    assert (B.insert t ~tid:0 k k)
+  done;
+  B.verify_invariants t;
+  Alcotest.(check int) "cardinal" n (B.cardinal t);
+  for k = 0 to n - 1 do
+    assert (B.lookup t ~tid:0 k = Some k)
+  done
+
+let test_scan () =
+  let t = B.create () in
+  for k = 0 to 9_999 do
+    assert (B.insert t ~tid:0 (k * 2) k)
+  done;
+  Alcotest.(check int) "scan middle" 100 (B.scan t ~tid:0 5_000 100);
+  Alcotest.(check int) "scan at end" 5 (B.scan t ~tid:0 19_990 100);
+  Alcotest.(check int) "scan past end" 0 (B.scan t ~tid:0 100_000 100)
+
+let test_concurrent_inserts () =
+  let t = B.create () in
+  let nthreads = 6 and per = 10_000 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = (i * nthreads) + tid in
+              assert (B.insert t ~tid k k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  B.verify_invariants t;
+  Alcotest.(check int) "all inserted" (nthreads * per) (B.cardinal t)
+
+let test_concurrent_mixed () =
+  let t = B.create () in
+  for k = 0 to 1_999 do
+    assert (B.insert t ~tid:0 k 0)
+  done;
+  let nthreads = 6 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (tid + 1)) in
+            for _ = 1 to 15_000 do
+              let k = Bw_util.Rng.next_int rng 4_000 in
+              match Bw_util.Rng.next_int rng 4 with
+              | 0 -> ignore (B.insert t ~tid k k)
+              | 1 -> ignore (B.delete t ~tid k)
+              | 2 -> ignore (B.update t ~tid k (k + 1))
+              | _ -> ignore (B.lookup t ~tid k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  B.verify_invariants t
+
+let test_concurrent_readers_with_writer () =
+  let t = B.create () in
+  for k = 0 to 999 do
+    assert (B.insert t ~tid:0 k k)
+  done;
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let rng = Bw_util.Rng.create ~seed:42L in
+        while not (Atomic.get stop) do
+          let k = 1_000 + Bw_util.Rng.next_int rng 100_000 in
+          ignore (B.insert t ~tid:0 k k);
+          ignore (B.delete t ~tid:0 k)
+        done)
+  in
+  let ok = ref true in
+  let readers =
+    Array.init 3 (fun w ->
+        Domain.spawn (fun () ->
+            let tid = w + 1 in
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (w + 9)) in
+            for _ = 1 to 30_000 do
+              let k = Bw_util.Rng.next_int rng 1_000 in
+              if B.lookup t ~tid k <> Some k then ok := false
+            done))
+  in
+  Array.iter Domain.join readers;
+  Atomic.set stop true;
+  Domain.join writer;
+  Alcotest.(check bool) "stable keys always visible" true !ok;
+  B.verify_invariants t
+
+let test_string_keys () =
+  let t = BS.create () in
+  for i = 0 to 4_999 do
+    assert (BS.insert t ~tid:0 (Workload.email_key_of i) i)
+  done;
+  for i = 0 to 4_999 do
+    assert (BS.lookup t ~tid:0 (Workload.email_key_of i) = Some i)
+  done;
+  BS.verify_invariants t
+
+let () =
+  Alcotest.run "btree_olc"
+    [
+      ( "single-thread",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "model" `Slow test_model;
+          Alcotest.test_case "multilevel growth" `Slow test_multilevel_growth;
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "string keys" `Quick test_string_keys;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts" `Slow test_concurrent_inserts;
+          Alcotest.test_case "mixed" `Slow test_concurrent_mixed;
+          Alcotest.test_case "readers+writer" `Slow
+            test_concurrent_readers_with_writer;
+        ] );
+    ]

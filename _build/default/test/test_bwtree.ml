@@ -1,0 +1,625 @@
+(* Single-threaded functional tests for the Bw-Tree: model-based checks
+   against Stdlib.Map, SMO coverage, iterators, non-unique keys, the
+   consolidation-equivalence property, and the §6.3 ablation hooks. *)
+
+module IK = Index_iface.Int_key
+module IV = Index_iface.Int_value
+module T = Bwtree.Make (IK) (IV)
+module SK = Index_iface.String_key
+module TS = Bwtree.Make (SK) (IV)
+module IntMap = Map.Make (Int)
+
+let rng = Bw_util.Rng.create ~seed:0xBEEFL
+
+(* a tiny-node config that forces frequent splits, merges and
+   consolidations so SMO paths get heavy coverage even in small tests *)
+let tiny =
+  {
+    Bwtree.default_config with
+    leaf_max = 8;
+    inner_max = 6;
+    leaf_chain_max = 4;
+    inner_chain_max = 2;
+    leaf_min = 2;
+    inner_min = 2;
+  }
+
+let all_configs =
+  [
+    ("default", Bwtree.default_config);
+    ("microsoft", Bwtree.microsoft_config);
+    ("tiny", tiny);
+    ("no-prealloc", { Bwtree.default_config with preallocate = false });
+    ("no-fc", { Bwtree.default_config with fast_consolidation = false });
+    ("no-ss", { Bwtree.default_config with search_shortcuts = false });
+    ("gc-centralized",
+     { Bwtree.default_config with gc_scheme = Epoch.Centralized });
+    ("gc-off", { Bwtree.default_config with gc_scheme = Epoch.Disabled });
+  ]
+
+(* --- basic semantics --- *)
+
+let test_empty () =
+  let t = T.create () in
+  Alcotest.(check (list int)) "lookup empty" [] (T.lookup t 1);
+  Alcotest.(check bool) "delete empty" false (T.delete t 1 1);
+  Alcotest.(check bool) "update empty" false (T.update t 1 1);
+  Alcotest.(check int) "cardinal" 0 (T.cardinal t);
+  Alcotest.(check (list (pair int int))) "scan empty" [] (T.scan t ~n:10 0);
+  T.verify_invariants t
+
+let test_single_key () =
+  let t = T.create () in
+  Alcotest.(check bool) "insert" true (T.insert t 5 50);
+  Alcotest.(check bool) "duplicate rejected" false (T.insert t 5 51);
+  Alcotest.(check (list int)) "lookup" [ 50 ] (T.lookup t 5);
+  Alcotest.(check bool) "update" true (T.update t 5 55);
+  Alcotest.(check (list int)) "updated" [ 55 ] (T.lookup t 5);
+  Alcotest.(check bool) "delete" true (T.delete t 5 55);
+  Alcotest.(check (list int)) "gone" [] (T.lookup t 5);
+  Alcotest.(check bool) "delete again" false (T.delete t 5 55);
+  T.verify_invariants t
+
+let test_negative_and_extreme_keys () =
+  let t = T.create () in
+  let keys = [ min_int; -1000; -1; 0; 1; 1000; max_int ] in
+  List.iter (fun k -> assert (T.insert t k (k lxor 7))) keys;
+  List.iter
+    (fun k -> Alcotest.(check (list int)) "roundtrip" [ k lxor 7 ] (T.lookup t k))
+    keys;
+  Alcotest.(check (list (pair int int)))
+    "sorted scan"
+    (List.map (fun k -> (k, k lxor 7)) keys)
+    (T.scan_all t ());
+  T.verify_invariants t
+
+(* --- model-based random operations, across all configurations --- *)
+
+let model_ops config () =
+  let t = T.create ~config () in
+  let model = ref IntMap.empty in
+  let n_ops = 6_000 in
+  for _ = 1 to n_ops do
+    let k = Bw_util.Rng.next_int rng 800 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        Alcotest.(check bool) "insert result" expected (T.insert t k (k * 3));
+        if expected then model := IntMap.add k (k * 3) !model
+    | 1 ->
+        let v = Bw_util.Rng.next_int rng 10_000 in
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "update result" expected (T.update t k v);
+        if expected then model := IntMap.add k v !model
+    | 2 ->
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "delete result" expected (T.delete t k 0);
+        model := IntMap.remove k !model
+    | _ ->
+        let expected =
+          match IntMap.find_opt k !model with None -> [] | Some v -> [ v ]
+        in
+        Alcotest.(check (list int)) "lookup" expected (T.lookup t k)
+  done;
+  T.verify_invariants t;
+  (* final full agreement *)
+  Alcotest.(check (list (pair int int)))
+    "full contents" (IntMap.bindings !model)
+    (T.scan_all t ())
+
+(* --- SMO coverage: growth and shrink --- *)
+
+let test_split_cascade () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 2_000 do
+    assert (T.insert t k k)
+  done;
+  let ss = T.structure_stats t in
+  Alcotest.(check bool) "tree grew" true (ss.depth >= 3);
+  let os = T.op_stats t in
+  Alcotest.(check bool) "splits happened" true (os.splits > 50);
+  T.verify_invariants t;
+  for k = 0 to 2_000 do
+    assert (T.lookup t k = [ k ])
+  done
+
+let test_merge_cascade () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 2_000 do
+    assert (T.insert t k k)
+  done;
+  for k = 0 to 2_000 do
+    if k mod 50 <> 0 then assert (T.delete t k k)
+  done;
+  let os = T.op_stats t in
+  Alcotest.(check bool) "merges happened" true (os.merges > 10);
+  T.verify_invariants t;
+  for k = 0 to 2_000 do
+    let expect = if k mod 50 = 0 then [ k ] else [] in
+    Alcotest.(check (list int)) "post-merge lookup" expect (T.lookup t k)
+  done;
+  (* most of the structure must have collapsed (from ~1500 leaves); what
+     remains includes leftmost children, which per §2.4 may only merge
+     into a left sibling and can therefore strand *)
+  let ss = T.structure_stats t in
+  Alcotest.(check bool) "most leaves merged away" true (ss.leaf_nodes < 150)
+
+let test_reverse_insert () =
+  let t = T.create ~config:tiny () in
+  for k = 2_000 downto 0 do
+    assert (T.insert t k k)
+  done;
+  T.verify_invariants t;
+  Alcotest.(check int) "cardinal" 2_001 (T.cardinal t)
+
+(* --- consolidation equivalence: fast path == slow path --- *)
+
+let prop_consolidation_equivalence =
+  (* the same operation sequence applied with and without §4.3/§4.4
+     optimizations must produce identical contents *)
+  let gen =
+    QCheck.(list_of_size (Gen.int_range 1 300) (pair (int_bound 3) (int_bound 60)))
+  in
+  QCheck.Test.make ~name:"fast consolidation == slow consolidation" ~count:60
+    gen (fun ops ->
+      let mk config =
+        let t = T.create ~config () in
+        List.iter
+          (fun (op, k) ->
+            match op with
+            | 0 -> ignore (T.insert t k (k + 1000))
+            | 1 -> ignore (T.delete t k 0)
+            | 2 -> ignore (T.update t k (k + 2000))
+            | _ -> ignore (T.lookup t k))
+          ops;
+        T.consolidate_all t;
+        T.scan_all t ()
+      in
+      let fast = mk { tiny with fast_consolidation = true } in
+      let slow = mk { tiny with fast_consolidation = false } in
+      fast = slow)
+
+(* --- non-unique keys (§3.1) --- *)
+
+let nuniq = { Bwtree.default_config with unique_keys = false }
+
+let test_non_unique_basic () =
+  let t = T.create ~config:nuniq () in
+  Alcotest.(check bool) "v1" true (T.insert t 1 10);
+  Alcotest.(check bool) "v2" true (T.insert t 1 20);
+  Alcotest.(check bool) "v3" true (T.insert t 1 30);
+  Alcotest.(check bool) "dup pair rejected" false (T.insert t 1 20);
+  Alcotest.(check (list int)) "all values" [ 10; 20; 30 ]
+    (List.sort compare (T.lookup t 1));
+  Alcotest.(check bool) "delete one value" true (T.delete t 1 20);
+  Alcotest.(check (list int)) "two left" [ 10; 30 ]
+    (List.sort compare (T.lookup t 1));
+  Alcotest.(check bool) "delete absent value" false (T.delete t 1 20);
+  T.verify_invariants t
+
+let test_non_unique_visibility_chain () =
+  (* exercise the §3.1 S_present / S_deleted walk within one delta chain *)
+  let t = T.create ~config:{ nuniq with leaf_chain_max = 32 } () in
+  assert (T.insert t 7 1);
+  assert (T.insert t 7 2);
+  assert (T.delete t 7 1);
+  assert (T.insert t 7 3);
+  assert (T.delete t 7 3);
+  assert (T.insert t 7 1);
+  Alcotest.(check (list int)) "visible set" [ 1; 2 ]
+    (List.sort compare (T.lookup t 7));
+  T.consolidate_all t;
+  Alcotest.(check (list int)) "after consolidation" [ 1; 2 ]
+    (List.sort compare (T.lookup t 7));
+  T.verify_invariants t
+
+let test_non_unique_model () =
+  (* model: a set of (key, value) pairs *)
+  let t = T.create ~config:{ nuniq with leaf_max = 16; leaf_min = 2 } () in
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let model = ref PS.empty in
+  for _ = 1 to 5_000 do
+    let k = Bw_util.Rng.next_int rng 50 in
+    let v = Bw_util.Rng.next_int rng 8 in
+    if Bw_util.Rng.next_bool rng then begin
+      let expected = not (PS.mem (k, v) !model) in
+      Alcotest.(check bool) "nu insert" expected (T.insert t k v);
+      model := PS.add (k, v) !model
+    end
+    else begin
+      let expected = PS.mem (k, v) !model in
+      Alcotest.(check bool) "nu delete" expected (T.delete t k v);
+      model := PS.remove (k, v) !model
+    end
+  done;
+  T.verify_invariants t;
+  Alcotest.(check (list (pair int int)))
+    "nu contents" (PS.elements !model)
+    (List.sort compare (T.scan_all t ()))
+
+(* --- iterators (§3.2, Appendix C) --- *)
+
+let test_iterator_forward () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 500 do
+    assert (T.insert t (k * 2) k)
+  done;
+  (* seek exact, seek between keys, seek past end *)
+  let it = T.Iterator.seek t 100 in
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "seek exact" 100 k
+  | None -> Alcotest.fail "expected item");
+  let it = T.Iterator.seek t 101 in
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "seek rounds up" 102 k
+  | None -> Alcotest.fail "expected item");
+  let it = T.Iterator.seek t 10_000 in
+  Alcotest.(check bool) "past end" true (T.Iterator.current it = None);
+  (* full forward walk *)
+  let it = T.Iterator.seek_first t () in
+  let count = ref 0 and last = ref (-1) in
+  let rec go () =
+    match T.Iterator.current it with
+    | Some (k, _) ->
+        Alcotest.(check bool) "ascending" true (k > !last);
+        last := k;
+        incr count;
+        T.Iterator.next it;
+        go ()
+    | None -> ()
+  in
+  go ();
+  Alcotest.(check int) "walked all" 501 !count
+
+let test_iterator_backward () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 500 do
+    assert (T.insert t (k * 2) k)
+  done;
+  let it = T.Iterator.seek t 500 in
+  let count = ref 0 and last = ref max_int in
+  let rec go () =
+    match T.Iterator.current it with
+    | Some (k, _) ->
+        Alcotest.(check bool) "descending" true (k < !last);
+        last := k;
+        incr count;
+        T.Iterator.prev it;
+        go ()
+    | None -> ()
+  in
+  go ();
+  (* keys 0,2,...,500 -> 251 items at or below 500 *)
+  Alcotest.(check int) "walked down" 251 !count
+
+let test_iterator_bidirectional () =
+  let t = T.create ~config:tiny () in
+  for k = 1 to 100 do
+    assert (T.insert t k k)
+  done;
+  let it = T.Iterator.seek t 50 in
+  T.Iterator.next it;
+  T.Iterator.next it;
+  T.Iterator.prev it;
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "zig-zag" 51 k
+  | None -> Alcotest.fail "expected item");
+  T.Iterator.prev it;
+  T.Iterator.prev it;
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "back to 49" 49 k
+  | None -> Alcotest.fail "expected item")
+
+let test_scan_bounded () =
+  let t = T.create () in
+  for k = 0 to 999 do
+    assert (T.insert t k k)
+  done;
+  let items = T.scan t ~n:48 100 in
+  Alcotest.(check int) "scan length" 48 (List.length items);
+  Alcotest.(check int) "scan start" 100 (fst (List.hd items));
+  let items = T.scan t ~n:100 980 in
+  Alcotest.(check int) "truncated at end" 20 (List.length items)
+
+(* --- §6.3 ablation hooks --- *)
+
+let test_freeze_equivalence () =
+  let t = T.create ~config:tiny () in
+  for _ = 1 to 2_000 do
+    let k = Bw_util.Rng.next_int rng 3_000 in
+    ignore (T.insert t k (k * 7))
+  done;
+  let frozen = T.freeze t in
+  for k = 0 to 3_000 do
+    Alcotest.(check (list int)) "frozen == live" (T.lookup t k)
+      (T.frozen_lookup frozen k)
+  done
+
+let test_consolidate_all_flattens () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 500 do
+    assert (T.insert t k k)
+  done;
+  T.consolidate_all t;
+  let ss = T.structure_stats t in
+  Alcotest.(check (float 0.001)) "leaf chains empty" 0.0 ss.avg_leaf_chain;
+  Alcotest.(check (float 0.001)) "inner chains empty" 0.0 ss.avg_inner_chain;
+  for k = 0 to 500 do
+    assert (T.lookup t k = [ k ])
+  done
+
+let test_inplace_leaf_updates () =
+  let config = { Bwtree.default_config with inplace_leaf_update = true } in
+  let t = T.create ~config () in
+  for k = 0 to 2_000 do
+    assert (T.insert t k k)
+  done;
+  T.verify_invariants t;
+  for k = 0 to 2_000 do
+    assert (T.lookup t k = [ k ])
+  done;
+  (* delta chains should be essentially absent on leaves *)
+  let ss = T.structure_stats t in
+  Alcotest.(check bool) "short leaf chains" true (ss.avg_leaf_chain < 1.0)
+
+let test_no_cas_config () =
+  let config = { Bwtree.default_config with use_atomic_cas = false } in
+  let t = T.create ~config () in
+  for k = 0 to 1_000 do
+    assert (T.insert t k k)
+  done;
+  for k = 0 to 1_000 do
+    assert (T.lookup t k = [ k ])
+  done;
+  T.verify_invariants t
+
+(* --- statistics and introspection --- *)
+
+let test_stats_sanity () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 999 do
+    assert (T.insert t k k)
+  done;
+  ignore (T.lookup t 5);
+  ignore (T.update t 5 99);
+  ignore (T.delete t 5 99);
+  let os = T.op_stats t in
+  Alcotest.(check int) "inserts" 1000 os.inserts;
+  Alcotest.(check int) "lookups" 1 os.lookups;
+  Alcotest.(check int) "updates" 1 os.updates;
+  Alcotest.(check int) "deletes" 1 os.deletes;
+  Alcotest.(check bool) "consolidations" true (os.consolidations > 0);
+  let ss = T.structure_stats t in
+  Alcotest.(check bool) "leaf count plausible" true
+    (ss.leaf_nodes * tiny.leaf_max >= 999);
+  let hw, chunks, cap = T.mapping_table_stats t in
+  Alcotest.(check bool) "ids allocated" true (hw > ss.leaf_nodes);
+  Alcotest.(check bool) "chunks faulted" true (chunks >= 1);
+  Alcotest.(check bool) "within capacity" true (hw < cap);
+  Alcotest.(check bool) "memory measured" true (T.memory_words t > 1000)
+
+let test_gc_integration () =
+  let t = T.create ~config:{ tiny with gc_threshold = 4 } () in
+  for k = 0 to 5_000 do
+    assert (T.insert t k k)
+  done;
+  T.quiesce t ~tid:0;
+  T.gc_advance t;
+  Epoch.flush (T.epoch t);
+  let s = Epoch.stats (T.epoch t) in
+  Alcotest.(check bool) "consolidations retired garbage" true (s.retired > 0);
+  Alcotest.(check int) "all reclaimed at quiescence" 0
+    (Epoch.pending (T.epoch t))
+
+(* --- string keys --- *)
+
+let test_string_keys () =
+  let t = TS.create ~config:tiny () in
+  let emails = Array.init 2_000 Workload.email_key_of in
+  Array.iteri (fun i e -> ignore (TS.insert t e i)) emails;
+  Array.iteri
+    (fun i e ->
+      match TS.lookup t e with
+      | [ v ] -> Alcotest.(check bool) "some insert won" true (v >= 0 && i >= 0)
+      | [] -> Alcotest.fail "lost key"
+      | _ -> Alcotest.fail "duplicate")
+    emails;
+  TS.verify_invariants t;
+  (* scan order is lexicographic *)
+  let all = TS.scan_all t () in
+  let keys = List.map fst all in
+  Alcotest.(check bool) "sorted" true
+    (List.sort compare keys = keys)
+
+(* --- boundary conditions --- *)
+
+let test_iterator_empty_tree () =
+  let t = T.create () in
+  let it = T.Iterator.seek_first t () in
+  Alcotest.(check bool) "empty current" true (T.Iterator.current it = None);
+  T.Iterator.next it;
+  T.Iterator.prev it;
+  Alcotest.(check bool) "still empty" true (T.Iterator.current it = None);
+  let it2 = T.Iterator.seek t 42 in
+  T.Iterator.prev it2;
+  Alcotest.(check bool) "empty backward" true (T.Iterator.current it2 = None)
+
+let test_iterator_reverses_at_ends () =
+  let t = T.create () in
+  for k = 1 to 10 do
+    assert (T.insert t k k)
+  done;
+  (* walk off the right end, then back in *)
+  let it = T.Iterator.seek t 10 in
+  T.Iterator.next it;
+  Alcotest.(check bool) "past end" true (T.Iterator.current it = None);
+  T.Iterator.prev it;
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "back to last" 10 k
+  | None -> Alcotest.fail "expected last item");
+  (* walk off the left end, then back in *)
+  let it = T.Iterator.seek t 1 in
+  T.Iterator.prev it;
+  Alcotest.(check bool) "before begin" true (T.Iterator.current it = None);
+  T.Iterator.next it;
+  (match T.Iterator.current it with
+  | Some (k, _) -> Alcotest.(check int) "back to first" 1 k
+  | None -> Alcotest.fail "expected first item")
+
+let test_scan_zero_and_negative_bounds () =
+  let t = T.create () in
+  for k = 0 to 99 do
+    assert (T.insert t k k)
+  done;
+  Alcotest.(check (list (pair int int))) "n=0" [] (T.scan t ~n:0 10);
+  Alcotest.(check int) "negative start clamps to first" 100
+    (List.length (T.scan t min_int))
+
+let test_update_preserves_size_accounting () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 99 do
+    assert (T.insert t k k)
+  done;
+  for _ = 1 to 10 do
+    for k = 0 to 99 do
+      assert (T.update t k (k + 1))
+    done
+  done;
+  (* updates must not inflate node sizes or trigger bogus splits *)
+  T.verify_invariants t;
+  Alcotest.(check int) "cardinal stable" 100 (T.cardinal t)
+
+(* --- debugging surface --- *)
+
+let test_dump_renders () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 200 do
+    ignore (T.insert t k k)
+  done;
+  ignore (T.delete t 7 7);
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  T.dump t ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "mentions leaves" true
+    (String.length out > 100);
+  (* the root line and at least one delta op should be present *)
+  Alcotest.(check bool) "shows inner node" true
+    (String.length out > 0 && String.sub out 0 5 = "inner")
+
+let test_counters_wiring () =
+  let c = Bw_util.Counters.global in
+  Bw_util.Counters.reset c;
+  Bw_util.Counters.enabled := true;
+  let t = T.create () in
+  for k = 0 to 99 do
+    ignore (T.insert t k k)
+  done;
+  ignore (T.lookup t 50);
+  Bw_util.Counters.enabled := false;
+  Alcotest.(check bool) "cas counted" true
+    (Bw_util.Counters.read c Bw_util.Counters.Cas_attempt >= 100);
+  Alcotest.(check bool) "derefs counted" true
+    (Bw_util.Counters.read c Bw_util.Counters.Pointer_deref > 0);
+  Bw_util.Counters.reset c
+
+let test_iter_nodes_consistent () =
+  let t = T.create ~config:tiny () in
+  for k = 0 to 999 do
+    ignore (T.insert t k k)
+  done;
+  let leaves = ref 0 and inners = ref 0 and items = ref 0 in
+  T.iter_nodes t (fun ~leaf ~chain:_ ~size ->
+      if leaf then begin
+        incr leaves;
+        items := !items + size
+      end
+      else incr inners);
+  let ss = T.structure_stats t in
+  Alcotest.(check int) "leaf count" ss.leaf_nodes !leaves;
+  Alcotest.(check int) "inner count" ss.inner_nodes !inners;
+  Alcotest.(check int) "total items" 1000 !items
+
+(* --- upsert --- *)
+
+let test_upsert () =
+  let t = T.create () in
+  T.upsert t 1 10;
+  T.upsert t 1 20;
+  Alcotest.(check (list int)) "upsert replaces" [ 20 ] (T.lookup t 1)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bwtree"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single key" `Quick test_single_key;
+          Alcotest.test_case "extreme keys" `Quick
+            test_negative_and_extreme_keys;
+          Alcotest.test_case "upsert" `Quick test_upsert;
+        ] );
+      ( "model",
+        List.map
+          (fun (name, config) ->
+            Alcotest.test_case ("random ops: " ^ name) `Slow (model_ops config))
+          all_configs );
+      ( "smo",
+        [
+          Alcotest.test_case "split cascade" `Quick test_split_cascade;
+          Alcotest.test_case "merge cascade" `Quick test_merge_cascade;
+          Alcotest.test_case "reverse insert" `Quick test_reverse_insert;
+        ] );
+      ("consolidation", [ q prop_consolidation_equivalence ]);
+      ( "non-unique",
+        [
+          Alcotest.test_case "basic" `Quick test_non_unique_basic;
+          Alcotest.test_case "visibility chain" `Quick
+            test_non_unique_visibility_chain;
+          Alcotest.test_case "model" `Slow test_non_unique_model;
+        ] );
+      ( "iterator",
+        [
+          Alcotest.test_case "forward" `Quick test_iterator_forward;
+          Alcotest.test_case "backward" `Quick test_iterator_backward;
+          Alcotest.test_case "bidirectional" `Quick test_iterator_bidirectional;
+          Alcotest.test_case "bounded scan" `Quick test_scan_bounded;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "freeze equivalence" `Quick test_freeze_equivalence;
+          Alcotest.test_case "consolidate_all" `Quick
+            test_consolidate_all_flattens;
+          Alcotest.test_case "in-place updates" `Quick test_inplace_leaf_updates;
+          Alcotest.test_case "no-cas config" `Quick test_no_cas_config;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "stats" `Quick test_stats_sanity;
+          Alcotest.test_case "gc integration" `Quick test_gc_integration;
+        ] );
+      ("strings", [ Alcotest.test_case "email keys" `Quick test_string_keys ]);
+      ( "boundaries",
+        [
+          Alcotest.test_case "iterator on empty tree" `Quick
+            test_iterator_empty_tree;
+          Alcotest.test_case "iterator reverses at ends" `Quick
+            test_iterator_reverses_at_ends;
+          Alcotest.test_case "scan bounds" `Quick
+            test_scan_zero_and_negative_bounds;
+          Alcotest.test_case "update size accounting" `Quick
+            test_update_preserves_size_accounting;
+        ] );
+      ( "debugging",
+        [
+          Alcotest.test_case "dump renders" `Quick test_dump_renders;
+          Alcotest.test_case "counters wiring" `Quick test_counters_wiring;
+          Alcotest.test_case "iter_nodes" `Quick test_iter_nodes_consistent;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* Property-based tests for the Bw-Tree: qcheck generators drive random
+   operation sequences and structural configurations; properties compare
+   against reference models and check internal invariants. *)
+
+module IK = Index_iface.Int_key
+module IV = Index_iface.Int_value
+module T = Bwtree.Make (IK) (IV)
+module IntMap = Map.Make (Int)
+
+let tiny =
+  {
+    Bwtree.default_config with
+    leaf_max = 8;
+    inner_max = 6;
+    leaf_chain_max = 4;
+    inner_chain_max = 2;
+    leaf_min = 2;
+    inner_min = 2;
+  }
+
+(* an op sequence: (op selector, key, value) triples over a small key
+   space so that collisions, re-inserts and merges are frequent *)
+let ops_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 0 400)
+      (triple (int_bound 3) (int_bound 120) (int_bound 1000)))
+
+let apply_tree t ops =
+  List.iter
+    (fun (op, k, v) ->
+      match op with
+      | 0 -> ignore (T.insert t k v)
+      | 1 -> ignore (T.delete t k 0)
+      | 2 -> ignore (T.update t k v)
+      | _ -> ignore (T.lookup t k))
+    ops
+
+let apply_model ops =
+  List.fold_left
+    (fun m (op, k, v) ->
+      match op with
+      | 0 -> if IntMap.mem k m then m else IntMap.add k v m
+      | 1 -> IntMap.remove k m
+      | 2 -> if IntMap.mem k m then IntMap.add k v m else m
+      | _ -> m)
+    IntMap.empty ops
+
+let prop_model_agreement =
+  QCheck.Test.make ~name:"tree == map model after random ops" ~count:150
+    ops_gen (fun ops ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      T.scan_all t () = IntMap.bindings (apply_model ops))
+
+let prop_invariants_hold =
+  QCheck.Test.make ~name:"structural invariants after random ops" ~count:150
+    ops_gen (fun ops ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      T.verify_invariants t;
+      true)
+
+let prop_forward_iteration_sorted =
+  QCheck.Test.make ~name:"forward iteration == sorted model" ~count:100
+    ops_gen (fun ops ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      let expected = IntMap.bindings (apply_model ops) in
+      let it = T.Iterator.seek_first t () in
+      let out = ref [] in
+      let rec go () =
+        match T.Iterator.current it with
+        | Some kv ->
+            out := kv :: !out;
+            T.Iterator.next it;
+            go ()
+        | None -> ()
+      in
+      go ();
+      List.rev !out = expected)
+
+let prop_backward_iteration_sorted =
+  QCheck.Test.make ~name:"backward iteration == reversed model" ~count:100
+    ops_gen (fun ops ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      let expected = List.rev (IntMap.bindings (apply_model ops)) in
+      (* start past the end and walk back *)
+      let it = T.Iterator.seek t max_int in
+      T.Iterator.prev it;
+      let out = ref [] in
+      let rec go () =
+        match T.Iterator.current it with
+        | Some kv ->
+            out := kv :: !out;
+            T.Iterator.prev it;
+            go ()
+        | None -> ()
+      in
+      go ();
+      List.rev !out = expected)
+
+let prop_scan_matches_model_window =
+  QCheck.Test.make ~name:"bounded scan == model window" ~count:100
+    QCheck.(pair ops_gen (pair (int_bound 130) (int_bound 20)))
+    (fun (ops, (start, len)) ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      let model = apply_model ops in
+      let expected =
+        IntMap.bindings model
+        |> List.filter (fun (k, _) -> k >= start)
+        |> List.filteri (fun i _ -> i < len)
+      in
+      T.scan t ~n:len start = expected)
+
+let prop_freeze_agrees =
+  QCheck.Test.make ~name:"frozen tree == live tree" ~count:60 ops_gen
+    (fun ops ->
+      let t = T.create ~config:tiny () in
+      apply_tree t ops;
+      let fz = T.freeze t in
+      let ok = ref true in
+      for k = 0 to 130 do
+        if T.frozen_lookup fz k <> T.lookup t k then ok := false
+      done;
+      !ok)
+
+let prop_config_independence =
+  (* the observable contents never depend on the physical configuration *)
+  QCheck.Test.make ~name:"contents independent of configuration" ~count:60
+    ops_gen (fun ops ->
+      let reference =
+        let t = T.create ~config:tiny () in
+        apply_tree t ops;
+        T.scan_all t ()
+      in
+      List.for_all
+        (fun config ->
+          let t = T.create ~config () in
+          apply_tree t ops;
+          T.scan_all t () = reference)
+        [
+          Bwtree.default_config;
+          Bwtree.microsoft_config;
+          { tiny with preallocate = false };
+          { tiny with fast_consolidation = false };
+          { tiny with search_shortcuts = false };
+          { tiny with leaf_chain_max = 1; inner_chain_max = 1 };
+          { tiny with leaf_max = 4; inner_max = 4; leaf_min = 1; inner_min = 1 };
+        ])
+
+let prop_delete_is_inverse =
+  QCheck.Test.make ~name:"insert then delete restores absence" ~count:150
+    QCheck.(list_of_size (Gen.int_range 0 100) (int_bound 300))
+    (fun keys ->
+      let t = T.create ~config:tiny () in
+      let distinct = List.sort_uniq compare keys in
+      List.iter (fun k -> ignore (T.insert t k k)) keys;
+      List.iter (fun k -> ignore (T.delete t k k)) keys;
+      T.verify_invariants t;
+      List.for_all (fun k -> T.lookup t k = []) distinct
+      && T.cardinal t = 0)
+
+let prop_non_unique_multiset =
+  (* non-unique mode behaves as a set of (key, value) pairs *)
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  QCheck.Test.make ~name:"non-unique mode == pair-set model" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 0 300)
+        (triple bool (int_bound 25) (int_bound 6)))
+    (fun ops ->
+      let t =
+        T.create ~config:{ tiny with unique_keys = false } ()
+      in
+      let model =
+        List.fold_left
+          (fun m (ins, k, v) ->
+            if ins then begin
+              ignore (T.insert t k v);
+              PS.add (k, v) m
+            end
+            else begin
+              ignore (T.delete t k v);
+              PS.remove (k, v) m
+            end)
+          PS.empty ops
+      in
+      T.verify_invariants t;
+      List.sort compare (T.scan_all t ()) = PS.elements model)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "bwtree-props"
+    [
+      ( "model",
+        [
+          q prop_model_agreement;
+          q prop_invariants_hold;
+          q prop_delete_is_inverse;
+          q prop_non_unique_multiset;
+        ] );
+      ( "iteration",
+        [
+          q prop_forward_iteration_sorted;
+          q prop_backward_iteration_sorted;
+          q prop_scan_matches_model_window;
+        ] );
+      ("ablation", [ q prop_freeze_agrees; q prop_config_independence ]);
+    ]

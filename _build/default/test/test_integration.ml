@@ -1,0 +1,187 @@
+(* Cross-index integration tests: all six indexes driven through the
+   uniform driver interface agree with each other and with a model on the
+   same operation sequences, and the harness plumbing (load/run phases,
+   barrier, memory measurement) behaves. *)
+
+open Harness
+module W = Workload
+
+let drivers () : (string * int Runner.driver) list =
+  List.map (fun (name, mk) -> (name, mk ())) (Drivers.int_lineup ())
+
+let str_drivers () : (string * string Runner.driver) list =
+  List.map (fun (name, mk) -> (name, mk ())) (Drivers.str_lineup ())
+
+(* replay the same random op sequence on every index and on a model;
+   verify identical observable results *)
+let test_cross_index_agreement () =
+  let ds = drivers () in
+  List.iter (fun (_, d) -> d.Runner.start_aux ()) ds;
+  let module IntMap = Map.Make (Int) in
+  let model = ref IntMap.empty in
+  let rng = Bw_util.Rng.create ~seed:2024L in
+  for _ = 1 to 8_000 do
+    let k = Bw_util.Rng.next_int rng 1_000 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        if expected then model := IntMap.add k (k * 2) !model;
+        List.iter
+          (fun (name, d) ->
+            Alcotest.(check bool)
+              (name ^ " insert") expected
+              (d.Runner.insert ~tid:0 k (k * 2)))
+          ds
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        model := IntMap.remove k !model;
+        List.iter
+          (fun (name, d) ->
+            Alcotest.(check bool)
+              (name ^ " remove") expected
+              (d.Runner.remove ~tid:0 k))
+          ds
+    | 2 ->
+        let v = Bw_util.Rng.next_int rng 1_000_000 in
+        let expected = IntMap.mem k !model in
+        if expected then model := IntMap.add k v !model;
+        List.iter
+          (fun (name, d) ->
+            Alcotest.(check bool)
+              (name ^ " update") expected
+              (d.Runner.update ~tid:0 k v))
+          ds
+    | _ ->
+        let expected = IntMap.find_opt k !model in
+        List.iter
+          (fun (name, d) ->
+            Alcotest.(check (option int))
+              (name ^ " read") expected
+              (d.Runner.read ~tid:0 k))
+          ds
+  done;
+  List.iter (fun (_, d) -> d.Runner.stop_aux ()) ds
+
+let test_scan_agreement () =
+  let ds = drivers () in
+  List.iter (fun (_, d) -> d.Runner.start_aux ()) ds;
+  List.iter
+    (fun (_, d) ->
+      for k = 0 to 2_000 do
+        ignore (d.Runner.insert ~tid:0 (k * 3) k)
+      done)
+    ds;
+  (* give the skip list's maintenance thread a beat *)
+  Unix.sleepf 0.05;
+  List.iter
+    (fun start ->
+      let counts =
+        List.map
+          (fun (name, d) -> (name, d.Runner.scan ~tid:0 start 50))
+          ds
+      in
+      let _, first = List.hd counts in
+      List.iter
+        (fun (name, c) ->
+          Alcotest.(check int) (Printf.sprintf "%s scan@%d" name start) first c)
+        counts)
+    [ 0; 1; 2_999; 5_998; 6_001; 999_999 ];
+  List.iter (fun (_, d) -> d.Runner.stop_aux ()) ds
+
+let test_string_cross_index () =
+  let ds = str_drivers () in
+  List.iter (fun (_, d) -> d.Runner.start_aux ()) ds;
+  let keys = Array.init 3_000 W.email_key_of in
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun (name, d) ->
+          Alcotest.(check bool) (name ^ " str insert") true
+            (d.Runner.insert ~tid:0 k i))
+        ds)
+    keys;
+  Array.iteri
+    (fun i k ->
+      List.iter
+        (fun (name, d) ->
+          Alcotest.(check (option int)) (name ^ " str read") (Some i)
+            (d.Runner.read ~tid:0 k))
+        ds)
+    keys;
+  List.iter (fun (_, d) -> d.Runner.stop_aux ()) ds
+
+(* the harness load/run plumbing produces sensible results *)
+let test_harness_phases () =
+  let cfg = { W.default_config with num_keys = 5_000; num_ops = 10_000 } in
+  let d = Drivers.bwtree_driver_int () in
+  let trace = W.load_trace cfg W.Rand_int (W.int_key_of W.Rand_int) in
+  let load = Runner.load d ~nthreads:4 trace in
+  Alcotest.(check int) "load ops" 5_000 load.ops;
+  Alcotest.(check bool) "load time positive" true (load.seconds > 0.0);
+  let traces =
+    Array.init 4 (fun tid ->
+        W.ops_trace cfg W.Rand_int W.Read_update ~tid ~nthreads:4
+          (W.int_key_of W.Rand_int))
+  in
+  let run = Runner.run d traces in
+  Alcotest.(check int) "run ops" 10_000 run.ops;
+  Alcotest.(check bool) "throughput positive" true (run.mops > 0.0);
+  d.Runner.stop_aux ();
+  Alcotest.(check bool) "memory measured" true (d.Runner.memory_words () > 10_000)
+
+let test_harness_hc_and_all_mixes () =
+  (* every mix runs end-to-end through the harness on every index without
+     error (smoke-level, small sizes) *)
+  let cfg = { W.default_config with num_keys = 2_000; num_ops = 4_000 } in
+  List.iter
+    (fun (name, mk) ->
+      List.iter
+        (fun mix ->
+          let d = mk () in
+          let trace = W.load_trace cfg W.Rand_int (W.int_key_of W.Rand_int) in
+          ignore (Runner.load d ~nthreads:2 trace);
+          (match mix with
+          | W.Insert_only -> ()
+          | _ ->
+              let traces =
+                Array.init 2 (fun tid ->
+                    W.ops_trace cfg W.Rand_int mix ~tid ~nthreads:2
+                      (W.int_key_of W.Rand_int))
+              in
+              let r = Runner.run d traces in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s ran" name)
+                true (r.ops > 0));
+          d.Runner.stop_aux ())
+        [ W.Insert_only; W.Read_only; W.Read_update; W.Scan_insert ])
+    (Drivers.int_lineup ())
+
+let test_barrier () =
+  let b = Runner.Barrier.create 4 in
+  let released = Atomic.make 0 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Runner.Barrier.arrive b;
+            ignore (Atomic.fetch_and_add released 1)))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all released" 4 (Atomic.get released)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cross-index",
+        [
+          Alcotest.test_case "agreement" `Slow test_cross_index_agreement;
+          Alcotest.test_case "scan agreement" `Slow test_scan_agreement;
+          Alcotest.test_case "string keys" `Slow test_string_cross_index;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "phases" `Quick test_harness_phases;
+          Alcotest.test_case "all mixes all indexes" `Slow
+            test_harness_hc_and_all_mixes;
+          Alcotest.test_case "barrier" `Quick test_barrier;
+        ] );
+    ]

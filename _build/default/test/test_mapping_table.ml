@@ -1,0 +1,133 @@
+(* Tests for the lock-free mapping table (indirection layer). *)
+
+module MT = Mapping_table
+
+let test_allocate_get () =
+  let t = MT.create ~dummy:"" () in
+  let a = MT.allocate t "a" and b = MT.allocate t "b" in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "get a" "a" (MT.get t a);
+  Alcotest.(check string) "get b" "b" (MT.get t b)
+
+let test_cas_semantics () =
+  let t = MT.create ~dummy:"" () in
+  let id = MT.allocate t "v1" in
+  let v1 = MT.get t id in
+  Alcotest.(check bool) "cas succeeds" true (MT.cas t id ~expect:v1 ~repl:"v2");
+  Alcotest.(check string) "swung" "v2" (MT.get t id);
+  Alcotest.(check bool) "stale cas fails" false
+    (MT.cas t id ~expect:v1 ~repl:"v3");
+  Alcotest.(check string) "unchanged" "v2" (MT.get t id)
+
+let test_cas_physical_equality () =
+  (* two structurally-equal but physically-distinct strings must not
+     satisfy the CaS expectation *)
+  let t = MT.create ~dummy:"" () in
+  let v = String.make 3 'x' in
+  let id = MT.allocate t v in
+  let clone = String.init 3 (fun _ -> 'x') in
+  Alcotest.(check bool) "structural twin rejected" false
+    (MT.cas t id ~expect:clone ~repl:"y")
+
+let test_cas_unsafe () =
+  let t = MT.create ~dummy:"" () in
+  let id = MT.allocate t "v1" in
+  let v1 = MT.get t id in
+  Alcotest.(check bool) "unsafe cas works single-threaded" true
+    (MT.cas_unsafe t id ~expect:v1 ~repl:"v2");
+  Alcotest.(check bool) "unsafe stale fails" false
+    (MT.cas_unsafe t id ~expect:v1 ~repl:"v3")
+
+let test_lazy_chunks () =
+  let t = MT.create ~chunk_bits:4 ~dir_bits:4 ~dummy:(-1) () in
+  Alcotest.(check int) "no chunks yet" 0 (MT.chunks_allocated t);
+  ignore (MT.allocate t 1);
+  Alcotest.(check int) "first chunk faulted" 1 (MT.chunks_allocated t);
+  (* skip into a high id via set *)
+  MT.set t 200 42;
+  Alcotest.(check int) "second chunk faulted" 2 (MT.chunks_allocated t);
+  Alcotest.(check int) "sparse read" 42 (MT.get t 200);
+  Alcotest.(check int) "untouched cell reads dummy" (-1) (MT.get t 100);
+  Alcotest.(check int) "capacity" 256 (MT.capacity t)
+
+let test_out_of_range () =
+  let t = MT.create ~chunk_bits:4 ~dir_bits:4 ~dummy:0 () in
+  Alcotest.check_raises "negative id"
+    (Invalid_argument "Mapping_table: id out of range") (fun () ->
+      ignore (MT.get t (-1)));
+  Alcotest.check_raises "beyond capacity"
+    (Invalid_argument "Mapping_table: id out of range") (fun () ->
+      ignore (MT.get t 256))
+
+let test_free_list_reuse () =
+  let t = MT.create ~dummy:0 () in
+  let a = MT.allocate t 1 in
+  let b = MT.allocate t 2 in
+  MT.free_id t a;
+  Alcotest.(check int) "free list" 1 (MT.free_list_length t);
+  let c = MT.allocate t 3 in
+  Alcotest.(check int) "id recycled" a c;
+  Alcotest.(check int) "free list drained" 0 (MT.free_list_length t);
+  Alcotest.(check int) "other id intact" 2 (MT.get t b);
+  Alcotest.(check int) "rebuild hint" 2 (MT.rebuild_capacity_hint t)
+
+let test_concurrent_allocation () =
+  let t = MT.create ~dummy:(-1) () in
+  let nthreads = 4 and per = 5_000 in
+  let ids = Array.make (nthreads * per) (-1) in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              ids.((tid * per) + i) <- MT.allocate t ((tid * per) + i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  (* all ids distinct and readable *)
+  let seen = Hashtbl.create (nthreads * per) in
+  Array.iteri
+    (fun slot id ->
+      Alcotest.(check bool) "no duplicate id" false (Hashtbl.mem seen id);
+      Hashtbl.add seen id ();
+      Alcotest.(check int) "value readable" slot (MT.get t id))
+    ids
+
+let test_concurrent_cas_single_winner () =
+  let t = MT.create ~dummy:0 () in
+  let id = MT.allocate t 100 in
+  let expect = MT.get t id in
+  let winners = Atomic.make 0 in
+  let domains =
+    Array.init 8 (fun tid ->
+        Domain.spawn (fun () ->
+            if MT.cas t id ~expect ~repl:(tid + 200) then
+              ignore (Atomic.fetch_and_add winners 1)))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "exactly one winner" 1 (Atomic.get winners);
+  Alcotest.(check bool) "final value from a winner" true (MT.get t id >= 200)
+
+let () =
+  Alcotest.run "mapping_table"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "allocate/get" `Quick test_allocate_get;
+          Alcotest.test_case "cas" `Quick test_cas_semantics;
+          Alcotest.test_case "cas physical equality" `Quick
+            test_cas_physical_equality;
+          Alcotest.test_case "cas_unsafe" `Quick test_cas_unsafe;
+        ] );
+      ( "growth",
+        [
+          Alcotest.test_case "lazy chunks" `Quick test_lazy_chunks;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "id recycling" `Quick test_free_list_reuse;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "allocation" `Slow test_concurrent_allocation;
+          Alcotest.test_case "single cas winner" `Quick
+            test_concurrent_cas_single_winner;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* Tests for Masstree: layer descent over 8-byte slices, terminal/layer
+   coexistence, prefix-sharing keys, and concurrency. *)
+
+module IK = Index_iface.Int_key
+module SK = Index_iface.String_key
+module IV = Index_iface.Int_value
+module M = Masstree.Make (IK) (IV)
+module MS = Masstree.Make (SK) (IV)
+module IntMap = Map.Make (Int)
+
+let rng = Bw_util.Rng.create ~seed:0x3A55L
+
+let test_basic () =
+  let t = M.create () in
+  Alcotest.(check (option int)) "empty" None (M.lookup t ~tid:0 1);
+  Alcotest.(check bool) "insert" true (M.insert t ~tid:0 1 10);
+  Alcotest.(check bool) "dup" false (M.insert t ~tid:0 1 11);
+  Alcotest.(check (option int)) "found" (Some 10) (M.lookup t ~tid:0 1);
+  Alcotest.(check bool) "update" true (M.update t ~tid:0 1 20);
+  Alcotest.(check (option int)) "updated" (Some 20) (M.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete" true (M.delete t ~tid:0 1);
+  Alcotest.(check (option int)) "gone" None (M.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete again" false (M.delete t ~tid:0 1)
+
+let test_model () =
+  let t = M.create () in
+  let model = ref IntMap.empty in
+  for _ = 1 to 30_000 do
+    let k = Bw_util.Rng.next_int rng 5_000 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        Alcotest.(check bool) "insert" expected (M.insert t ~tid:0 k (k * 3));
+        if expected then model := IntMap.add k (k * 3) !model
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "delete" expected (M.delete t ~tid:0 k);
+        model := IntMap.remove k !model
+    | 2 ->
+        let v = Bw_util.Rng.next_int rng 99 in
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "update" expected (M.update t ~tid:0 k v);
+        if expected then model := IntMap.add k v !model
+    | _ ->
+        Alcotest.(check (option int)) "lookup" (IntMap.find_opt k !model)
+          (M.lookup t ~tid:0 k)
+  done;
+  Alcotest.(check int) "cardinal" (IntMap.cardinal !model) (M.cardinal t)
+
+let test_layer_descent () =
+  (* 32-byte email keys span 4 slices, so shared-prefix keys force deeper
+     layers; keys sharing 3 slices must coexist *)
+  let t = MS.create () in
+  let base = String.make 24 'x' in
+  let keys = List.init 50 (fun i -> base ^ Printf.sprintf "%08d" i) in
+  List.iteri (fun i k -> assert (MS.insert t ~tid:0 k i)) keys;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check (option int)) "deep layer lookup" (Some i)
+        (MS.lookup t ~tid:0 k))
+    keys;
+  Alcotest.(check int) "cardinal" 50 (MS.cardinal t)
+
+let test_prefix_keys_coexist () =
+  (* a key that is a strict prefix of another (different slice counts and
+     same padded slices) must not collide *)
+  let t = MS.create () in
+  assert (MS.insert t ~tid:0 "abc" 1);
+  assert (MS.insert t ~tid:0 "abc\x00\x00" 2);
+  assert (MS.insert t ~tid:0 "abcdefgh" 3);
+  assert (MS.insert t ~tid:0 "abcdefghi" 4);
+  Alcotest.(check (option int)) "short" (Some 1) (MS.lookup t ~tid:0 "abc");
+  Alcotest.(check (option int)) "padded twin" (Some 2)
+    (MS.lookup t ~tid:0 "abc\x00\x00");
+  Alcotest.(check (option int)) "exactly one slice" (Some 3)
+    (MS.lookup t ~tid:0 "abcdefgh");
+  Alcotest.(check (option int)) "into second slice" (Some 4)
+    (MS.lookup t ~tid:0 "abcdefghi");
+  Alcotest.(check bool) "delete prefix" true (MS.delete t ~tid:0 "abc");
+  Alcotest.(check (option int)) "twin survives" (Some 2)
+    (MS.lookup t ~tid:0 "abc\x00\x00")
+
+let test_email_corpus () =
+  let t = MS.create () in
+  for i = 0 to 9_999 do
+    assert (MS.insert t ~tid:0 (Workload.email_key_of i) i)
+  done;
+  for i = 0 to 9_999 do
+    assert (MS.lookup t ~tid:0 (Workload.email_key_of i) = Some i)
+  done;
+  Alcotest.(check int) "cardinal" 10_000 (MS.cardinal t)
+
+let test_scan_counts () =
+  let t = M.create () in
+  for k = 0 to 999 do
+    assert (M.insert t ~tid:0 (k * 2) k)
+  done;
+  Alcotest.(check int) "scan" 100 (M.scan t ~tid:0 500 100);
+  Alcotest.(check int) "scan tail" 10 (M.scan t ~tid:0 1_980 100);
+  Alcotest.(check int) "scan past end" 0 (M.scan t ~tid:0 10_000 100)
+
+let test_concurrent_inserts () =
+  let t = M.create () in
+  let nthreads = 6 and per = 8_000 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = (i * nthreads) + tid in
+              assert (M.insert t ~tid k k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all inserted" (nthreads * per) (M.cardinal t);
+  for k = 0 to (nthreads * per) - 1 do
+    assert (M.lookup t ~tid:0 k = Some k)
+  done
+
+let test_concurrent_mixed () =
+  let t = M.create () in
+  for k = 0 to 1_999 do
+    assert (M.insert t ~tid:0 k k)
+  done;
+  let nthreads = 6 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (tid + 13)) in
+            for _ = 1 to 15_000 do
+              let k = Bw_util.Rng.next_int rng 4_000 in
+              match Bw_util.Rng.next_int rng 4 with
+              | 0 -> ignore (M.insert t ~tid k k)
+              | 1 -> ignore (M.delete t ~tid k)
+              | 2 -> ignore (M.update t ~tid k (k + 1))
+              | _ -> ignore (M.lookup t ~tid k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  for k = 0 to 3_999 do
+    match M.lookup t ~tid:0 k with
+    | None -> ()
+    | Some v ->
+        Alcotest.(check bool) "value provenance" true (v = k || v = k + 1)
+  done
+
+let test_concurrent_string_inserts () =
+  let t = MS.create () in
+  let nthreads = 4 and per = 4_000 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = Workload.email_key_of ((i * nthreads) + tid) in
+              assert (MS.insert t ~tid k i)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all inserted" (nthreads * per) (MS.cardinal t)
+
+let () =
+  Alcotest.run "masstree"
+    [
+      ( "single-thread",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "model" `Slow test_model;
+          Alcotest.test_case "scan" `Quick test_scan_counts;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "deep descent" `Quick test_layer_descent;
+          Alcotest.test_case "prefix keys coexist" `Quick
+            test_prefix_keys_coexist;
+          Alcotest.test_case "email corpus" `Slow test_email_corpus;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts" `Slow test_concurrent_inserts;
+          Alcotest.test_case "mixed" `Slow test_concurrent_mixed;
+          Alcotest.test_case "string inserts" `Slow
+            test_concurrent_string_inserts;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the log-structured page store: the record log (CRC, segment
+   boundaries, compaction) and Bw-Tree checkpoint/recovery on top. *)
+
+module T = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
+module TS = Bwtree.Make (Index_iface.String_key) (Index_iface.Int_value)
+module CP = Pagestore.Checkpoint.Make (Pagestore.Codec.Int)
+    (Pagestore.Codec.Int) (T)
+module CPS = Pagestore.Checkpoint.Make (Pagestore.Codec.String)
+    (Pagestore.Codec.Int) (TS)
+module Log = Pagestore.Log
+
+(* --- crc32 --- *)
+
+let test_crc32_known_vectors () =
+  (* standard zlib test vectors *)
+  Alcotest.(check int32) "empty" 0l (Bw_util.Crc32.string "");
+  Alcotest.(check int32) "abc" 0x352441C2l (Bw_util.Crc32.string "abc");
+  Alcotest.(check int32) "123456789" 0xCBF43926l
+    (Bw_util.Crc32.string "123456789")
+
+let test_crc32_sensitivity () =
+  let a = Bw_util.Crc32.string "hello world" in
+  let b = Bw_util.Crc32.string "hello worle" in
+  Alcotest.(check bool) "differs" true (a <> b)
+
+(* --- log --- *)
+
+let test_log_roundtrip () =
+  let log = Log.create () in
+  let offs =
+    List.init 100 (fun i -> Log.append log (Printf.sprintf "record %d" i))
+  in
+  List.iteri
+    (fun i off ->
+      Alcotest.(check string) "roundtrip" (Printf.sprintf "record %d" i)
+        (Log.read log off))
+    offs;
+  Alcotest.(check int) "count" 100 (Log.records log)
+
+let test_log_segment_boundaries () =
+  (* tiny segments force records onto fresh segments *)
+  let log = Log.create ~segment_bytes:64 () in
+  let payload = String.make 30 'x' in
+  let offs = List.init 10 (fun _ -> Log.append log payload) in
+  Alcotest.(check bool) "multiple segments" true (Log.segment_count log > 3);
+  List.iter
+    (fun off -> Alcotest.(check string) "read" payload (Log.read log off))
+    offs
+
+let test_log_oversized_record () =
+  let log = Log.create ~segment_bytes:64 () in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Log.append: record larger than a segment") (fun () ->
+      ignore (Log.append log (String.make 100 'y')))
+
+let test_log_corruption_detected () =
+  let log = Log.create () in
+  let off = Log.append log "precious data" in
+  Log.corrupt_for_testing log off;
+  Alcotest.check_raises "crc failure"
+    (Failure "Log.read: corrupted record (crc mismatch)") (fun () ->
+      ignore (Log.read log off))
+
+let test_log_bad_address () =
+  let log = Log.create () in
+  ignore (Log.append log "x");
+  Alcotest.check_raises "bad address" (Failure "Log.read: bad address")
+    (fun () -> ignore (Log.read log 999_999))
+
+let test_log_iter_order () =
+  let log = Log.create ~segment_bytes:128 () in
+  let expected = List.init 50 (fun i -> Printf.sprintf "r%03d" i) in
+  List.iter (fun p -> ignore (Log.append log p)) expected;
+  let seen = ref [] in
+  Log.iter log (fun _ p -> seen := p :: !seen);
+  Alcotest.(check (list string)) "log order" expected (List.rev !seen)
+
+let test_log_compact () =
+  let log = Log.create ~segment_bytes:128 () in
+  let offs = Array.init 50 (fun i -> Log.append log (Printf.sprintf "%02d" i)) in
+  (* keep even records only *)
+  let keep = Hashtbl.create 32 in
+  Array.iteri (fun i off -> if i mod 2 = 0 then Hashtbl.replace keep off i) offs;
+  let moves = Hashtbl.create 32 in
+  let reclaimed =
+    Log.compact log
+      ~live:(fun off -> Hashtbl.mem keep off)
+      ~relocate:(fun o n -> Hashtbl.replace moves o n)
+  in
+  Alcotest.(check bool) "reclaimed bytes" true (reclaimed > 0);
+  Alcotest.(check int) "survivors" 25 (Log.records log);
+  Hashtbl.iter
+    (fun old i ->
+      let fresh = Hashtbl.find moves old in
+      Alcotest.(check string) "moved record intact"
+        (Printf.sprintf "%02d" i) (Log.read log fresh))
+    keep
+
+(* --- codecs --- *)
+
+let test_codec_roundtrip () =
+  let buf = Buffer.create 64 in
+  Pagestore.Codec.Int.encode buf 42;
+  Pagestore.Codec.Int.encode buf (-7);
+  Pagestore.Codec.String.encode buf "hello";
+  Pagestore.Codec.String.encode buf "";
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  Alcotest.(check int) "int" 42 (Pagestore.Codec.Int.decode s ~pos);
+  Alcotest.(check int) "negative int" (-7) (Pagestore.Codec.Int.decode s ~pos);
+  Alcotest.(check string) "string" "hello"
+    (Pagestore.Codec.String.decode s ~pos);
+  Alcotest.(check string) "empty string" ""
+    (Pagestore.Codec.String.decode s ~pos)
+
+let test_codec_truncation () =
+  Alcotest.check_raises "truncated" (Failure "Codec: truncated int")
+    (fun () -> ignore (Pagestore.Codec.Int.decode "abc" ~pos:(ref 0)))
+
+(* --- checkpoint / recover --- *)
+
+let test_checkpoint_roundtrip () =
+  let t = T.create () in
+  let rng = Bw_util.Rng.create ~seed:11L in
+  for _ = 1 to 20_000 do
+    let k = Bw_util.Rng.next_int rng 1_000_000 in
+    ignore (T.insert t k (k * 3))
+  done;
+  let log = Log.create () in
+  let root = CP.save t log in
+  let t' = CP.load log root in
+  Alcotest.(check int) "cardinality preserved" (T.cardinal t) (T.cardinal t');
+  Alcotest.(check bool) "contents preserved" true
+    (T.scan_all t () = T.scan_all t' ());
+  T.verify_invariants t'
+
+let test_checkpoint_empty_tree () =
+  let t = T.create () in
+  let log = Log.create () in
+  let root = CP.save t log in
+  let t' = CP.load log root in
+  Alcotest.(check int) "empty" 0 (T.cardinal t')
+
+let test_checkpoint_page_granularity () =
+  let t = T.create () in
+  for k = 0 to 999 do
+    ignore (T.insert t k k)
+  done;
+  let log = Log.create () in
+  let root = CP.save ~page_items:100 t log in
+  let m = CP.manifest log root in
+  Alcotest.(check int) "10 pages" 10 (Array.length m.pages);
+  Alcotest.(check int) "item count" 1_000 m.item_count
+
+let test_checkpoint_string_keys () =
+  let t = TS.create () in
+  for i = 0 to 5_000 do
+    ignore (TS.insert t (Workload.email_key_of i) i)
+  done;
+  let log = Log.create () in
+  let root = CPS.save t log in
+  let t' = CPS.load log root in
+  Alcotest.(check bool) "emails preserved" true
+    (TS.scan_all t () = TS.scan_all t' ())
+
+let test_checkpoint_corruption_fails_load () =
+  let t = T.create () in
+  for k = 0 to 499 do
+    ignore (T.insert t k k)
+  done;
+  let log = Log.create () in
+  let root = CP.save ~page_items:64 t log in
+  let m = CP.manifest log root in
+  Log.corrupt_for_testing log m.pages.(3);
+  Alcotest.check_raises "detected"
+    (Failure "Log.read: corrupted record (crc mismatch)") (fun () ->
+      ignore (CP.load log root))
+
+let test_checkpoint_gc () =
+  (* take several checkpoints, retire all but the newest, compact, and
+     recover from the translated root *)
+  let t = T.create () in
+  let log = Log.create ~segment_bytes:4096 () in
+  let roots = ref [] in
+  for round = 1 to 5 do
+    for k = (round - 1) * 1_000 to (round * 1_000) - 1 do
+      ignore (T.insert t k k)
+    done;
+    roots := CP.save ~page_items:64 t log :: !roots
+  done;
+  let newest = List.hd !roots in
+  let before = Log.bytes_used log in
+  let reclaimed, fresh_roots = CP.compact_keeping log [ newest ] in
+  Alcotest.(check bool) "space reclaimed" true (reclaimed > 0);
+  Alcotest.(check bool) "log shrank" true (Log.bytes_used log < before);
+  let root' = List.hd fresh_roots in
+  let t' = CP.load log root' in
+  Alcotest.(check int) "latest state recovered" 5_000 (T.cardinal t');
+  Alcotest.(check bool) "contents equal" true
+    (T.scan_all t () = T.scan_all t' ())
+
+let test_checkpoint_non_unique () =
+  (* a checkpoint of a non-unique index restores faithfully when loaded
+     with the matching configuration, and fails loudly when loaded into a
+     unique-keys tree (which would silently drop duplicates) *)
+  let nuniq = { Bwtree.default_config with unique_keys = false } in
+  let t = T.create ~config:nuniq () in
+  for k = 0 to 99 do
+    for v = 0 to 4 do
+      ignore (T.insert t k v)
+    done
+  done;
+  let log = Log.create () in
+  let root = CP.save ~page_items:64 t log in
+  let t' = CP.load ~config:nuniq log root in
+  Alcotest.(check bool) "duplicates preserved" true
+    (List.sort compare (T.scan_all t ())
+    = List.sort compare (T.scan_all t' ()));
+  Alcotest.check_raises "unique-mode load rejected"
+    (Failure "Checkpoint.load: manifest item count mismatch") (fun () ->
+      ignore (CP.load log root))
+
+let prop_checkpoint_roundtrip =
+  QCheck.Test.make ~name:"checkpoint/load is identity" ~count:50
+    QCheck.(list_of_size (Gen.int_range 0 300) (pair (int_bound 500) (int_bound 1000)))
+    (fun kvs ->
+      let t = T.create () in
+      List.iter (fun (k, v) -> ignore (T.insert t k v)) kvs;
+      let log = Log.create () in
+      let root = CP.save ~page_items:32 t log in
+      let t' = CP.load log root in
+      T.scan_all t () = T.scan_all t' ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pagestore"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_known_vectors;
+          Alcotest.test_case "sensitivity" `Quick test_crc32_sensitivity;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+          Alcotest.test_case "segment boundaries" `Quick
+            test_log_segment_boundaries;
+          Alcotest.test_case "oversized record" `Quick test_log_oversized_record;
+          Alcotest.test_case "corruption detected" `Quick
+            test_log_corruption_detected;
+          Alcotest.test_case "bad address" `Quick test_log_bad_address;
+          Alcotest.test_case "iteration order" `Quick test_log_iter_order;
+          Alcotest.test_case "compaction" `Quick test_log_compact;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_codec_truncation;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "empty tree" `Quick test_checkpoint_empty_tree;
+          Alcotest.test_case "page granularity" `Quick
+            test_checkpoint_page_granularity;
+          Alcotest.test_case "string keys" `Quick test_checkpoint_string_keys;
+          Alcotest.test_case "corruption fails load" `Quick
+            test_checkpoint_corruption_fails_load;
+          Alcotest.test_case "gc keeps newest" `Quick test_checkpoint_gc;
+          Alcotest.test_case "non-unique config" `Quick
+            test_checkpoint_non_unique;
+          q prop_checkpoint_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for the lock-free skip list, in both tower policies. *)
+
+module IK = Index_iface.Int_key
+module IV = Index_iface.Int_value
+module S = Skiplist.Make (IK) (IV)
+module IntMap = Map.Make (Int)
+
+let rng = Bw_util.Rng.create ~seed:0x51A9L
+
+let with_list policy f =
+  let t = S.create ~policy () in
+  S.start_aux t;
+  Fun.protect ~finally:(fun () -> S.stop_aux t) (fun () -> f t)
+
+let test_basic policy () =
+  with_list policy @@ fun t ->
+  Alcotest.(check (option int)) "empty" None (S.lookup t ~tid:0 1);
+  Alcotest.(check bool) "insert" true (S.insert t ~tid:0 1 10);
+  Alcotest.(check bool) "dup" false (S.insert t ~tid:0 1 11);
+  Alcotest.(check (option int)) "found" (Some 10) (S.lookup t ~tid:0 1);
+  Alcotest.(check bool) "update" true (S.update t ~tid:0 1 20);
+  Alcotest.(check (option int)) "updated" (Some 20) (S.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete" true (S.delete t ~tid:0 1);
+  Alcotest.(check (option int)) "gone" None (S.lookup t ~tid:0 1);
+  Alcotest.(check bool) "delete again" false (S.delete t ~tid:0 1)
+
+let test_delete_reinsert policy () =
+  with_list policy @@ fun t ->
+  for round = 1 to 5 do
+    for k = 0 to 199 do
+      Alcotest.(check bool) "insert" true (S.insert t ~tid:0 k round)
+    done;
+    for k = 0 to 199 do
+      Alcotest.(check (option int)) "visible" (Some round) (S.lookup t ~tid:0 k)
+    done;
+    for k = 0 to 199 do
+      Alcotest.(check bool) "delete" true (S.delete t ~tid:0 k)
+    done
+  done;
+  Alcotest.(check int) "empty at end" 0 (S.cardinal t);
+  S.verify_invariants t
+
+let test_model policy () =
+  with_list policy @@ fun t ->
+  let model = ref IntMap.empty in
+  for _ = 1 to 20_000 do
+    let k = Bw_util.Rng.next_int rng 2_000 in
+    match Bw_util.Rng.next_int rng 4 with
+    | 0 ->
+        let expected = not (IntMap.mem k !model) in
+        Alcotest.(check bool) "insert" expected (S.insert t ~tid:0 k (k * 3));
+        if expected then model := IntMap.add k (k * 3) !model
+    | 1 ->
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "delete" expected (S.delete t ~tid:0 k);
+        model := IntMap.remove k !model
+    | 2 ->
+        let v = Bw_util.Rng.next_int rng 99 in
+        let expected = IntMap.mem k !model in
+        Alcotest.(check bool) "update" expected (S.update t ~tid:0 k v);
+        if expected then model := IntMap.add k v !model
+    | _ ->
+        Alcotest.(check (option int)) "lookup" (IntMap.find_opt k !model)
+          (S.lookup t ~tid:0 k)
+  done;
+  S.verify_invariants t;
+  Alcotest.(check int) "cardinal" (IntMap.cardinal !model) (S.cardinal t)
+
+let test_scan () =
+  with_list Skiplist.Inline @@ fun t ->
+  for k = 0 to 999 do
+    assert (S.insert t ~tid:0 (k * 2) k)
+  done;
+  Alcotest.(check int) "scan" 100 (S.scan t ~tid:0 500 100);
+  Alcotest.(check int) "scan tail" 10 (S.scan t ~tid:0 1_980 100)
+
+let test_maintenance_builds_towers () =
+  let t = S.create ~policy:Skiplist.Background () in
+  for k = 0 to 9_999 do
+    assert (S.insert t ~tid:0 k k)
+  done;
+  (* explicit maintenance pass instead of the timer *)
+  S.maintenance_pass t;
+  for k = 0 to 9_999 do
+    assert (S.lookup t ~tid:0 k = Some k)
+  done;
+  S.verify_invariants t
+
+let test_concurrent_inserts policy () =
+  with_list policy @@ fun t ->
+  let nthreads = 6 and per = 6_000 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              let k = (i * nthreads) + tid in
+              assert (S.insert t ~tid k k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  S.verify_invariants t;
+  Alcotest.(check int) "all inserted" (nthreads * per) (S.cardinal t)
+
+let test_concurrent_contended () =
+  with_list Skiplist.Inline @@ fun t ->
+  let nthreads = 6 and nkeys = 2_000 in
+  let wins = Atomic.make 0 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            for k = 0 to nkeys - 1 do
+              if S.insert t ~tid k tid then
+                ignore (Atomic.fetch_and_add wins 1)
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "single winner per key" nkeys (Atomic.get wins);
+  S.verify_invariants t
+
+let test_concurrent_insert_delete () =
+  with_list Skiplist.Inline @@ fun t ->
+  let nthreads = 4 in
+  let domains =
+    Array.init nthreads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Bw_util.Rng.create ~seed:(Int64.of_int (tid + 31)) in
+            for _ = 1 to 20_000 do
+              let k = Bw_util.Rng.next_int rng 500 in
+              if Bw_util.Rng.next_bool rng then ignore (S.insert t ~tid k k)
+              else ignore (S.delete t ~tid k)
+            done))
+  in
+  Array.iter Domain.join domains;
+  S.verify_invariants t;
+  (* whatever remains must be self-consistent *)
+  let c = S.cardinal t in
+  Alcotest.(check bool) "cardinal in range" true (c >= 0 && c <= 500)
+
+let () =
+  Alcotest.run "skiplist"
+    [
+      ( "inline",
+        [
+          Alcotest.test_case "basic" `Quick (test_basic Skiplist.Inline);
+          Alcotest.test_case "delete/reinsert" `Quick
+            (test_delete_reinsert Skiplist.Inline);
+          Alcotest.test_case "model" `Slow (test_model Skiplist.Inline);
+          Alcotest.test_case "scan" `Quick test_scan;
+        ] );
+      ( "background",
+        [
+          Alcotest.test_case "basic" `Quick (test_basic Skiplist.Background);
+          Alcotest.test_case "delete/reinsert" `Quick
+            (test_delete_reinsert Skiplist.Background);
+          Alcotest.test_case "model" `Slow (test_model Skiplist.Background);
+          Alcotest.test_case "maintenance builds towers" `Quick
+            test_maintenance_builds_towers;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "inserts inline" `Slow
+            (test_concurrent_inserts Skiplist.Inline);
+          Alcotest.test_case "inserts background" `Slow
+            (test_concurrent_inserts Skiplist.Background);
+          Alcotest.test_case "contended single winner" `Slow
+            test_concurrent_contended;
+          Alcotest.test_case "insert/delete churn" `Slow
+            test_concurrent_insert_delete;
+        ] );
+    ]

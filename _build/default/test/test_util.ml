@@ -1,0 +1,332 @@
+(* Unit and property tests for the utility substrate: RNG, Zipf sampler,
+   growable arrays, binary key codecs, statistics, counters. *)
+
+module Rng = Bw_util.Rng
+module Zipf = Bw_util.Zipf
+module Growable = Bw_util.Growable
+module Key_codec = Bw_util.Key_codec
+module Stats = Bw_util.Stats
+module Counters = Bw_util.Counters
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7L in
+  for _ = 1 to 10_000 do
+    let x = Rng.next_int r 17 in
+    Alcotest.(check bool) "in bounds" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:9L in
+  for _ = 1 to 10_000 do
+    let x = Rng.next_float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:5L in
+  let b = Rng.split a in
+  let eq = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next_int64 a = Rng.next_int64 b then incr eq
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!eq < 4)
+
+let test_rng_invalid_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument
+    "Rng.next_int: bound must be positive") (fun () ->
+      ignore (Rng.next_int (Rng.create ~seed:1L) 0))
+
+let test_shuffle_permutation () =
+  let r = Rng.create ~seed:3L in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id)
+    sorted
+
+(* --- Zipf --- *)
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:1000 () in
+  let r = Rng.create ~seed:11L in
+  for _ = 1 to 10_000 do
+    let x = Zipf.sample z r in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 1000)
+  done
+
+let test_zipf_skew () =
+  (* with theta=0.99, item 0 must be drawn far more often than uniform *)
+  let n = 1000 in
+  let z = Zipf.create ~n () in
+  let r = Rng.create ~seed:13L in
+  let hits = Array.make n 0 in
+  let draws = 100_000 in
+  for _ = 1 to draws do
+    let x = Zipf.sample z r in
+    hits.(x) <- hits.(x) + 1
+  done;
+  Alcotest.(check bool) "head is hot" true
+    (hits.(0) > 10 * (draws / n));
+  (* monotonically decreasing popularity, roughly *)
+  Alcotest.(check bool) "rank 0 >= rank 100" true (hits.(0) >= hits.(100))
+
+let test_zipf_scrambled_spread () =
+  (* scrambling must move the hottest item away from a fixed position in
+     most cases and keep values in range *)
+  let n = 1000 in
+  let z = Zipf.create ~n () in
+  let r = Rng.create ~seed:17L in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 10_000 do
+    let x = Zipf.sample_scrambled z r in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < n);
+    Hashtbl.replace seen x ()
+  done;
+  Alcotest.(check bool) "many distinct values" true (Hashtbl.length seen > 50)
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument
+    "Zipf.create: n must be positive") (fun () ->
+      ignore (Zipf.create ~n:0 ()))
+
+(* --- Growable --- *)
+
+let test_growable_push_get () =
+  let g = Growable.create () in
+  for i = 0 to 999 do
+    Growable.push g i
+  done;
+  check "length" 1000 (Growable.length g);
+  for i = 0 to 999 do
+    check "get" i (Growable.get g i)
+  done
+
+let test_growable_insert_remove () =
+  let g = Growable.of_array [| 1; 2; 4; 5 |] in
+  Growable.insert_at g 2 3;
+  Alcotest.(check (array int)) "insert middle" [| 1; 2; 3; 4; 5 |]
+    (Growable.to_array g);
+  Growable.insert_at g 0 0;
+  Growable.insert_at g (Growable.length g) 6;
+  Alcotest.(check (array int)) "insert ends" [| 0; 1; 2; 3; 4; 5; 6 |]
+    (Growable.to_array g);
+  Growable.remove_at g 0;
+  Growable.remove_at g (Growable.length g - 1);
+  Growable.remove_at g 2;
+  Alcotest.(check (array int)) "removes" [| 1; 2; 4; 5 |]
+    (Growable.to_array g)
+
+let test_growable_truncate_pop () =
+  let g = Growable.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check (option int)) "pop" (Some 4) (Growable.pop g);
+  Growable.truncate g 2;
+  Alcotest.(check (array int)) "truncated" [| 1; 2 |] (Growable.to_array g);
+  Growable.truncate g 10;
+  check "truncate beyond is noop" 2 (Growable.length g);
+  Growable.clear g;
+  check "cleared" 0 (Growable.length g);
+  Alcotest.(check (option int)) "pop empty" None (Growable.pop g)
+
+let test_growable_sort_fold () =
+  let g = Growable.of_array [| 3; 1; 2 |] in
+  Growable.sort compare g;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3 |] (Growable.to_array g);
+  check "fold" 6 (Growable.fold_left ( + ) 0 g)
+
+let test_growable_bounds () =
+  let g = Growable.of_array [| 1 |] in
+  Alcotest.check_raises "oob get"
+    (Invalid_argument "Growable: index out of bounds") (fun () ->
+      ignore (Growable.get g 1))
+
+let prop_growable_model =
+  (* a random sequence of push/insert/remove agrees with a list model *)
+  QCheck.Test.make ~name:"growable agrees with list model" ~count:200
+    QCheck.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let g = Growable.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              Growable.push g x;
+              model := !model @ [ x ]
+          | 1 ->
+              let n = Growable.length g in
+              let pos = x mod (n + 1) in
+              let pos = if pos < 0 then 0 else pos in
+              Growable.insert_at g pos x;
+              let rec ins i = function
+                | rest when i = pos -> x :: rest
+                | [] -> [ x ]
+                | y :: rest -> y :: ins (i + 1) rest
+              in
+              model := ins 0 !model
+          | _ ->
+              if Growable.length g > 0 then begin
+                let pos = abs x mod Growable.length g in
+                Growable.remove_at g pos;
+                model := List.filteri (fun i _ -> i <> pos) !model
+              end)
+        ops;
+      Growable.to_array g = Array.of_list !model)
+
+(* --- Key_codec --- *)
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun k -> check "roundtrip" k (Key_codec.to_int (Key_codec.of_int k)))
+    [ 0; 1; -1; max_int; min_int; 42; -4096; 1 lsl 40 ]
+
+let prop_codec_order =
+  QCheck.Test.make ~name:"int codec preserves order" ~count:1000
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let ca = Key_codec.of_int a and cb = Key_codec.of_int b in
+      compare (String.compare ca cb) 0 = compare (Int.compare a b) 0)
+
+let test_slice64 () =
+  let s = "\x01\x02\x03\x04\x05\x06\x07\x08\xFF" in
+  Alcotest.(check int64) "first slice" 0x0102030405060708L
+    (Key_codec.slice64 s 0);
+  Alcotest.(check int64) "padded slice" 0xFF00000000000000L
+    (Key_codec.slice64 s 1);
+  check "slice count" 2 (Key_codec.slice_count s);
+  check "empty has one slice" 1 (Key_codec.slice_count "")
+
+(* --- Stats --- *)
+
+let test_stats_basics () =
+  checkf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  checkf "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  checkf "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  checkf "p100" 4.0 (Stats.percentile [| 4.0; 1.0; 2.0; 3.0 |] 100.0);
+  checkf "throughput" 2.0 (Stats.throughput_mops ~ops:2_000_000 ~seconds:1.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  checkf "min" 1.0 s.min;
+  checkf "max" 3.0 s.max;
+  check "n" 3 s.n
+
+(* --- Histogram --- *)
+
+module H = Bw_util.Histogram
+
+let test_histogram_basics () =
+  let h = H.create () in
+  List.iter (H.add h) [ 1; 2; 2; 3; 3; 3 ];
+  check "count" 6 (H.count h);
+  check "total" 14 (H.total h);
+  checkf "mean" (14.0 /. 6.0) (H.mean h);
+  check "min" 1 (H.min_value h);
+  check "max" 3 (H.max_value h);
+  Alcotest.(check (list (pair int int))) "buckets" [ (1, 1); (2, 2); (3, 3) ]
+    (H.buckets h)
+
+let test_histogram_percentiles () =
+  let h = H.create () in
+  for v = 1 to 100 do
+    H.add h v
+  done;
+  check "p50" 50 (H.percentile h 50.0);
+  check "p99" 99 (H.percentile h 99.0);
+  check "p100" 100 (H.percentile h 100.0);
+  check "p1" 1 (H.percentile h 1.0)
+
+let test_histogram_empty () =
+  let h = H.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram: empty")
+    (fun () -> ignore (H.min_value h))
+
+let test_histogram_addn_render () =
+  let h = H.create () in
+  H.addn h 5 10;
+  H.addn h 500 1;
+  check "count" 11 (H.count h);
+  let out = Format.asprintf "%a" (H.pp ~width:10) h in
+  Alcotest.(check bool) "renders rows" true (String.length out > 10)
+
+(* --- Counters --- *)
+
+let test_counters () =
+  let c = Counters.create ~max_threads:4 in
+  Counters.incr c ~tid:0 Counters.Cas_attempt;
+  Counters.incr c ~tid:3 Counters.Cas_attempt;
+  Counters.add c ~tid:1 Counters.Pointer_deref 5;
+  check "summed" 2 (Counters.read c Counters.Cas_attempt);
+  check "add" 5 (Counters.read c Counters.Pointer_deref);
+  Counters.reset c;
+  check "reset" 0 (Counters.read c Counters.Cas_attempt)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "range" `Quick test_zipf_range;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "scrambled" `Quick test_zipf_scrambled_spread;
+          Alcotest.test_case "invalid" `Quick test_zipf_invalid;
+        ] );
+      ( "growable",
+        [
+          Alcotest.test_case "push/get" `Quick test_growable_push_get;
+          Alcotest.test_case "insert/remove" `Quick test_growable_insert_remove;
+          Alcotest.test_case "truncate/pop" `Quick test_growable_truncate_pop;
+          Alcotest.test_case "sort/fold" `Quick test_growable_sort_fold;
+          Alcotest.test_case "bounds" `Quick test_growable_bounds;
+          q prop_growable_model;
+        ] );
+      ( "key_codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          q prop_codec_order;
+          Alcotest.test_case "slice64" `Quick test_slice64;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "addn/render" `Quick test_histogram_addn_render;
+        ] );
+      ("counters", [ Alcotest.test_case "basics" `Quick test_counters ]);
+    ]

@@ -1,0 +1,222 @@
+(* Tests for the YCSB-style workload generator. *)
+
+module W = Workload
+
+let cfg = { W.default_config with num_keys = 1_000; num_ops = 10_000 }
+
+let test_mix_parsing () =
+  Alcotest.(check bool) "a" true (W.mix_of_string "a" = Some W.Read_update);
+  Alcotest.(check bool) "ycsb-c" true
+    (W.mix_of_string "ycsb-c" = Some W.Read_only);
+  Alcotest.(check bool) "e" true (W.mix_of_string "e" = Some W.Scan_insert);
+  Alcotest.(check bool) "insert" true
+    (W.mix_of_string "insert" = Some W.Insert_only);
+  Alcotest.(check bool) "junk" true (W.mix_of_string "junk" = None)
+
+let test_key_mappers () =
+  Alcotest.(check int) "mono identity" 42 (W.Keys.mono_int 42);
+  Alcotest.(check bool) "rand distinct" true
+    (W.Keys.rand_int 1 <> W.Keys.rand_int 2);
+  Alcotest.(check int) "rand deterministic" (W.Keys.rand_int 7)
+    (W.Keys.rand_int 7);
+  Alcotest.(check bool) "rand non-negative" true (W.Keys.rand_int 123 >= 0)
+
+let test_rand_int_injective_sample () =
+  let seen = Hashtbl.create 4096 in
+  for i = 0 to 100_000 do
+    let k = W.Keys.rand_int i in
+    Alcotest.(check bool) "no collision in 100k" false (Hashtbl.mem seen k);
+    Hashtbl.add seen k ()
+  done
+
+let test_email_shape () =
+  for i = 0 to 1_000 do
+    let e = W.Keys.email i in
+    Alcotest.(check int) "fixed 32 bytes" 32 (String.length e);
+    Alcotest.(check bool) "has @" true (String.contains e '@')
+  done;
+  Alcotest.(check bool) "distinct" true (W.Keys.email 1 <> W.Keys.email 2);
+  Alcotest.(check string) "deterministic" (W.Keys.email 5) (W.Keys.email 5)
+
+let test_email_distinct_corpus () =
+  let seen = Hashtbl.create 4096 in
+  for i = 0 to 50_000 do
+    Hashtbl.replace seen (W.Keys.email i) ()
+  done;
+  Alcotest.(check int) "50k distinct emails" 50_001 (Hashtbl.length seen)
+
+let test_load_trace () =
+  let trace = W.load_trace cfg W.Mono_int (W.int_key_of W.Mono_int) in
+  Alcotest.(check int) "length" cfg.num_keys (Array.length trace);
+  Array.iteri
+    (fun i (k, _) -> Alcotest.(check int) "ascending mono" i k)
+    trace
+
+let test_ops_trace_determinism () =
+  let a = W.ops_trace cfg W.Rand_int W.Read_update ~tid:0 ~nthreads:2
+      (W.int_key_of W.Rand_int) in
+  let b = W.ops_trace cfg W.Rand_int W.Read_update ~tid:0 ~nthreads:2
+      (W.int_key_of W.Rand_int) in
+  Alcotest.(check bool) "same trace" true (a = b);
+  let c = W.ops_trace cfg W.Rand_int W.Read_update ~tid:1 ~nthreads:2
+      (W.int_key_of W.Rand_int) in
+  Alcotest.(check bool) "different thread, different trace" true (a <> c)
+
+let count p ops = Array.fold_left (fun n op -> if p op then n + 1 else n) 0 ops
+
+let test_mix_ratios () =
+  let ops = W.ops_trace { cfg with num_ops = 40_000 } W.Rand_int W.Read_update
+      ~tid:0 ~nthreads:1 (W.int_key_of W.Rand_int) in
+  let reads = count (function W.Read _ -> true | _ -> false) ops in
+  let updates = count (function W.Update _ -> true | _ -> false) ops in
+  Alcotest.(check int) "only reads and updates" (Array.length ops)
+    (reads + updates);
+  let frac = float_of_int reads /. float_of_int (Array.length ops) in
+  Alcotest.(check bool) "roughly 50/50" true (frac > 0.45 && frac < 0.55)
+
+let test_scan_insert_ratio () =
+  let ops = W.ops_trace { cfg with num_ops = 40_000 } W.Rand_int W.Scan_insert
+      ~tid:0 ~nthreads:1 (W.int_key_of W.Rand_int) in
+  let scans = count (function W.Scan _ -> true | _ -> false) ops in
+  let inserts = count (function W.Insert _ -> true | _ -> false) ops in
+  Alcotest.(check int) "only scans and inserts" (Array.length ops)
+    (scans + inserts);
+  let frac = float_of_int inserts /. float_of_int (Array.length ops) in
+  Alcotest.(check bool) "about 5% inserts" true (frac > 0.03 && frac < 0.07);
+  (* average scan length should be near scan_max/2 = 48 *)
+  let total_len =
+    Array.fold_left
+      (fun acc -> function W.Scan (_, n) -> acc + n | _ -> acc)
+      0 ops
+  in
+  let avg = float_of_int total_len /. float_of_int scans in
+  Alcotest.(check bool) "avg scan length near 48" true
+    (avg > 40.0 && avg < 56.0)
+
+let test_insert_keys_fresh_and_partitioned () =
+  let nthreads = 4 in
+  let traces =
+    List.init nthreads (fun tid ->
+        W.ops_trace cfg W.Mono_int W.Insert_only ~tid ~nthreads
+          (W.int_key_of W.Mono_int))
+  in
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (Array.iter (function
+      | W.Insert (k, _) ->
+          Alcotest.(check bool) "beyond loaded range" true (k >= cfg.num_keys);
+          Alcotest.(check bool) "no cross-thread collision" false
+            (Hashtbl.mem seen k);
+          Hashtbl.add seen k ()
+      | _ -> Alcotest.fail "insert-only trace has non-insert"))
+    traces
+
+let test_zipf_skew_in_reads () =
+  let ops = W.ops_trace { cfg with num_ops = 50_000 } W.Mono_int W.Read_only
+      ~tid:0 ~nthreads:1 (W.int_key_of W.Mono_int) in
+  let hits = Hashtbl.create 1024 in
+  Array.iter
+    (function
+      | W.Read k ->
+          Hashtbl.replace hits k (1 + Option.value ~default:0
+                                    (Hashtbl.find_opt hits k))
+      | _ -> ())
+    ops;
+  let counts = Hashtbl.fold (fun _ c acc -> c :: acc) hits [] in
+  let max_c = List.fold_left max 0 counts in
+  let avg = 50_000 / cfg.num_keys in
+  Alcotest.(check bool) "zipfian hot key" true (max_c > 5 * avg)
+
+let test_hc_generator () =
+  let nthreads = 4 in
+  let hc = W.Hc.create ~nthreads in
+  let seen = Hashtbl.create 1024 in
+  let per_thread_last = Array.make nthreads (-1) in
+  for _ = 1 to 1_000 do
+    for tid = 0 to nthreads - 1 do
+      let k = W.Hc.next hc ~tid in
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen k);
+      Hashtbl.add seen k ();
+      Alcotest.(check bool) "per-thread increasing" true
+        (k > per_thread_last.(tid));
+      per_thread_last.(tid) <- k;
+      Alcotest.(check int) "tid in low bits" tid (k land (nthreads - 1))
+    done
+  done
+
+let test_trace_io_int_roundtrip () =
+  let cfg' = { cfg with num_ops = 500 } in
+  let ops =
+    W.ops_trace cfg' W.Rand_int W.Scan_insert ~tid:0 ~nthreads:1
+      (W.int_key_of W.Rand_int)
+  in
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  W.Trace_io.save_int path ops;
+  let ops' = W.Trace_io.load_int path in
+  Alcotest.(check bool) "roundtrip" true (ops = ops')
+
+let test_trace_io_string_roundtrip () =
+  let ops =
+    [|
+      W.Insert ("key with spaces? no: hex", 1);
+      W.Read "\x00\xffbinary";
+      W.Update ("", 2);
+      W.Scan ("start", 48);
+    |]
+  in
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  W.Trace_io.save_string path ops;
+  let ops' = W.Trace_io.load_string path in
+  Alcotest.(check bool) "roundtrip" true (ops = ops')
+
+let test_trace_io_malformed () =
+  let path = Filename.temp_file "trace" ".txt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc "bogus line\n";
+  close_out oc;
+  Alcotest.check_raises "malformed"
+    (Failure "Workload.Trace_io: malformed line: bogus line") (fun () ->
+      ignore (W.Trace_io.load_int path))
+
+let test_int_key_of_email_rejected () =
+  Alcotest.check_raises "email via int_key_of"
+    (Invalid_argument "Workload.int_key_of: Email keys are strings")
+    (fun () -> ignore (W.int_key_of W.Email 3))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "mix parsing" `Quick test_mix_parsing;
+          Alcotest.test_case "mappers" `Quick test_key_mappers;
+          Alcotest.test_case "rand injective" `Slow
+            test_rand_int_injective_sample;
+          Alcotest.test_case "email shape" `Quick test_email_shape;
+          Alcotest.test_case "email distinct" `Slow test_email_distinct_corpus;
+          Alcotest.test_case "email via int rejected" `Quick
+            test_int_key_of_email_rejected;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "load trace" `Quick test_load_trace;
+          Alcotest.test_case "determinism" `Quick test_ops_trace_determinism;
+          Alcotest.test_case "read/update ratio" `Quick test_mix_ratios;
+          Alcotest.test_case "scan/insert ratio" `Quick test_scan_insert_ratio;
+          Alcotest.test_case "fresh partitioned inserts" `Quick
+            test_insert_keys_fresh_and_partitioned;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew_in_reads;
+        ] );
+      ( "high-contention",
+        [ Alcotest.test_case "hc generator" `Quick test_hc_generator ] );
+      ( "trace-io",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_trace_io_int_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick
+            test_trace_io_string_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_trace_io_malformed;
+        ] );
+    ]
