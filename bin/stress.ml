@@ -1,0 +1,97 @@
+(* Long-running multi-domain stress driver over the Bw_stress harness.
+
+   Examples:
+     dune exec bin/stress.exe -- --short
+     dune exec bin/stress.exe -- --seconds 60 --domains 8 --scheme centralized
+     dune exec bin/stress.exe -- --index skiplist --seconds 10
+     dune exec bin/stress.exe -- --non-unique --seconds 30
+
+   Exits non-zero if any invariant was violated, so it can gate CI. *)
+
+let short = ref false
+let seconds = ref 10.0
+let domains = ref 4
+let churn = ref 2
+let keys = ref 1024
+let ops = ref 5_000
+let seed = ref 1
+let scheme = ref "decentralized"
+let index = ref "openbw"
+let unique = ref true
+let quiet = ref false
+
+let speclist =
+  [
+    ("--short", Arg.Set short, " run the dune-runtest-sized configuration");
+    ( "--seconds",
+      Arg.Set_float seconds,
+      "S wall-clock budget for the long mode (default 10)" );
+    ("--domains", Arg.Set_int domains, "N worker domains (default 4)");
+    ("--churn", Arg.Set_int churn, "N mapping-table churn domains (default 2)");
+    ("--keys", Arg.Set_int keys, "N keys per worker stripe (default 1024)");
+    ( "--ops",
+      Arg.Set_int ops,
+      "N operations per worker between invariant barriers (default 5000)" );
+    ("--seed", Arg.Set_int seed, "N rng seed (default 1)");
+    ( "--scheme",
+      Arg.Set_string scheme,
+      "S epoch scheme: centralized | decentralized | disabled" );
+    ( "--index",
+      Arg.Set_string index,
+      "S subject: openbw | bw | skiplist | btree | art | masstree" );
+    ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
+    ("--quiet", Arg.Set quiet, " suppress per-phase progress lines");
+  ]
+
+let usage = "stress [options]: multi-domain invariant-checking stress run"
+
+let () =
+  Arg.parse (Arg.align speclist)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let gc_scheme =
+    match !scheme with
+    | "centralized" -> Epoch.Centralized
+    | "decentralized" -> Epoch.Decentralized
+    | "disabled" -> Epoch.Disabled
+    | s -> raise (Arg.Bad ("unknown scheme " ^ s))
+  in
+  let cfg =
+    if !short then { Bw_stress.short_config with verbose = not !quiet }
+    else
+      {
+        Bw_stress.short_config with
+        domains = !domains;
+        churn_domains = !churn;
+        keys_per_domain = !keys;
+        ops_per_phase = !ops;
+        time_budget_s = Some !seconds;
+        seed = !seed;
+        verbose = not !quiet;
+      }
+  in
+  let subject =
+    match !index with
+    | "openbw" | "bw" ->
+        let base =
+          if !index = "bw" then Bwtree.microsoft_config
+          else Bwtree.default_config
+        in
+        Bw_stress.bwtree_subject
+          ~config:{ base with gc_scheme; unique_keys = !unique }
+          ~domains:cfg.Bw_stress.domains ()
+    | "skiplist" ->
+        Bw_stress.of_driver (Harness.Drivers.skiplist_driver_int ())
+    | "btree" -> Bw_stress.of_driver (Harness.Drivers.btree_driver_int ())
+    | "art" -> Bw_stress.of_driver (Harness.Drivers.art_driver_int ())
+    | "masstree" ->
+        Bw_stress.of_driver (Harness.Drivers.masstree_driver_int ())
+    | s -> raise (Arg.Bad ("unknown index " ^ s))
+  in
+  Printf.printf "stress: %s | %d domains + %d churn | scheme %s | %s keys\n%!"
+    subject.Bw_stress.s_name cfg.Bw_stress.domains
+    cfg.Bw_stress.churn_domains !scheme
+    (if !unique then "unique" else "non-unique");
+  let r = Bw_stress.run cfg subject in
+  Format.printf "%a@." Bw_stress.pp_report r;
+  if r.Bw_stress.r_violations <> [] then exit 1

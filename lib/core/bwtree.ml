@@ -1897,6 +1897,15 @@ module Make (K : KEY) (V : VALUE) :
     in
     walk (Atomic.get t.root)
 
+  (* Cheap invariant probe for stress harnesses: one walk, no allocation
+     beyond the traversal itself. *)
+  let max_chains t =
+    let leaf_max = ref 0 and inner_max = ref 0 in
+    iter_nodes t (fun ~leaf ~chain ~size:_ ->
+        if leaf then (if chain > !leaf_max then leaf_max := chain)
+        else if chain > !inner_max then inner_max := chain);
+    (!leaf_max, !inner_max)
+
   let memory_words t = Obj.reachable_words (Obj.repr t)
 
   let mapping_table_stats t =

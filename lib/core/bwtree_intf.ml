@@ -218,6 +218,11 @@ module type S = sig
   val iter_nodes : t -> (leaf:bool -> chain:int -> size:int -> unit) -> unit
   val memory_words : t -> int
 
+  val max_chains : t -> int * int
+  (** (longest leaf Delta Chain, longest inner Delta Chain) right now — a
+      cheap probe for harnesses that bound chain growth. Exact when the
+      tree is quiescent; a racy snapshot otherwise. *)
+
   val mapping_table_stats : t -> int * int * int
   (** (ids handed out, chunks faulted in, addressable capacity). *)
 

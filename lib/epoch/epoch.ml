@@ -60,6 +60,10 @@ type t = {
      shared memory. *)
   s_retired : int array array;
   s_reclaimed : int array array;
+  (* Reclamations performed by collectors that have no thread identity of
+     their own (the background advancer, foreground [flush]/[advance]
+     callers). Kept atomic because any number of them may race. *)
+  s_reclaimed_shared : int Atomic.t;
   s_enters : int array array;
   advanced : int Atomic.t;
   mutable background : unit Domain.t option;
@@ -72,6 +76,12 @@ type stats = {
   epochs_advanced : int;
   enters : int;
 }
+
+(* Test-only scheduling hook: invoked by the centralized retire path after
+   it has chosen a target epoch and before it publishes into that epoch's
+   garbage list, so regression tests can force an [advance] into the race
+   window deterministically. *)
+let test_retire_window : (unit -> unit) ref = ref (fun () -> ())
 
 let create ~scheme ~max_threads ?(gc_threshold = 1024) () =
   let impl =
@@ -104,6 +114,7 @@ let create ~scheme ~max_threads ?(gc_threshold = 1024) () =
     max_threads;
     s_retired = row ();
     s_reclaimed = row ();
+    s_reclaimed_shared = Atomic.make 0;
     s_enters = row ();
     advanced = Atomic.make 0;
     background = None;
@@ -145,17 +156,37 @@ let c_exit c ~tid =
       ignore (Atomic.fetch_and_add e.counter (-1))
 
 let c_retire t c ~tid obj =
-  let e = Atomic.get c.current in
-  let rec push () =
-    let old = Atomic.get e.garbage in
-    if not (Atomic.compare_and_set e.garbage old (obj :: old)) then push ()
+  (* Publish-then-validate, mirroring [c_enter]: push onto the current
+     epoch's garbage list, then check that the epoch is still chained. If
+     the collector unchained it while we were pushing, it may also have
+     drained it already — in that case the push landed in a dead epoch and
+     would leak forever. Steal back whatever the drain did not take and
+     re-park it on the fresh current epoch; the exchange is atomic, so
+     every object ends up on exactly one live garbage list and is
+     reclaimed exactly once. *)
+  let rec park objs =
+    let e = Atomic.get c.current in
+    !test_retire_window ();
+    let rec push () =
+      let old = Atomic.get e.garbage in
+      if not (Atomic.compare_and_set e.garbage old (List.rev_append objs old))
+      then push ()
+    in
+    push ();
+    if e.id < (Atomic.get c.head).id then
+      match Atomic.exchange e.garbage [] with
+      | [] -> () (* the collector saw our push; nothing is stranded *)
+      | stolen -> park stolen
   in
-  push ();
+  park [ obj ];
   bump t.s_retired tid
 
 let c_reclaim_epoch t e =
   let g = Atomic.exchange e.garbage [] in
-  bumpn t.s_reclaimed 0 (List.length g)
+  (* [c_advance] runs from the background domain and from any foreground
+     [flush]/[advance] caller, so this count cannot go into a per-thread
+     row without breaking the "written only by thread tid" contract. *)
+  ignore (Atomic.fetch_and_add t.s_reclaimed_shared (List.length g))
 
 let c_advance t c =
   Mutex.lock c.advance_lock;
@@ -232,7 +263,13 @@ let d_collect t d ~tid =
     Bw_util.Growable.length bag + max 1 (d.gc_threshold / 2)
 
 let d_end t d ~tid =
-  Atomic.set d.local.(tid) (Atomic.get d.global);
+  (* Release the watermark: between operations this thread holds no
+     references, so it must publish [idle]. Re-publishing the global epoch
+     here would pin the watermark forever once the thread issues its last
+     operation, leaking every other thread's bags until an explicit
+     [quiesce]. Publishing before collecting also lets this thread's own
+     stale epoch stop holding back its own bag. *)
+  Atomic.set d.local.(tid) idle;
   if Bw_util.Growable.length d.bags.(tid) >= d.next_collect.(tid) then
     d_collect t d ~tid
 
@@ -318,7 +355,7 @@ let stop_background t =
 let stats t =
   {
     retired = sum t.s_retired;
-    reclaimed = sum t.s_reclaimed;
+    reclaimed = sum t.s_reclaimed + Atomic.get t.s_reclaimed_shared;
     epochs_advanced = Atomic.get t.advanced;
     enters = sum t.s_enters;
   }

@@ -84,3 +84,13 @@ type stats = {
 val stats : t -> stats
 val pending : t -> int
 (** retired − reclaimed. *)
+
+(**/**)
+
+val test_retire_window : (unit -> unit) ref
+(** Test-only scheduling hook: invoked by the centralized retire path
+    between target-epoch selection and garbage publication, so regression
+    tests can deterministically force an {!advance} into the race window.
+    Must be restored to a no-op after use. *)
+
+(**/**)

@@ -46,6 +46,34 @@ module Barrier = struct
       done
 end
 
+(* A reusable phase barrier: workers [await] at the end of each phase; a
+   controller [wait_all]s, runs its checks while every worker is parked,
+   then [release]s the next phase. Unlike {!Barrier} it can be crossed any
+   number of times, which is what the stress harness's
+   work/quiesce/check/resume cycle needs. *)
+module Phaser = struct
+  type t = { arrived : int Atomic.t; phase : int Atomic.t; parties : int }
+
+  let create parties =
+    { arrived = Atomic.make 0; phase = Atomic.make 0; parties }
+
+  let await t =
+    let p = Atomic.get t.phase in
+    ignore (Atomic.fetch_and_add t.arrived 1);
+    while Atomic.get t.phase = p do
+      Domain.cpu_relax ()
+    done
+
+  let wait_all t =
+    while Atomic.get t.arrived < t.parties do
+      Domain.cpu_relax ()
+    done
+
+  let release t =
+    Atomic.set t.arrived 0;
+    ignore (Atomic.fetch_and_add t.phase 1)
+end
+
 (* ------------------------------------------------------------------ *)
 (* Measured runs                                                       *)
 (* ------------------------------------------------------------------ *)

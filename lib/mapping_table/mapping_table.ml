@@ -80,10 +80,17 @@ let allocate t v =
   set t id v;
   id
 
-let rec free_id t id =
+let free_id t id =
+  (* The dummy store must happen exactly once, before the id is published
+     on the free list: once the push below succeeds, a racing [allocate]
+     may pop [id] and install a live pointer immediately, and a dummy
+     store re-executed on a CaS retry would stomp it. *)
   set t id t.dummy;
-  let old = Atomic.get t.free in
-  if not (Atomic.compare_and_set t.free old (id :: old)) then free_id t id
+  let rec push () =
+    let old = Atomic.get t.free in
+    if not (Atomic.compare_and_set t.free old (id :: old)) then push ()
+  in
+  push ()
 
 let chunks_allocated t = Atomic.get t.chunks
 let high_water t = Atomic.get t.next_id

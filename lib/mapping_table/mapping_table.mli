@@ -46,7 +46,10 @@ val cas_unsafe : 'a t -> int -> expect:'a -> repl:'a -> bool
 
 val free_id : 'a t -> int -> unit
 (** Recycle an id whose node has been removed. The caller must guarantee
-    (via epochs) that no thread can still traverse to it. *)
+    (via epochs) that no thread can still traverse to it, and must not
+    free the same id twice. The cell is reset to [dummy] strictly before
+    the id becomes poppable by {!allocate}, so a recycled id never
+    exposes its previous pointer. *)
 
 val capacity : 'a t -> int
 (** Maximum number of ids the directory geometry can address. *)

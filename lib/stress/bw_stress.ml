@@ -1,0 +1,599 @@
+(* Multi-domain stress + invariant-check harness. See bw_stress.mli for
+   the invariant catalogue; the implementation notes here cover the
+   synchronization structure.
+
+   Workers own disjoint key stripes, so every key has a single writer and
+   per-thread journals admit an exact sequential oracle. A phase barrier
+   (Runner.Phaser) parks all workers and churners; the controller then
+   replays journals, sweeps the key space, flushes the epoch system and
+   audits the mapping table while nothing else runs — the only
+   cross-domain accesses to worker state happen across the phaser's
+   atomics, which order them. *)
+
+module Growable = Bw_util.Growable
+module Rng = Bw_util.Rng
+module Runner = Harness.Runner
+module MT = Mapping_table
+
+type mix = {
+  w_insert : int;
+  w_read : int;
+  w_update : int;
+  w_remove : int;
+  w_scan : int;
+}
+
+let default_mix =
+  { w_insert = 30; w_read = 40; w_update = 15; w_remove = 10; w_scan = 5 }
+
+type config = {
+  domains : int;
+  keys_per_domain : int;
+  ops_per_phase : int;
+  phases : int;
+  time_budget_s : float option;
+  mix : mix;
+  scan_len : int;
+  seed : int;
+  churn_domains : int;
+  churn_ops_per_phase : int;
+  drive_advance : bool;
+  verbose : bool;
+}
+
+let short_config =
+  {
+    domains = 4;
+    keys_per_domain = 192;
+    ops_per_phase = 400;
+    phases = 3;
+    time_budget_s = None;
+    mix = default_mix;
+    scan_len = 16;
+    seed = 42;
+    churn_domains = 2;
+    churn_ops_per_phase = 3_000;
+    drive_advance = true;
+    verbose = false;
+  }
+
+type subject = {
+  s_name : string;
+  s_unique : bool;
+  s_insert : tid:int -> int -> int -> bool;
+  s_lookup : tid:int -> int -> int list;
+  s_update : tid:int -> int -> int -> bool;
+  s_remove : tid:int -> int -> int -> bool;
+  s_scan : tid:int -> int -> int -> int;
+  s_quiesce : tid:int -> unit;
+  s_start_aux : unit -> unit;
+  s_stop_aux : unit -> unit;
+  s_epoch : Epoch.t option;
+  s_verify : (unit -> unit) option;
+  s_max_chains : (unit -> int * int) option;
+  s_chain_bound : int option;
+}
+
+(* --- subjects --- *)
+
+let bwtree_subject ?(config = Bwtree.default_config) ~domains () =
+  let config =
+    if config.Bwtree.max_threads < domains + 1 then
+      { config with Bwtree.max_threads = domains + 1 }
+    else config
+  in
+  let module B = Harness.Drivers.Bw_int in
+  let t = B.create ~config () in
+  {
+    s_name = "OpenBw-Tree";
+    s_unique = config.Bwtree.unique_keys;
+    s_insert = (fun ~tid k v -> B.insert t ~tid k v);
+    s_lookup = (fun ~tid k -> B.lookup t ~tid k);
+    s_update = (fun ~tid k v -> B.update t ~tid k v);
+    s_remove = (fun ~tid k v -> B.delete t ~tid k v);
+    s_scan = (fun ~tid k n -> List.length (B.scan t ~tid ~n k));
+    s_quiesce = (fun ~tid -> B.quiesce t ~tid);
+    s_start_aux = (fun () -> B.start_gc_thread t ());
+    s_stop_aux = (fun () -> B.stop_gc_thread t);
+    s_epoch = Some (B.epoch t);
+    s_verify = Some (fun () -> B.verify_invariants t);
+    s_max_chains = Some (fun () -> B.max_chains t);
+    (* Consolidation is lazy: a chain can overshoot its threshold by the
+       appends that race in before the next traversal consolidates, so a
+       quiesced barrier tolerates threshold + a margin per concurrent
+       appender. *)
+    s_chain_bound =
+      Some
+        (max config.Bwtree.leaf_chain_max config.Bwtree.inner_chain_max
+        + (2 * (domains + 1))
+        + 8);
+  }
+
+let of_driver (d : int Runner.driver) =
+  {
+    s_name = d.Runner.name;
+    s_unique = true;
+    s_insert = (fun ~tid k v -> d.Runner.insert ~tid k v);
+    s_lookup =
+      (fun ~tid k ->
+        match d.Runner.read ~tid k with None -> [] | Some v -> [ v ]);
+    s_update = (fun ~tid k v -> d.Runner.update ~tid k v);
+    s_remove = (fun ~tid k _v -> d.Runner.remove ~tid k);
+    s_scan = (fun ~tid k n -> d.Runner.scan ~tid k n);
+    s_quiesce = (fun ~tid -> d.Runner.thread_done ~tid);
+    s_start_aux = d.Runner.start_aux;
+    s_stop_aux = d.Runner.stop_aux;
+    s_epoch = None;
+    s_verify = None;
+    s_max_chains = None;
+    s_chain_bound = None;
+  }
+
+(* --- journals --- *)
+
+(* Every value encodes the key it was written under in its high bits, so
+   cross-stripe reads can be checked for provenance without access to the
+   owner's oracle. *)
+let value_bits = 20
+let value_of k seq = (k lsl value_bits) lor (seq land ((1 lsl value_bits) - 1))
+
+type entry =
+  | E_insert of int * int * bool
+  | E_remove of int * int * bool
+  | E_update of int * int * bool
+  | E_lookup of int * int list
+  | E_scan of int * int * int  (* start key, limit, visited *)
+
+type worker_state = {
+  wid : int;
+  rng : Rng.t;
+  journal : entry Growable.t;
+  (* the worker's private view of its stripe, used only to pick plausible
+     remove/update targets; the independent check is the oracle replay *)
+  mine : (int, int list) Hashtbl.t;
+  oracle : (int, int list) Hashtbl.t;  (* controller-side, replay state *)
+  mutable seq : int;
+}
+
+type churn_state = {
+  cid : int;
+  c_rng : Rng.t;
+  c_live : (int * int) Growable.t;
+  mutable c_seq : int;
+  mutable c_ops : int;
+}
+
+type report = {
+  r_ops : int;
+  r_churn_ops : int;
+  r_phases : int;
+  r_checks : int;
+  r_violations : string list;
+  r_seconds : float;
+  r_epoch : Epoch.stats option;
+}
+
+let max_reported_violations = 50
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%d phases, %d index ops, %d churn ops in %.2fs@,%d checks, %d violation(s)"
+    r.r_phases r.r_ops r.r_churn_ops r.r_seconds r.r_checks
+    (List.length r.r_violations);
+  List.iter (fun v -> Format.fprintf ppf "@,  %s" v) r.r_violations;
+  (match r.r_epoch with
+  | Some s ->
+      Format.fprintf ppf "@,epoch: retired %d, reclaimed %d, advanced %d"
+        s.Epoch.retired s.Epoch.reclaimed s.Epoch.epochs_advanced
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let rec remove_one v = function
+  | [] -> []
+  | x :: rest -> if x = v then rest else x :: remove_one v rest
+
+let run cfg s =
+  if cfg.domains < 1 then invalid_arg "Bw_stress.run: domains < 1";
+  let mix =
+    (* non-unique update semantics (replace the first visible duplicate)
+       have no clean sequential model; fold that weight into inserts *)
+    if s.s_unique then cfg.mix
+    else
+      {
+        cfg.mix with
+        w_insert = cfg.mix.w_insert + cfg.mix.w_update;
+        w_update = 0;
+      }
+  in
+  let total_weight =
+    mix.w_insert + mix.w_read + mix.w_update + mix.w_remove + mix.w_scan
+  in
+  if total_weight <= 0 then invalid_arg "Bw_stress.run: empty mix";
+  let keyspace = cfg.domains * cfg.keys_per_domain in
+  let checker_tid = cfg.domains in
+  (* violation sink, shared by all domains *)
+  let vmutex = Mutex.create () in
+  let violations = ref [] in
+  let n_violations = ref 0 in
+  let checks = Atomic.make 0 in
+  let record cond msg =
+    Atomic.incr checks;
+    if not cond then begin
+      Mutex.lock vmutex;
+      incr n_violations;
+      if !n_violations <= max_reported_violations then
+        violations := msg () :: !violations;
+      Mutex.unlock vmutex
+    end
+  in
+  let workers =
+    Array.init cfg.domains (fun wid ->
+        {
+          wid;
+          rng = Rng.create ~seed:(Int64.of_int (cfg.seed + (wid * 7919)));
+          journal = Growable.create ();
+          mine = Hashtbl.create 256;
+          oracle = Hashtbl.create 256;
+          seq = 0;
+        })
+  in
+  let table = MT.create ~chunk_bits:10 ~dir_bits:10 ~dummy:(-1) () in
+  let churn_live_cap = 512 in
+  let churners =
+    Array.init cfg.churn_domains (fun cid ->
+        {
+          cid;
+          c_rng = Rng.create ~seed:(Int64.of_int (cfg.seed + 104729 + cid));
+          c_live = Growable.create ();
+          c_seq = 0;
+          c_ops = 0;
+        })
+  in
+  let phaser = Runner.Phaser.create (cfg.domains + cfg.churn_domains) in
+  let stop_flag = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+
+  (* --- worker op generation --- *)
+  let find_or_empty tbl k = try Hashtbl.find tbl k with Not_found -> [] in
+  let exec_one (st : worker_state) =
+    let tid = st.wid in
+    let own_key () =
+      (st.wid * cfg.keys_per_domain) + Rng.next_int st.rng cfg.keys_per_domain
+    in
+    let any_key () = Rng.next_int st.rng keyspace in
+    let fresh st k =
+      st.seq <- st.seq + 1;
+      value_of k st.seq
+    in
+    let x = Rng.next_int st.rng total_weight in
+    if x < mix.w_insert then begin
+      let k = own_key () in
+      let v = fresh st k in
+      let r = s.s_insert ~tid k v in
+      Growable.push st.journal (E_insert (k, v, r));
+      if r then
+        Hashtbl.replace st.mine k
+          (if s.s_unique then [ v ] else v :: find_or_empty st.mine k)
+    end
+    else if x < mix.w_insert + mix.w_read then begin
+      let k = any_key () in
+      Growable.push st.journal (E_lookup (k, s.s_lookup ~tid k))
+    end
+    else if x < mix.w_insert + mix.w_read + mix.w_update then begin
+      let k = own_key () in
+      let v = fresh st k in
+      let r = s.s_update ~tid k v in
+      Growable.push st.journal (E_update (k, v, r));
+      if r then Hashtbl.replace st.mine k [ v ]
+    end
+    else if x < mix.w_insert + mix.w_read + mix.w_update + mix.w_remove
+    then begin
+      let k = own_key () in
+      (* in non-unique mode remove needs an exact live pair to have a
+         chance of succeeding; fall back to a never-inserted value *)
+      let v =
+        match find_or_empty st.mine k with
+        | v :: _ -> v
+        | [] -> value_of k 0
+      in
+      let r = s.s_remove ~tid k v in
+      Growable.push st.journal (E_remove (k, v, r));
+      if r then
+        if s.s_unique then Hashtbl.remove st.mine k
+        else
+          match remove_one v (find_or_empty st.mine k) with
+          | [] -> Hashtbl.remove st.mine k
+          | l -> Hashtbl.replace st.mine k l
+    end
+    else begin
+      let k = any_key () in
+      Growable.push st.journal (E_scan (k, cfg.scan_len, s.s_scan ~tid k cfg.scan_len))
+    end
+  in
+
+  let worker_loop wid =
+    let st = workers.(wid) in
+    let continue = ref true in
+    while !continue do
+      for _ = 1 to cfg.ops_per_phase do
+        exec_one st
+      done;
+      s.s_quiesce ~tid:wid;
+      Runner.Phaser.await phaser;
+      if Atomic.get stop_flag then continue := false
+    done
+  in
+
+  (* --- mapping-table churn --- *)
+  let churn_loop cid =
+    let st = churners.(cid) in
+    let continue = ref true in
+    while !continue do
+      for _ = 1 to cfg.churn_ops_per_phase do
+        st.c_ops <- st.c_ops + 1;
+        let len = Growable.length st.c_live in
+        if len > 0 && (len >= churn_live_cap || Rng.next_bool st.c_rng)
+        then begin
+          let i = Rng.next_int st.c_rng len in
+          let id, v = Growable.get st.c_live i in
+          Growable.set st.c_live i (Growable.get st.c_live (len - 1));
+          Growable.truncate st.c_live (len - 1);
+          (* no other domain may touch an id we own: a mismatch here means
+             a racing free_id stomped a live cell *)
+          record
+            (MT.get table id = v)
+            (fun () ->
+              Printf.sprintf "[churn %d] live id %d reads %d, expected %d"
+                cid id (MT.get table id) v);
+          MT.free_id table id
+        end
+        else begin
+          st.c_seq <- st.c_seq + 1;
+          let v = (cid lsl 40) lor st.c_seq in
+          let id = MT.allocate table v in
+          record
+            (MT.get table id = v)
+            (fun () ->
+              Printf.sprintf
+                "[churn %d] allocate %d installed %d but reads %d" cid id v
+                (MT.get table id));
+          Growable.push st.c_live (id, v)
+        end
+      done;
+      Runner.Phaser.await phaser;
+      if Atomic.get stop_flag then continue := false
+    done
+  in
+
+  (* --- controller-side checks, run while everyone is parked --- *)
+  let replay ~phase (st : worker_state) =
+    let ctx op = Printf.sprintf "[phase %d][worker %d] %s" phase st.wid op in
+    let o = st.oracle in
+    Growable.iter
+      (fun e ->
+        match e with
+        | E_insert (k, v, r) ->
+            let cur = find_or_empty o k in
+            let expected =
+              if s.s_unique then cur = [] else not (List.mem v cur)
+            in
+            record (r = expected) (fun () ->
+                ctx
+                  (Printf.sprintf "insert(%d,%d) returned %b, oracle says %b"
+                     k v r expected));
+            if r then
+              Hashtbl.replace o k (if s.s_unique then [ v ] else v :: cur)
+        | E_remove (k, v, r) ->
+            let cur = find_or_empty o k in
+            let expected =
+              if s.s_unique then cur <> [] else List.mem v cur
+            in
+            record (r = expected) (fun () ->
+                ctx
+                  (Printf.sprintf "remove(%d,%d) returned %b, oracle says %b"
+                     k v r expected));
+            if r then
+              if s.s_unique then Hashtbl.remove o k
+              else (
+                match remove_one v cur with
+                | [] -> Hashtbl.remove o k
+                | l -> Hashtbl.replace o k l)
+        | E_update (k, v, r) ->
+            let cur = find_or_empty o k in
+            record
+              (r = (cur <> []))
+              (fun () ->
+                ctx
+                  (Printf.sprintf "update(%d,%d) returned %b, oracle says %b"
+                     k v r (cur <> [])));
+            if r then Hashtbl.replace o k [ v ]
+        | E_lookup (k, vs) ->
+            if k / cfg.keys_per_domain = st.wid then
+              let expected = List.sort compare (find_or_empty o k) in
+              record
+                (List.sort compare vs = expected)
+                (fun () ->
+                  ctx
+                    (Printf.sprintf
+                       "lookup(%d) saw [%s], oracle says [%s]" k
+                       (String.concat ";" (List.map string_of_int vs))
+                       (String.concat ";"
+                          (List.map string_of_int expected))))
+            else begin
+              record
+                (List.for_all (fun v -> v lsr value_bits = k) vs)
+                (fun () ->
+                  ctx
+                    (Printf.sprintf
+                       "lookup(%d) returned a value of another key" k));
+              if s.s_unique then
+                record
+                  (List.length vs <= 1)
+                  (fun () ->
+                    ctx
+                      (Printf.sprintf "lookup(%d) saw %d values on a unique \
+                                       index" k (List.length vs)))
+            end
+        | E_scan (k, n, c) ->
+            record
+              (c >= 0 && c <= n)
+              (fun () ->
+                ctx (Printf.sprintf "scan(%d,%d) visited %d items" k n c)))
+      st.journal;
+    Growable.clear st.journal
+  in
+
+  let sweep ~phase =
+    for k = 0 to keyspace - 1 do
+      let vs = List.sort compare (s.s_lookup ~tid:checker_tid k) in
+      let owner = workers.(k / cfg.keys_per_domain) in
+      let expected = List.sort compare (find_or_empty owner.oracle k) in
+      record (vs = expected) (fun () ->
+          Printf.sprintf
+            "[phase %d] sweep: key %d holds [%s] but oracle says [%s]" phase
+            k
+            (String.concat ";" (List.map string_of_int vs))
+            (String.concat ";" (List.map string_of_int expected)))
+    done
+  in
+
+  let check_epoch ~phase =
+    match s.s_epoch with
+    | None -> ()
+    | Some e ->
+        for tid = 0 to checker_tid do
+          s.s_quiesce ~tid
+        done;
+        Epoch.flush e;
+        record
+          (Epoch.pending e = 0)
+          (fun () ->
+            Printf.sprintf
+              "[phase %d] epoch: %d objects still pending after quiesce + \
+               flush" phase (Epoch.pending e))
+  in
+
+  let check_structure ~phase =
+    (match (s.s_max_chains, s.s_chain_bound) with
+    | Some probe, Some bound ->
+        let leaf, inner = probe () in
+        record (leaf <= bound) (fun () ->
+            Printf.sprintf "[phase %d] leaf delta chain %d exceeds bound %d"
+              phase leaf bound);
+        record (inner <= bound) (fun () ->
+            Printf.sprintf "[phase %d] inner delta chain %d exceeds bound %d"
+              phase inner bound)
+    | _ -> ());
+    match s.s_verify with
+    | None -> ()
+    | Some verify ->
+        record
+          (try
+             verify ();
+             true
+           with _ -> false)
+          (fun () ->
+            Printf.sprintf "[phase %d] structural verify failed: %s" phase
+              (try
+                 verify ();
+                 "?"
+               with exn -> Printexc.to_string exn))
+  in
+
+  let check_table ~phase =
+    if cfg.churn_domains > 0 then begin
+      let seen = Hashtbl.create 1024 in
+      let live = ref 0 in
+      Array.iter
+        (fun st ->
+          Growable.iter
+            (fun (id, v) ->
+              incr live;
+              record
+                (not (Hashtbl.mem seen id))
+                (fun () ->
+                  Printf.sprintf "[phase %d] table: id %d live twice" phase id);
+              Hashtbl.replace seen id ();
+              record (MT.get table id = v) (fun () ->
+                  Printf.sprintf
+                    "[phase %d] table: live id %d reads %d, expected %d"
+                    phase id (MT.get table id) v))
+            st.c_live)
+        churners;
+      let free = MT.free_list_length table and hw = MT.high_water table in
+      record
+        (!live + free = hw)
+        (fun () ->
+          Printf.sprintf
+            "[phase %d] table accounting: %d live + %d free <> high water %d"
+            phase !live free hw)
+    end
+  in
+
+  (* --- spin everything up --- *)
+  s.s_start_aux ();
+  let advancer_stop = Atomic.make false in
+  let advancer =
+    match (cfg.drive_advance, s.s_epoch) with
+    | true, Some e ->
+        Some
+          (Domain.spawn (fun () ->
+               while not (Atomic.get advancer_stop) do
+                 Epoch.advance e;
+                 Unix.sleepf 0.0002
+               done))
+    | _ -> None
+  in
+  let worker_domains =
+    Array.init cfg.domains (fun wid -> Domain.spawn (fun () -> worker_loop wid))
+  in
+  let churn_domains =
+    Array.init cfg.churn_domains (fun cid ->
+        Domain.spawn (fun () -> churn_loop cid))
+  in
+  let phases_done = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    Runner.Phaser.wait_all phaser;
+    let phase = !phases_done + 1 in
+    Array.iter (fun st -> replay ~phase st) workers;
+    sweep ~phase;
+    check_epoch ~phase;
+    check_structure ~phase;
+    check_table ~phase;
+    phases_done := phase;
+    if cfg.verbose then
+      Printf.printf
+        "phase %3d | %7d ops | %7d checks | %d violation(s) | %.1fs\n%!"
+        phase
+        (phase * cfg.ops_per_phase * cfg.domains)
+        (Atomic.get checks) !n_violations
+        (Unix.gettimeofday () -. t0);
+    let stop =
+      match cfg.time_budget_s with
+      | Some budget -> Unix.gettimeofday () -. t0 >= budget
+      | None -> phase >= cfg.phases
+    in
+    if stop then begin
+      Atomic.set stop_flag true;
+      finished := true
+    end;
+    Runner.Phaser.release phaser
+  done;
+  Array.iter Domain.join worker_domains;
+  Array.iter Domain.join churn_domains;
+  (match advancer with
+  | Some d ->
+      Atomic.set advancer_stop true;
+      Domain.join d
+  | None -> ());
+  s.s_stop_aux ();
+  {
+    r_ops = !phases_done * cfg.ops_per_phase * cfg.domains;
+    r_churn_ops = Array.fold_left (fun acc st -> acc + st.c_ops) 0 churners;
+    r_phases = !phases_done;
+    r_checks = Atomic.get checks;
+    r_violations = List.rev !violations;
+    r_seconds = Unix.gettimeofday () -. t0;
+    r_epoch = Option.map Epoch.stats s.s_epoch;
+  }

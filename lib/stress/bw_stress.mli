@@ -1,0 +1,104 @@
+(** Multi-domain stress and invariant-check harness.
+
+    Runs configurable insert/read/update/remove/scan mixes across N worker
+    domains against any index, while concurrently driving epoch advancement
+    and mapping-table allocate/free churn, and checks global invariants at
+    phase barriers:
+
+    - {b No lost or duplicated keys.} Each worker owns a disjoint key
+      stripe and records every operation with its observed result in a
+      per-thread journal. At each barrier the journals are replayed against
+      a sequential oracle: on a worker's own stripe every result must match
+      the oracle exactly; cross-stripe reads are checked for value
+      provenance (every value encodes its key). A full sweep of the key
+      space then compares the index against the union of the oracles, both
+      for presence and for absence.
+    - {b No leaked garbage.} With every worker quiesced, [Epoch.flush]
+      must bring [Epoch.pending] to zero — the property the reclamation
+      race fixes of this PR guarantee.
+    - {b Mapping-table accounting.} Live ids are globally distinct, every
+      live cell still reads the value its allocator installed, and
+      [live + free-list length = high water] whenever churn is paused.
+    - {b Bounded delta chains} and the tree's own {!Bwtree.S.verify_invariants}
+      structural check.
+
+    Violations are collected as strings rather than raised, so a long
+    soak run reports everything it saw. *)
+
+(** Relative operation weights; they need not sum to anything. *)
+type mix = {
+  w_insert : int;
+  w_read : int;
+  w_update : int;
+  w_remove : int;
+  w_scan : int;
+}
+
+val default_mix : mix
+
+type config = {
+  domains : int;  (** worker domains (dense tids [0, domains)) *)
+  keys_per_domain : int;  (** size of each worker's private key stripe *)
+  ops_per_phase : int;  (** operations each worker runs between barriers *)
+  phases : int;  (** barrier/check rounds (ignored with [time_budget_s]) *)
+  time_budget_s : float option;
+      (** long-running mode: keep cycling phases until this much wall
+          clock has elapsed *)
+  mix : mix;
+  scan_len : int;
+  seed : int;
+  churn_domains : int;  (** extra domains churning a standalone mapping table *)
+  churn_ops_per_phase : int;
+  drive_advance : bool;  (** spawn a domain hammering [Epoch.advance] *)
+  verbose : bool;  (** print a progress line per phase *)
+}
+
+val short_config : config
+(** The [dune runtest] / [--short] shape: 4 workers, 2 churn domains, 3
+    phases, a few hundred ops per worker per phase. *)
+
+(** One index under stress. Probe fields may be [None] for indexes that
+    do not expose them; the corresponding checks are skipped. *)
+type subject = {
+  s_name : string;
+  s_unique : bool;  (** unique-key semantics (affects the oracle) *)
+  s_insert : tid:int -> int -> int -> bool;
+  s_lookup : tid:int -> int -> int list;
+  s_update : tid:int -> int -> int -> bool;
+  s_remove : tid:int -> int -> int -> bool;
+      (** removes the exact (key, value) pair in non-unique mode *)
+  s_scan : tid:int -> int -> int -> int;
+  s_quiesce : tid:int -> unit;
+  s_start_aux : unit -> unit;
+  s_stop_aux : unit -> unit;
+  s_epoch : Epoch.t option;
+  s_verify : (unit -> unit) option;
+  s_max_chains : (unit -> int * int) option;
+  s_chain_bound : int option;
+      (** longest delta chain tolerated at a quiesced barrier *)
+}
+
+val bwtree_subject : ?config:Bwtree.config -> domains:int -> unit -> subject
+(** A fresh integer-keyed Bw-Tree with every probe wired up.
+    [config.max_threads] is raised to [domains + 1] if needed (the
+    checker uses tid [domains]). *)
+
+val of_driver : int Harness.Runner.driver -> subject
+(** Wrap any harness driver (SkipList, B+Tree, ART, Masstree, …) as a
+    probe-less unique-key subject. *)
+
+type report = {
+  r_ops : int;  (** index operations executed by workers *)
+  r_churn_ops : int;  (** mapping-table churn operations *)
+  r_phases : int;
+  r_checks : int;  (** individual invariant assertions evaluated *)
+  r_violations : string list;
+  r_seconds : float;
+  r_epoch : Epoch.stats option;  (** final epoch counters, if probed *)
+}
+
+val run : config -> subject -> report
+(** Spawns the worker, churn and advancer domains, cycles the phases, and
+    returns the aggregated report. A clean run has [r_violations = []]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -123,6 +123,101 @@ let test_d_quiesce_unblocks () =
   Epoch.flush e;
   Alcotest.(check int) "drained" 0 (Epoch.pending e)
 
+(* --- reclamation-race regressions --- *)
+
+(* retire vs. advance: the collector drains the epoch retire has chosen
+   between epoch selection and garbage publication. Pre-fix, the object
+   was parked on the dead epoch's list and leaked forever; the fix
+   validates against [head] after publishing and re-parks on the fresh
+   current epoch. The test drives the exact schedule through the
+   [test_retire_window] hook, so it is deterministic. *)
+let test_c_retire_advance_race () =
+  let e = Epoch.create ~scheme:Epoch.Centralized ~max_threads:2 () in
+  let fired = ref false in
+  Epoch.test_retire_window :=
+    (fun () ->
+      if not !fired then begin
+        fired := true;
+        Epoch.advance e;
+        Epoch.advance e
+      end);
+  Fun.protect ~finally:(fun () -> Epoch.test_retire_window := fun () -> ())
+  @@ fun () ->
+  Epoch.retire e ~tid:0 (obj ());
+  Epoch.advance e;
+  Epoch.advance e;
+  Alcotest.(check int) "not stranded in a dead epoch" 0 (Epoch.pending e)
+
+(* same window, but with the target epoch still undrained when retire
+   validates: the re-park must steal the garbage back without losing or
+   double-counting anything *)
+let test_c_retire_repark_preserves_garbage () =
+  let e = Epoch.create ~scheme:Epoch.Centralized ~max_threads:2 () in
+  let fired = ref false in
+  Epoch.test_retire_window :=
+    (fun () ->
+      if not !fired then begin
+        fired := true;
+        (* pin the epoch retire chose so the advances unchain it into the
+           deferred queue without draining it *)
+        Epoch.op_begin e ~tid:1;
+        Epoch.advance e;
+        Epoch.advance e
+      end);
+  Fun.protect ~finally:(fun () -> Epoch.test_retire_window := fun () -> ())
+  @@ fun () ->
+  Epoch.retire e ~tid:0 (obj ());
+  Epoch.op_end e ~tid:1;
+  Epoch.advance e;
+  Epoch.advance e;
+  stats_check e ~retired:1 ~reclaimed:1
+
+(* reclamation stats are bumped by the background advancer and foreground
+   flush callers concurrently; pre-fix both wrote the same per-thread row
+   non-atomically, losing updates so [pending] never returned to zero *)
+let test_c_stats_concurrent_advancers () =
+  let retirers = 2 and advancers = 2 in
+  let retire_iters = 20_000 in
+  let e = Epoch.create ~scheme:Epoch.Centralized ~max_threads:retirers () in
+  let domains =
+    Array.init (retirers + advancers) (fun i ->
+        Domain.spawn (fun () ->
+            if i < retirers then
+              for _ = 1 to retire_iters do
+                Epoch.op_begin e ~tid:i;
+                Epoch.retire e ~tid:i (obj ());
+                Epoch.op_end e ~tid:i
+              done
+            else
+              for _ = 1 to 2_000 do
+                Epoch.advance e
+              done))
+  in
+  Array.iter Domain.join domains;
+  Epoch.flush e;
+  let s = Epoch.stats e in
+  Alcotest.(check int) "all retired" (retirers * retire_iters) s.retired;
+  Alcotest.(check int) "exact reclaim accounting" 0 (Epoch.pending e)
+
+(* op exit must release the watermark: pre-fix, [op_end] re-published the
+   current global epoch, so a thread that completed its last operation
+   pinned every other thread's bags forever unless it explicitly
+   quiesced *)
+let test_d_end_releases_watermark () =
+  let e =
+    Epoch.create ~scheme:Epoch.Decentralized ~max_threads:2
+      ~gc_threshold:1024 ()
+  in
+  (* tid 0 finishes its last operation and never calls quiesce *)
+  Epoch.op_begin e ~tid:0;
+  Epoch.op_end e ~tid:0;
+  Epoch.op_begin e ~tid:1;
+  Epoch.retire e ~tid:1 (obj ());
+  Epoch.op_end e ~tid:1;
+  Epoch.advance e;
+  Epoch.flush e;
+  Alcotest.(check int) "watermark released at op exit" 0 (Epoch.pending e)
+
 (* --- disabled --- *)
 
 let test_disabled () =
@@ -191,6 +286,17 @@ let () =
             test_d_blocked_by_stale_reader;
           Alcotest.test_case "threshold trigger" `Quick test_d_threshold_trigger;
           Alcotest.test_case "quiesce unblocks" `Quick test_d_quiesce_unblocks;
+        ] );
+      ( "reclamation races",
+        [
+          Alcotest.test_case "retire vs advance (dead epoch)" `Quick
+            test_c_retire_advance_race;
+          Alcotest.test_case "retire re-park preserves garbage" `Quick
+            test_c_retire_repark_preserves_garbage;
+          Alcotest.test_case "stats survive concurrent advancers" `Slow
+            test_c_stats_concurrent_advancers;
+          Alcotest.test_case "op exit releases watermark" `Quick
+            test_d_end_releases_watermark;
         ] );
       ("disabled", [ Alcotest.test_case "noop" `Quick test_disabled ]);
       ( "background",

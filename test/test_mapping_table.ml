@@ -107,6 +107,94 @@ let test_concurrent_cas_single_winner () =
   Alcotest.(check int) "exactly one winner" 1 (Atomic.get winners);
   Alcotest.(check bool) "final value from a winner" true (MT.get t id >= 200)
 
+(* Two-domain free/allocate race: the producer recycles ids straight off
+   the free list while the consumer is still pushing others onto it, so
+   free-list CaS retries happen constantly. A value installed by
+   [allocate] must stay visible until its owner frees the id — pre-fix,
+   [free_id]'s retry loop re-executed its dummy store, which could stomp
+   the racing allocator's pointer. *)
+let test_free_allocate_race () =
+  let t = MT.create ~chunk_bits:8 ~dir_bits:8 ~dummy:(-1) () in
+  let n = 30_000 in
+  let handoff = Array.make n (-1) in
+  let produced = Atomic.make 0 in
+  let stomped = Atomic.make 0 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          let id = MT.allocate t i in
+          if MT.get t id <> i then Atomic.incr stomped;
+          handoff.(i) <- id;
+          Atomic.incr produced
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while Atomic.get produced <= i do
+            Domain.cpu_relax ()
+          done;
+          MT.free_id t handoff.(i)
+        done)
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  Alcotest.(check int) "no live cell stomped by a racing free" 0
+    (Atomic.get stomped);
+  (* every id was freed, so the free list alone accounts for the whole
+     high-water mark *)
+  Alcotest.(check int) "free list accounts for all ids"
+    (MT.high_water t) (MT.free_list_length t)
+
+(* four domains churning allocate/free against private live sets: ids must
+   never be handed to two owners, live cells must keep their values, and
+   quiesced accounting must balance *)
+let test_churn_accounting () =
+  let t = MT.create ~chunk_bits:8 ~dir_bits:8 ~dummy:(-1) () in
+  let nthreads = 4 and iters = 20_000 and cap = 64 in
+  let lives = Array.init nthreads (fun _ -> ref []) in
+  let bad = Atomic.make 0 in
+  let domains =
+    Array.init nthreads (fun d ->
+        Domain.spawn (fun () ->
+            let live = lives.(d) in
+            let count = ref 0 in
+            let seed = ref (d + 1) in
+            for i = 0 to iters - 1 do
+              (* cheap deterministic per-domain chooser *)
+              seed := (!seed * 48271) mod 0x7fffffff;
+              match !live with
+              | (id, v) :: rest when !count >= cap || !seed land 1 = 0 ->
+                  if MT.get t id <> v then Atomic.incr bad;
+                  MT.free_id t id;
+                  live := rest;
+                  decr count
+              | _ ->
+                  let v = (d * iters) + i in
+                  let id = MT.allocate t v in
+                  if MT.get t id <> v then Atomic.incr bad;
+                  live := (id, v) :: !live;
+                  incr count
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "no stomped or lost cells" 0 (Atomic.get bad);
+  let seen = Hashtbl.create 256 in
+  let live_total = ref 0 in
+  Array.iter
+    (fun live ->
+      List.iter
+        (fun (id, v) ->
+          incr live_total;
+          Alcotest.(check bool) "id owned once" false (Hashtbl.mem seen id);
+          Hashtbl.add seen id ();
+          Alcotest.(check int) "live value intact" v (MT.get t id))
+        !live)
+    lives;
+  Alcotest.(check int) "live + free = high water"
+    (MT.high_water t)
+    (!live_total + MT.free_list_length t)
+
 let () =
   Alcotest.run "mapping_table"
     [
@@ -129,5 +217,8 @@ let () =
           Alcotest.test_case "allocation" `Slow test_concurrent_allocation;
           Alcotest.test_case "single cas winner" `Quick
             test_concurrent_cas_single_winner;
+          Alcotest.test_case "free/allocate race" `Slow
+            test_free_allocate_race;
+          Alcotest.test_case "churn accounting" `Slow test_churn_accounting;
         ] );
     ]
