@@ -35,6 +35,13 @@ type scale = {
 let quick_scale = { keys = 30_000; ops = 60_000; threads = 8; repeats = 1 }
 let full_scale = { keys = 500_000; ops = 1_000_000; threads = 16; repeats = 3 }
 
+(* Optional observability sink (--metrics / --metrics-json). Every driver
+   that goes through [mops_of] is wrapped with [Runner.instrument], so one
+   run accumulates op-latency histograms across all selected experiments;
+   Null (the default) keeps the wrapper a no-op so measured numbers are
+   untouched. *)
+let obs_sink = ref Bw_obs.Null
+
 let wl_cfg scale =
   { W.default_config with num_keys = scale.keys; num_ops = scale.ops }
 
@@ -64,7 +71,7 @@ let run_workload (driver : 'k Runner.driver) ~(conv : int -> 'k) ~space ~mix
 let mops_of ~mkdriver ~conv ~space ~mix ~nthreads scale =
   let xs =
     Array.init (max 1 scale.repeats) (fun _ ->
-        let d = mkdriver () in
+        let d = Runner.instrument !obs_sink (mkdriver ()) in
         (run_workload d ~conv ~space ~mix ~nthreads scale).mops)
   in
   Bw_util.Stats.median xs
@@ -90,7 +97,7 @@ let fig8 scale =
   print_header
     "Figure 8: Delta Record Pre-allocation (single-threaded, \
      independently-allocated vs pre-allocated)";
-  let base = { Bwtree.default_config with preallocate = false } in
+  let base = Bwtree.Config.make ~preallocate:false () in
   let opt = Bwtree.default_config in
   List.iter
     (fun space ->
@@ -120,11 +127,7 @@ let fig9 scale =
     "Figure 9: Fast Consolidation & Search Shortcuts (single-threaded, \
      off vs on)";
   let base =
-    {
-      Bwtree.default_config with
-      fast_consolidation = false;
-      search_shortcuts = false;
-    }
+    Bwtree.Config.make ~fast_consolidation:false ~search_shortcuts:false ()
   in
   let opt = Bwtree.default_config in
   List.iter
@@ -187,7 +190,7 @@ let fig10 scale =
      epochs; thread sweep)";
   let threads = [ 1; 2; 4; scale.threads ] in
   let centralized =
-    { Bwtree.default_config with gc_scheme = Epoch.Centralized }
+    Bwtree.Config.make ~gc_scheme:Epoch.Centralized ()
   in
   let decentralized = Bwtree.default_config in
   List.iter
@@ -228,15 +231,10 @@ let fig11 scale =
             List.map
               (fun ns ->
                 let config =
-                  {
-                    Bwtree.default_config with
-                    leaf_chain_max = chain;
-                    inner_chain_max = min chain 4;
-                    leaf_max = ns;
-                    inner_max = max 16 (ns / 2);
-                    leaf_min = max 2 (ns / 8);
-                    inner_min = max 2 (ns / 8);
-                  }
+                  Bwtree.Config.make ~leaf_chain_max:chain
+                    ~inner_chain_max:(min chain 4) ~leaf_max:ns
+                    ~inner_max:(max 16 (ns / 2)) ~leaf_min:(max 2 (ns / 8))
+                    ~inner_min:(max 2 (ns / 8)) ()
                 in
                 let v =
                   mops_of
@@ -270,8 +268,8 @@ let fig12 scale =
           leaf_chain_max = Bwtree.default_config.leaf_chain_max;
           inner_chain_max = Bwtree.default_config.inner_chain_max;
         } );
-      ("+FC&SS", { Bwtree.default_config with unique_keys = true });
-      ("+NK", { Bwtree.default_config with unique_keys = false });
+      ("+FC&SS", Bwtree.Config.make ~unique_keys:true ());
+      ("+NK", Bwtree.Config.make ~unique_keys:false ());
     ]
   in
   List.iter
@@ -716,7 +714,7 @@ let abl scale =
     "Ablation A3: decentralized-GC threshold (local garbage list trigger)";
   List.iter
     (fun gc_threshold ->
-      let config = { Bwtree.default_config with gc_threshold } in
+      let config = Bwtree.Config.make ~gc_threshold () in
       let v =
         mops_of
           ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
@@ -732,7 +730,7 @@ let abl scale =
   List.iter
     (fun mix ->
       let run unique_keys =
-        let config = { Bwtree.default_config with unique_keys } in
+        let config = Bwtree.Config.make ~unique_keys () in
         mops_of
           ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
           ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int ~mix ~nthreads:1
@@ -806,10 +804,18 @@ let experiments =
 let () =
   let scale = ref quick_scale in
   let selected = ref [] in
+  let metrics = ref false in
+  let metrics_json = ref "" in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
         scale := full_scale;
+        parse rest
+    | "--metrics" :: rest ->
+        metrics := true;
+        parse rest
+    | "--metrics-json" :: file :: rest ->
+        metrics_json := file;
         parse rest
     | "--keys" :: n :: rest ->
         scale := { !scale with keys = int_of_string n };
@@ -826,7 +832,8 @@ let () =
     | ("--help" | "-h") :: _ ->
         Printf.printf
           "usage: main.exe [EXPERIMENT..] [--keys N] [--ops N] [--threads N] \
-           [--repeats N] [--full]\nexperiments: %s\n"
+           [--repeats N] [--full] [--metrics] [--metrics-json FILE]\n\
+           experiments: %s\n"
           (String.concat " " (List.map fst experiments));
         exit 0
     | name :: rest when List.mem_assoc name experiments ->
@@ -837,6 +844,8 @@ let () =
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !metrics || !metrics_json <> "" then
+    obs_sink := Bw_obs.To (Bw_obs.create ());
   let to_run = match !selected with [] -> List.map fst experiments | l -> l in
   let s = !scale in
   Printf.printf
@@ -844,4 +853,16 @@ let () =
     s.keys s.ops s.threads s.repeats;
   let t0 = Unix.gettimeofday () in
   List.iter (fun name -> (List.assoc name experiments) s) to_run;
-  Printf.printf "\nTotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  match !obs_sink with
+  | Bw_obs.Null -> ()
+  | Bw_obs.To reg ->
+      let sn = Bw_obs.snapshot reg in
+      if !metrics then Format.printf "%a@." Bw_obs.pp_snapshot sn;
+      if !metrics_json <> "" then begin
+        let oc = open_out !metrics_json in
+        output_string oc (Bw_obs.snapshot_to_string sn);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics: wrote %s\n%!" !metrics_json
+      end

@@ -105,9 +105,7 @@ let () =
      failed CaS | %d restarts | %d SMO helps\n"
     os.inserts os.splits os.merges os.consolidations os.failed_cas os.restarts
     os.smo_helps;
-  let hw, chunks, cap = Tree.mapping_table_stats t in
-  Printf.printf "mapping table: %d ids, %d chunks faulted (capacity %d)\n" hw
-    chunks cap;
+  Format.printf "%a@." Bwtree.pp_mapping_stats (Tree.mapping_table_stats t);
   Printf.printf "memory: %.2f MB live\n"
     (float_of_int (Tree.memory_words t * 8) /. 1024. /. 1024.);
   let e = Epoch.stats (Tree.epoch t) in

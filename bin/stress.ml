@@ -19,6 +19,8 @@ let scheme = ref "decentralized"
 let index = ref "openbw"
 let unique = ref true
 let quiet = ref false
+let metrics = ref false
+let metrics_json = ref ""
 
 let speclist =
   [
@@ -41,6 +43,12 @@ let speclist =
       "S subject: openbw | bw | skiplist | btree | art | masstree" );
     ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
     ("--quiet", Arg.Set quiet, " suppress per-phase progress lines");
+    ( "--metrics",
+      Arg.Set metrics,
+      " collect observability metrics and print a snapshot" );
+    ( "--metrics-json",
+      Arg.Set_string metrics_json,
+      "FILE collect metrics and write a JSON snapshot to FILE" );
   ]
 
 let usage = "stress [options]: multi-domain invariant-checking stress run"
@@ -70,6 +78,10 @@ let () =
         verbose = not !quiet;
       }
   in
+  let obs =
+    if !metrics || !metrics_json <> "" then Bw_obs.To (Bw_obs.create ())
+    else Bw_obs.Null
+  in
   let subject =
     match !index with
     | "openbw" | "bw" ->
@@ -79,7 +91,7 @@ let () =
         in
         Bw_stress.bwtree_subject
           ~config:{ base with gc_scheme; unique_keys = !unique }
-          ~domains:cfg.Bw_stress.domains ()
+          ~obs ~domains:cfg.Bw_stress.domains ()
     | "skiplist" ->
         Bw_stress.of_driver (Harness.Drivers.skiplist_driver_int ())
     | "btree" -> Bw_stress.of_driver (Harness.Drivers.btree_driver_int ())
@@ -94,4 +106,16 @@ let () =
     (if !unique then "unique" else "non-unique");
   let r = Bw_stress.run cfg subject in
   Format.printf "%a@." Bw_stress.pp_report r;
+  (match obs with
+  | Bw_obs.Null -> ()
+  | Bw_obs.To reg ->
+      let sn = Bw_obs.snapshot reg in
+      if !metrics then Format.printf "%a@." Bw_obs.pp_snapshot sn;
+      if !metrics_json <> "" then begin
+        let oc = open_out !metrics_json in
+        output_string oc (Bw_obs.snapshot_to_string sn);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics: wrote %s\n%!" !metrics_json
+      end);
   if r.Bw_stress.r_violations <> [] then exit 1

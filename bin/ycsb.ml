@@ -14,34 +14,53 @@ open Harness
 let index_names =
   [ "bw"; "openbw"; "skiplist"; "skiplist-inline"; "masstree"; "btree"; "art" ]
 
-let mk_int_driver name : int Runner.driver =
+(* The Bw-Tree drivers take the sink directly (the tree instruments its
+   own operations, adding restart and chain-depth series); competitor
+   drivers are wrapped so only operation latency is recorded. *)
+let mk_int_driver name (obs : Bw_obs.sink) : int Runner.driver =
   match name with
   | "bw" ->
       Drivers.bwtree_driver_int ~name:"Bw-Tree"
-        ~config:Bwtree.microsoft_config ()
-  | "openbw" -> Drivers.bwtree_driver_int ()
-  | "skiplist" -> Drivers.skiplist_driver_int ()
+        ~config:Bwtree.microsoft_config ~obs ()
+  | "openbw" -> Drivers.bwtree_driver_int ~obs ()
+  | "skiplist" -> Runner.instrument obs (Drivers.skiplist_driver_int ())
   | "skiplist-inline" ->
-      Drivers.skiplist_driver_int ~policy:Skiplist.Inline ()
-  | "masstree" -> Drivers.masstree_driver_int ()
-  | "btree" -> Drivers.btree_driver_int ()
-  | "art" -> Drivers.art_driver_int ()
+      Runner.instrument obs (Drivers.skiplist_driver_int ~policy:Skiplist.Inline ())
+  | "masstree" -> Runner.instrument obs (Drivers.masstree_driver_int ())
+  | "btree" -> Runner.instrument obs (Drivers.btree_driver_int ())
+  | "art" -> Runner.instrument obs (Drivers.art_driver_int ())
   | _ -> invalid_arg "unknown index"
 
-let mk_str_driver name : string Runner.driver =
+let mk_str_driver name (obs : Bw_obs.sink) : string Runner.driver =
   match name with
   | "bw" ->
       Drivers.bwtree_driver_str ~name:"Bw-Tree"
-        ~config:Bwtree.microsoft_config ()
-  | "openbw" -> Drivers.bwtree_driver_str ()
-  | "skiplist" | "skiplist-inline" -> Drivers.skiplist_driver_str ()
-  | "masstree" -> Drivers.masstree_driver_str ()
-  | "btree" -> Drivers.btree_driver_str ()
-  | "art" -> Drivers.art_driver_str ()
+        ~config:Bwtree.microsoft_config ~obs ()
+  | "openbw" -> Drivers.bwtree_driver_str ~obs ()
+  | "skiplist" | "skiplist-inline" ->
+      Runner.instrument obs (Drivers.skiplist_driver_str ())
+  | "masstree" -> Runner.instrument obs (Drivers.masstree_driver_str ())
+  | "btree" -> Runner.instrument obs (Drivers.btree_driver_str ())
+  | "art" -> Runner.instrument obs (Drivers.art_driver_str ())
   | _ -> invalid_arg "unknown index"
 
+let emit_metrics obs ~text ~json_file =
+  match obs with
+  | Bw_obs.Null -> ()
+  | Bw_obs.To reg ->
+      let sn = Bw_obs.snapshot reg in
+      if text then Format.printf "%a@." Bw_obs.pp_snapshot sn;
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          output_string oc (Bw_obs.snapshot_to_string sn);
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics: wrote %s\n%!" file)
+        json_file
+
 let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
-    ~mix ~threads ~cfg ~show_memory =
+    ~mix ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json =
   Printf.printf "index: %s | workload: %s | keys: %s | threads: %d\n%!"
     driver.name
     (Format.asprintf "%a" W.pp_mix mix)
@@ -64,9 +83,11 @@ let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
   driver.stop_aux ();
   if show_memory then
     Printf.printf "memory: %.2f MB live heap\n%!"
-      (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0)
+      (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0);
+  emit_metrics obs ~text:metrics ~json_file:metrics_json
 
-let main index workload keyspace keys ops threads theta show_memory list_ =
+let main index workload keyspace keys ops threads theta show_memory metrics
+    metrics_json list_ =
   if list_ then begin
     Printf.printf "indexes: %s\nworkloads: insert | c | a | e\nkeyspaces: \
                    mono | rand | email | hc\n"
@@ -95,13 +116,18 @@ let main index workload keyspace keys ops threads theta show_memory list_ =
     exit 1
   end;
   let cfg = { W.default_config with num_keys = keys; num_ops = ops; theta } in
+  let obs =
+    if metrics || metrics_json <> None then
+      Bw_obs.To (Bw_obs.create ~stripes:(threads + 1) ())
+    else Bw_obs.Null
+  in
   match space with
   | W.Email ->
-      run_generic (mk_str_driver index) ~conv:W.email_key_of ~space ~mix
-        ~threads ~cfg ~show_memory
+      run_generic (mk_str_driver index obs) ~conv:W.email_key_of ~space ~mix
+        ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json
   | _ ->
-      run_generic (mk_int_driver index) ~conv:(W.int_key_of space) ~space ~mix
-        ~threads ~cfg ~show_memory
+      run_generic (mk_int_driver index obs) ~conv:(W.int_key_of space) ~space
+        ~mix ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json
 
 let cmd =
   let index =
@@ -139,13 +165,23 @@ let cmd =
     Arg.(value & flag
          & info [ "m"; "memory" ] ~doc:"Report live-heap memory afterwards.")
   in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Collect latency/structural metrics and print a snapshot.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"Collect metrics and write a JSON snapshot to $(docv).")
+  in
   let list_ =
     Arg.(value & flag & info [ "list" ] ~doc:"List indexes and exit.")
   in
   let term =
     Term.(
       const main $ index $ workload $ keyspace $ keys $ ops $ threads $ theta
-      $ memory $ list_)
+      $ memory $ metrics $ metrics_json $ list_)
   in
   Cmd.v
     (Cmd.info "ycsb" ~doc:"YCSB-style microbenchmarks for in-memory indexes"

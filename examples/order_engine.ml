@@ -42,7 +42,7 @@ let create_engine ~capacity =
     next_slot = Atomic.make 0;
     primary = Idx.create ();
     customers =
-      Idx.create ~config:{ Bwtree.default_config with unique_keys = false } ();
+      Idx.create ~config:(Bwtree.Config.make ~unique_keys:false ()) ();
     clock = Idx.create ();
     ticker = Atomic.make 0;
   }
@@ -206,7 +206,7 @@ let () =
   let configs =
     [
       Bwtree.default_config;
-      { Bwtree.default_config with unique_keys = false };
+      (Bwtree.Config.make ~unique_keys:false ());
       Bwtree.default_config;
       Bwtree.default_config;
     ]

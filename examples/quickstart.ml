@@ -48,9 +48,7 @@ let () =
      %d splits, %d consolidations so far\n"
     ss.leaf_nodes ss.inner_nodes ss.depth ss.avg_leaf_chain ss.avg_leaf_size
     os.splits os.consolidations;
-  let high_water, chunks, capacity = Tree.mapping_table_stats t in
-  Printf.printf "mapping table: %d ids handed out, %d chunks faulted in (capacity %d)\n"
-    high_water chunks capacity;
+  Format.printf "%a@." Bwtree.pp_mapping_stats (Tree.mapping_table_stats t);
 
   (* multi-threaded use: give each worker domain a distinct tid and, for
      sustained workloads, start the epoch-advancing thread *)

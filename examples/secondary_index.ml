@@ -32,7 +32,7 @@ let () =
      orders share a customer *)
   let secondary =
     Secondary.create
-      ~config:{ Bwtree.default_config with unique_keys = false } ()
+      ~config:(Bwtree.Config.make ~unique_keys:false ()) ()
   in
   Array.iter
     (fun row ->

@@ -553,11 +553,13 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
      interference restarts the scan (§6: ART "iteration requires more
      memory access than the OpenBw-Tree" — this rebuild-from-root cost is
      part of that). *)
-  let scan t ~tid k n =
+  let scan t ~tid k ~n visit =
     let bkey = bkey_of k in
-    retry ~tid @@ fun () ->
-    let visited = ref 0 in
-    let exception Done in
+    let items =
+      retry ~tid @@ fun () ->
+      let acc = ref [] in
+      let visited = ref 0 in
+      let exception Done in
     (* children of [node] in byte order *)
     let ordered_children node =
       match node with
@@ -599,7 +601,7 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
       | Empty -> ()
       | Leaf l ->
           if (not constrained) || String.compare l.bkey bkey >= 0 then begin
-            ignore (Atomic.get l.value);
+            acc := (l.bkey, Atomic.get l.value) :: !acc;
             incr visited;
             if !visited >= n then raise Done
           end
@@ -645,9 +647,17 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
               else visit child ~path_len:(plen + 1) ~constrained:false)
             children
     in
-    (try visit (Atomic.get t.root) ~path_len:0 ~constrained:true
-     with Done -> ());
-    !visited
+      (try visit (Atomic.get t.root) ~path_len:0 ~constrained:true
+       with Done -> ());
+      !acc
+    in
+    (* the attempt validated every node it crossed; emit oldest-first,
+       recovering each key from the stored bkey minus our terminator *)
+    List.fold_left
+      (fun m (bk, v) ->
+        visit (K.of_binary (String.sub bk 0 (String.length bk - 1))) v;
+        m + 1)
+      0 (List.rev items)
 
   (* --- introspection --- *)
 

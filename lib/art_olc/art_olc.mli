@@ -24,10 +24,11 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) : sig
   val update : t -> tid:int -> key -> value -> bool
   val delete : t -> tid:int -> key -> bool
 
-  val scan : t -> tid:int -> key -> int -> int
-  (** Ordered depth-first traversal from the first key >= the argument;
-      restarts wholesale on concurrent interference (the cost the paper
-      notes for ART iteration). *)
+  val scan : t -> tid:int -> key -> n:int -> (key -> value -> unit) -> int
+  (** Ordered depth-first traversal handing up to [n] items from the
+      first key >= the argument to the visitor; restarts wholesale on
+      concurrent interference (the cost the paper notes for ART
+      iteration), emitting only after a whole attempt validates. *)
 
   val cardinal : t -> int
   val memory_words : t -> int

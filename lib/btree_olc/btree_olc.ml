@@ -329,35 +329,46 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
 
   (* Range scan: collect up to [n] items starting at the first key >= k,
      following leaf links; each leaf is read optimistically and validated
-     before its items are accepted. Returns the number of items visited. *)
-  let scan t ~tid k n =
-    retry ~tid @@ fun () ->
-    descend t ~tid k ~for_insert:false @@ fun leaf v ->
-    let visited = ref 0 in
-    let rec walk leaf v start =
-      let l = match leaf.kind with Leaf l -> l | Inner _ -> assert false in
-      let count = min leaf.count (Array.length leaf.keys) in
-      let here = max 0 (count - start) in
-      let take = min here (n - !visited) in
-      (* touch the values so the scan is not dead code *)
-      let acc = ref 0 in
-      for i = start to start + take - 1 do
-        acc := !acc lxor Hashtbl.hash l.vals.(i)
-      done;
-      let next = l.next in
-      validate leaf v;
-      ignore !acc;
-      visited := !visited + take;
-      if !visited < n then
-        match next with
-        | None -> ()
-        | Some nx ->
-            let nv = read_lock nx in
-            walk nx nv 0
+     before its items are accepted. Items are buffered during the
+     optimistic attempt and handed to [visit] only once the whole attempt
+     has validated, so a restarted scan never double-reports. *)
+  let scan t ~tid k ~n visit =
+    let items =
+      retry ~tid @@ fun () ->
+      descend t ~tid k ~for_insert:false @@ fun leaf v ->
+      let acc = ref [] in
+      let visited = ref 0 in
+      let rec walk leaf v start =
+        let l = match leaf.kind with Leaf l -> l | Inner _ -> assert false in
+        let count = min leaf.count (Array.length leaf.keys) in
+        let here = max 0 (count - start) in
+        let take = min here (n - !visited) in
+        (* copy before [validate]: after it succeeds these snapshots are
+           known-consistent even if a writer touches the leaf next *)
+        let keys = Array.sub leaf.keys start take in
+        let vals = Array.sub l.vals start take in
+        let next = l.next in
+        validate leaf v;
+        for i = 0 to take - 1 do
+          acc := (keys.(i), vals.(i)) :: !acc
+        done;
+        visited := !visited + take;
+        if !visited < n then
+          match next with
+          | None -> ()
+          | Some nx ->
+              let nv = read_lock nx in
+              walk nx nv 0
+      in
+      let start = lower_bound ~tid leaf k in
+      walk leaf v start;
+      !acc
     in
-    let start = lower_bound ~tid leaf k in
-    walk leaf v start;
-    !visited
+    List.fold_left
+      (fun m (k, v) ->
+        visit k v;
+        m + 1)
+      0 (List.rev items)
 
   (* --- single-threaded introspection (tests) --- *)
 

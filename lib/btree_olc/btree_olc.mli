@@ -32,9 +32,11 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) : sig
   val update : t -> tid:int -> key -> value -> bool
   val delete : t -> tid:int -> key -> bool
 
-  val scan : t -> tid:int -> key -> int -> int
-  (** [scan t ~tid k n] visits up to [n] items starting at the first key
-      >= [k] along the leaf sibling links and returns the count visited. *)
+  val scan : t -> tid:int -> key -> n:int -> (key -> value -> unit) -> int
+  (** [scan t ~tid k ~n visit] hands up to [n] items starting at the first
+      key >= [k] to [visit] in key order, following the leaf sibling
+      links, and returns the count visited. Items are buffered until the
+      optimistic attempt validates, so a restart never double-reports. *)
 
   val verify_invariants : t -> unit
   (** Key ordering and range containment over the whole tree; quiescent

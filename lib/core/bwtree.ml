@@ -151,6 +151,7 @@ module Make (K : KEY) (V : VALUE) :
     table : elem Mapping_table.t;
     root : int Atomic.t;
     epoch : Epoch.t;
+    o : Bw_obs.sink;
     st : int array array;  (* [tid].[field], owner-written *)
   }
 
@@ -185,9 +186,10 @@ module Make (K : KEY) (V : VALUE) :
         lb_pre = new_prealloc cfg ~leaf:true;
       }
 
-  let create ?(config = default_config) () =
+  let create ?(config = default_config) ?(obs = Bw_obs.Null) () =
+    Config.validate config;
     let dummy = empty_leaf { config with preallocate = false } in
-    let table = Mapping_table.create ~dummy () in
+    let table = Mapping_table.create ~obs ~dummy () in
     let leaf = empty_leaf config in
     let leaf_id = Mapping_table.allocate table leaf in
     let root =
@@ -214,11 +216,13 @@ module Make (K : KEY) (V : VALUE) :
       root = Atomic.make root_id;
       epoch =
         Epoch.create ~scheme:config.gc_scheme ~max_threads:config.max_threads
-          ~gc_threshold:config.gc_threshold ();
+          ~gc_threshold:config.gc_threshold ~obs ();
+      o = obs;
       st = Array.init config.max_threads (fun _ -> Array.make n_stat_fields 0);
     }
 
   let config t = t.cfg
+  let obs t = t.o
   let epoch t = t.epoch
 
   (* The linearization primitive: swing a logical node's physical pointer. *)
@@ -633,6 +637,7 @@ module Make (K : KEY) (V : VALUE) :
       match head with
       | LD { l_op = L_remove; _ } | ID { i_op = I_remove | I_abort; _ } -> ()
       | _ ->
+          let t0 = if Bw_obs.enabled t.o then Bw_obs.now_ns () else 0 in
           let repl =
             if is_leaf_elem head then begin
               let items =
@@ -652,6 +657,12 @@ module Make (K : KEY) (V : VALUE) :
           in
           if mt_cas t ~tid id ~expect:head ~repl then begin
             sbump t tid f_consolidations;
+            if Bw_obs.enabled t.o then begin
+              Bw_obs.observe t.o ~tid Bw_obs.Lat_consolidate
+                (Bw_obs.now_ns () - t0);
+              Bw_obs.incr t.o ~tid Bw_obs.C_consolidations;
+              Bw_obs.event t.o ~tid Bw_obs.Ev_consolidate ~a:id ~b:m.depth
+            end;
             Epoch.retire t.epoch ~tid (Obj.repr head)
           end
 
@@ -901,6 +912,10 @@ module Make (K : KEY) (V : VALUE) :
           end
           else begin
             sbump t tid f_splits;
+            if Bw_obs.enabled t.o then begin
+              Bw_obs.incr t.o ~tid Bw_obs.C_splits;
+              Bw_obs.event t.o ~tid Bw_obs.Ev_split ~a:id ~b:rid
+            end;
             post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
           end
         end
@@ -944,6 +959,10 @@ module Make (K : KEY) (V : VALUE) :
             end
             else begin
               sbump t tid f_splits;
+              if Bw_obs.enabled t.o then begin
+                Bw_obs.incr t.o ~tid Bw_obs.C_splits;
+                Bw_obs.event t.o ~tid Bw_obs.Ev_split ~a:id ~b:rid
+              end;
               post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
             end
       end
@@ -966,8 +985,14 @@ module Make (K : KEY) (V : VALUE) :
           let _, cid = Growable.get items 0 in
           let child = mt_get t ~tid cid in
           if not (is_leaf_elem child) then
-            if Atomic.compare_and_set t.root root_id cid then
+            if Atomic.compare_and_set t.root root_id cid then begin
+              if Bw_obs.enabled t.o then begin
+                Bw_obs.incr t.o ~tid Bw_obs.C_root_collapses;
+                Bw_obs.event t.o ~tid Bw_obs.Ev_root_collapse ~a:root_id
+                  ~b:cid
+              end;
               Epoch.retire t.epoch ~tid (Obj.repr head)
+            end
         end
       end
     end
@@ -1128,6 +1153,11 @@ module Make (K : KEY) (V : VALUE) :
                             in
                             assert ok;
                             sbump t tid f_merges;
+                            if Bw_obs.enabled t.o then begin
+                              Bw_obs.incr t.o ~tid Bw_obs.C_merges;
+                              Bw_obs.event t.o ~tid Bw_obs.Ev_merge ~a:id
+                                ~b:lid
+                            end;
                             (* The removed node's id stays allocated: a
                                concurrent reader may still hold it, and id
                                recycling would require epoch-deferred
@@ -1362,6 +1392,22 @@ module Make (K : KEY) (V : VALUE) :
         Domain.cpu_relax ();
         retry_loop t ~tid f
 
+  (* Record one public operation's wall time and how many root restarts it
+     took. With the null sink this is the one extra branch the ISSUE's
+     overhead budget allows; with a live sink it reads the clock twice and
+     writes only this thread's stripe. *)
+  let timed t ~tid series f =
+    match t.o with
+    | Bw_obs.Null -> f ()
+    | Bw_obs.To _ as s ->
+        let t0 = Bw_obs.now_ns () in
+        let r0 = t.st.(tid).(f_restarts) in
+        let x = f () in
+        Bw_obs.observe s ~tid series (Bw_obs.now_ns () - t0);
+        Bw_obs.observe s ~tid Bw_obs.Val_op_restarts
+          (t.st.(tid).(f_restarts) - r0);
+        x
+
   (* ---------------------------------------------------------------- *)
   (* Leaf writes                                                       *)
   (* ---------------------------------------------------------------- *)
@@ -1410,8 +1456,7 @@ module Make (K : KEY) (V : VALUE) :
         true
     | _ -> false
 
-  let insert t ?(tid = 0) k v =
-    sbump t tid f_inserts;
+  let insert_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let parent_path, id, head = locate t ~tid k in
@@ -1455,8 +1500,7 @@ module Make (K : KEY) (V : VALUE) :
       true
     end
 
-  let delete t ?(tid = 0) k v =
-    sbump t tid f_deletes;
+  let delete_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let parent_path, id, head = locate t ~tid k in
@@ -1500,8 +1544,7 @@ module Make (K : KEY) (V : VALUE) :
       true
     end
 
-  let update t ?(tid = 0) k v =
-    sbump t tid f_updates;
+  let update_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let parent_path, id, head = locate t ~tid k in
@@ -1538,19 +1581,52 @@ module Make (K : KEY) (V : VALUE) :
       true
     end
 
-  let upsert t ?(tid = 0) k v =
-    if not (update t ~tid k v) then ignore (insert t ~tid k v)
-
   (* ---------------------------------------------------------------- *)
   (* Reads                                                             *)
   (* ---------------------------------------------------------------- *)
 
-  let lookup t ?(tid = 0) k =
-    sbump t tid f_lookups;
+  let lookup_body t ~tid k =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let _, _, head = locate t ~tid k in
+    if Bw_obs.enabled t.o then
+      Bw_obs.observe t.o ~tid Bw_obs.Val_chain_depth (meta_of head).depth;
     (probe_leaf t ~tid head k).p_values
+
+  (* Public write/read entry points: the null-sink path must not even
+     allocate the thunk [timed] would take, so the branch happens here
+     and the instrumented arm builds its closure only when a registry is
+     attached. *)
+  let insert t ?(tid = 0) k v =
+    sbump t tid f_inserts;
+    match t.o with
+    | Bw_obs.Null -> insert_body t ~tid k v
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_insert (fun () -> insert_body t ~tid k v)
+
+  let delete t ?(tid = 0) k v =
+    sbump t tid f_deletes;
+    match t.o with
+    | Bw_obs.Null -> delete_body t ~tid k v
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_delete (fun () -> delete_body t ~tid k v)
+
+  let update t ?(tid = 0) k v =
+    sbump t tid f_updates;
+    match t.o with
+    | Bw_obs.Null -> update_body t ~tid k v
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_update (fun () -> update_body t ~tid k v)
+
+  let lookup t ?(tid = 0) k =
+    sbump t tid f_lookups;
+    match t.o with
+    | Bw_obs.Null -> lookup_body t ~tid k
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_lookup (fun () -> lookup_body t ~tid k)
+
+  let upsert t ?(tid = 0) k v =
+    if not (update t ~tid k v) then ignore (insert t ~tid k v)
 
   let mem t ?(tid = 0) k = lookup t ~tid k <> []
 
@@ -1754,7 +1830,7 @@ module Make (K : KEY) (V : VALUE) :
 
   (* Bulk range scan: like the iterator, but consumes each per-node
      private copy in one go instead of stepping item by item. *)
-  let scan t ?(tid = 0) ?(n = max_int) k =
+  let scan_body t ~tid ~n k =
     let out = ref [] and count = ref 0 in
     let rec from_key k =
       let items, _, hi =
@@ -1775,6 +1851,12 @@ module Make (K : KEY) (V : VALUE) :
     in
     from_key k;
     List.rev !out
+
+  let scan t ?(tid = 0) ?(n = max_int) k =
+    match t.o with
+    | Bw_obs.Null -> scan_body t ~tid ~n k
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_scan (fun () -> scan_body t ~tid ~n k)
 
   let scan_all t ?(tid = 0) () =
     let it = Iterator.seek_first t ~tid () in
@@ -1909,9 +1991,12 @@ module Make (K : KEY) (V : VALUE) :
   let memory_words t = Obj.reachable_words (Obj.repr t)
 
   let mapping_table_stats t =
-    ( Mapping_table.high_water t.table,
-      Mapping_table.chunks_allocated t.table,
-      Mapping_table.capacity t.table )
+    {
+      allocated = Mapping_table.high_water t.table;
+      freed = Mapping_table.free_list_length t.table;
+      chunks = Mapping_table.chunks_allocated t.table;
+      table_capacity = Mapping_table.capacity t.table;
+    }
 
   (* ---------------------------------------------------------------- *)
   (* Invariant checking (tests)                                        *)

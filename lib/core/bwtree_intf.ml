@@ -10,6 +10,11 @@ module type KEY = sig
       part of the key contract so that the same key modules drive the trie
       indexes and the workload generators. *)
 
+  val of_binary : string -> t
+  (** Inverse of {!to_binary} on its exact output. The trie indexes store
+      only the binary form and use this to hand real keys back to scan
+      visitors. *)
+
   val dummy : t
   (** Any value of the type; fills unused slots of the lock-based indexes'
       fixed-capacity node arrays. Never compared or returned. *)
@@ -84,6 +89,59 @@ let microsoft_config =
     gc_scheme = Epoch.Centralized;
   }
 
+(** Validating configuration builder. [S.create] re-validates whatever it
+    is given, so a raw [{ default_config with ... }] update still works —
+    it just has to denote a coherent configuration. *)
+module Config = struct
+  let validate c =
+    let fail fmt = Format.kasprintf invalid_arg ("Bwtree.Config: " ^^ fmt) in
+    if c.leaf_max < 2 then fail "leaf_max %d < 2" c.leaf_max;
+    if c.inner_max < 2 then fail "inner_max %d < 2" c.inner_max;
+    if c.leaf_min < 0 then fail "leaf_min %d < 0" c.leaf_min;
+    if c.inner_min < 0 then fail "inner_min %d < 0" c.inner_min;
+    if c.leaf_min >= c.leaf_max then
+      fail "leaf_min %d >= leaf_max %d (a leaf would merge and re-split \
+            forever)"
+        c.leaf_min c.leaf_max;
+    if c.inner_min >= c.inner_max then
+      fail "inner_min %d >= inner_max %d" c.inner_min c.inner_max;
+    if c.leaf_chain_max < 1 then
+      fail "leaf_chain_max %d < 1 (a chain threshold below 1 would \
+            consolidate empty chains)"
+        c.leaf_chain_max;
+    if c.inner_chain_max < 1 then
+      fail "inner_chain_max %d < 1" c.inner_chain_max;
+    if c.gc_threshold < 1 then fail "gc_threshold %d < 1" c.gc_threshold;
+    if c.max_threads < 1 then fail "max_threads %d < 1" c.max_threads
+
+  let make ?(base = default_config) ?leaf_max ?inner_max ?leaf_chain_max
+      ?inner_chain_max ?leaf_min ?inner_min ?unique_keys ?preallocate
+      ?fast_consolidation ?search_shortcuts ?use_atomic_cas
+      ?inplace_leaf_update ?gc_scheme ?gc_threshold ?max_threads () =
+    let field v = function Some x -> x | None -> v in
+    let c =
+      {
+        leaf_max = field base.leaf_max leaf_max;
+        inner_max = field base.inner_max inner_max;
+        leaf_chain_max = field base.leaf_chain_max leaf_chain_max;
+        inner_chain_max = field base.inner_chain_max inner_chain_max;
+        leaf_min = field base.leaf_min leaf_min;
+        inner_min = field base.inner_min inner_min;
+        unique_keys = field base.unique_keys unique_keys;
+        preallocate = field base.preallocate preallocate;
+        fast_consolidation = field base.fast_consolidation fast_consolidation;
+        search_shortcuts = field base.search_shortcuts search_shortcuts;
+        use_atomic_cas = field base.use_atomic_cas use_atomic_cas;
+        inplace_leaf_update = field base.inplace_leaf_update inplace_leaf_update;
+        gc_scheme = field base.gc_scheme gc_scheme;
+        gc_threshold = field base.gc_threshold gc_threshold;
+        max_threads = field base.max_threads max_threads;
+      }
+    in
+    validate c;
+    c
+end
+
 (** Operation counters, striped per thread. *)
 type op_stats = {
   inserts : int;
@@ -98,6 +156,28 @@ type op_stats = {
   smo_helps : int;  (** help-along completions attempted *)
   prealloc_overflows : int;  (** consolidations forced by slot exhaustion *)
 }
+
+(** Mapping-table occupancy snapshot. *)
+type mapping_stats = {
+  allocated : int;  (** ids ever handed out (the high-water mark) *)
+  freed : int;  (** recycled ids currently parked on the free list *)
+  chunks : int;  (** chunks faulted in so far *)
+  table_capacity : int;  (** addressable ids under the current geometry *)
+}
+
+let pp_mapping_stats ppf s =
+  Format.fprintf ppf
+    "@[<h>mapping table: %d ids allocated, %d free, %d chunks, capacity %d@]"
+    s.allocated s.freed s.chunks s.table_capacity
+
+let mapping_stats_to_json s =
+  Bw_obs.Json.Obj
+    [
+      ("allocated", Bw_obs.Json.Int s.allocated);
+      ("freed", Bw_obs.Json.Int s.freed);
+      ("chunks", Bw_obs.Json.Int s.chunks);
+      ("capacity", Bw_obs.Json.Int s.table_capacity);
+    ]
 
 (** Snapshot of the physical structure, computed by a full walk
     (Table 2's IDCL/LDCL/INS/LNS/IPU/LPU statistics). *)
@@ -126,12 +206,17 @@ module type S = sig
       a distinct [tid] below [config.max_threads]. [tid] defaults to [0],
       fine for single-threaded use. *)
 
-  val create : ?config:config -> unit -> t
+  val create : ?config:config -> ?obs:Bw_obs.sink -> unit -> t
   (** A fresh index. [config] defaults to {!default_config}, the fully
       optimized OpenBw-Tree; {!microsoft_config} selects the baseline
-      Bw-Tree design. *)
+      Bw-Tree design. The config is validated ({!Config.validate});
+      inconsistent settings raise [Invalid_argument]. [obs] (default
+      {!Bw_obs.Null}) receives per-operation latencies, restart counts,
+      chain depths, SMO events and the epoch/mapping-table gauges; with
+      the default null sink every probe is a single branch. *)
 
   val config : t -> config
+  val obs : t -> Bw_obs.sink
 
   (** {1 Point operations} *)
 
@@ -223,8 +308,7 @@ module type S = sig
       cheap probe for harnesses that bound chain growth. Exact when the
       tree is quiescent; a racy snapshot otherwise. *)
 
-  val mapping_table_stats : t -> int * int * int
-  (** (ids handed out, chunks faulted in, addressable capacity). *)
+  val mapping_table_stats : t -> mapping_stats
 
   exception Invariant_violation of string
 

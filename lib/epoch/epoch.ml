@@ -55,6 +55,7 @@ type impl =
 
 type t = {
   impl : impl;
+  obs : Bw_obs.sink;
   max_threads : int;
   (* Per-thread statistic rows; summed on read so hot paths never write to
      shared memory. *)
@@ -83,7 +84,21 @@ type stats = {
    window deterministically. *)
 let test_retire_window : (unit -> unit) ref = ref (fun () -> ())
 
-let create ~scheme ~max_threads ?(gc_threshold = 1024) () =
+let bump row tid = row.(tid).(0) <- row.(tid).(0) + 1
+let bumpn row tid n = row.(tid).(0) <- row.(tid).(0) + n
+let sum row = Array.fold_left (fun acc r -> acc + r.(0)) 0 row
+
+let d_watermark d =
+  let w = ref idle in
+  Array.iter
+    (fun cell ->
+      let v = Atomic.get cell in
+      if v < !w then w := v)
+    d.local;
+  !w
+
+let create ~scheme ~max_threads ?(gc_threshold = 1024) ?(obs = Bw_obs.Null) ()
+    =
   let impl =
     match scheme with
     | Disabled -> Off
@@ -109,24 +124,33 @@ let create ~scheme ~max_threads ?(gc_threshold = 1024) () =
           }
   in
   let row () = Array.init max_threads (fun _ -> Array.make 8 0) in
-  {
-    impl;
-    max_threads;
-    s_retired = row ();
-    s_reclaimed = row ();
-    s_reclaimed_shared = Atomic.make 0;
-    s_enters = row ();
-    advanced = Atomic.make 0;
-    background = None;
-    bg_stop = Atomic.make false;
-  }
+  let t =
+    {
+      impl;
+      obs;
+      max_threads;
+      s_retired = row ();
+      s_reclaimed = row ();
+      s_reclaimed_shared = Atomic.make 0;
+      s_enters = row ();
+      advanced = Atomic.make 0;
+      background = None;
+      bg_stop = Atomic.make false;
+    }
+  in
+  Bw_obs.register_gauge obs Bw_obs.G_epoch_pending (fun () ->
+      sum t.s_retired - (sum t.s_reclaimed + Atomic.get t.s_reclaimed_shared));
+  Bw_obs.register_gauge obs Bw_obs.G_epoch_watermark_lag (fun () ->
+      match t.impl with
+      | D d ->
+          let w = d_watermark d in
+          if w = idle then 0 else Atomic.get d.global - w
+      | C c -> (Atomic.get c.current).id - (Atomic.get c.head).id
+      | Off -> 0);
+  t
 
 let scheme t =
   match t.impl with C _ -> Centralized | D _ -> Decentralized | Off -> Disabled
-
-let bump row tid = row.(tid).(0) <- row.(tid).(0) + 1
-let bumpn row tid n = row.(tid).(0) <- row.(tid).(0) + n
-let sum row = Array.fold_left (fun acc r -> acc + r.(0)) 0 row
 
 (* --- centralized operations --- *)
 
@@ -186,7 +210,14 @@ let c_reclaim_epoch t e =
   (* [c_advance] runs from the background domain and from any foreground
      [flush]/[advance] caller, so this count cannot go into a per-thread
      row without breaking the "written only by thread tid" contract. *)
-  ignore (Atomic.fetch_and_add t.s_reclaimed_shared (List.length g))
+  let n = List.length g in
+  ignore (Atomic.fetch_and_add t.s_reclaimed_shared n);
+  if n > 0 && Bw_obs.enabled t.obs then begin
+    Bw_obs.incr_anon t.obs Bw_obs.C_reclaim_batches;
+    Bw_obs.event_anon t.obs Bw_obs.Ev_reclaim ~a:n ~b:e.id;
+    (* tid out of stripe range lands on the shared stripe *)
+    Bw_obs.observe t.obs ~tid:max_int Bw_obs.Val_reclaim_batch n
+  end
 
 let c_advance t c =
   Mutex.lock c.advance_lock;
@@ -225,18 +256,10 @@ let d_begin t d ~tid =
   Atomic.set d.local.(tid) (Atomic.get d.global);
   bump t.s_enters tid
 
-let d_watermark d =
-  let w = ref idle in
-  Array.iter
-    (fun cell ->
-      let v = Atomic.get cell in
-      if v < !w then w := v)
-    d.local;
-  !w
-
 let d_collect t d ~tid =
   let bag = d.bags.(tid) in
   if Bw_util.Growable.length bag > 0 then begin
+    let t0 = if Bw_obs.enabled t.obs then Bw_obs.now_ns () else 0 in
     let w = d_watermark d in
     let keep = Bw_util.Growable.create () in
     let freed = ref 0 in
@@ -247,7 +270,14 @@ let d_collect t d ~tid =
     if !freed > 0 then begin
       Bw_util.Growable.clear bag;
       Bw_util.Growable.iter (fun item -> Bw_util.Growable.push bag item) keep;
-      bumpn t.s_reclaimed tid !freed
+      bumpn t.s_reclaimed tid !freed;
+      if Bw_obs.enabled t.obs then begin
+        Bw_obs.observe t.obs ~tid Bw_obs.Lat_reclaim (Bw_obs.now_ns () - t0);
+        Bw_obs.observe t.obs ~tid Bw_obs.Val_reclaim_batch !freed;
+        Bw_obs.incr t.obs ~tid Bw_obs.C_reclaim_batches;
+        Bw_obs.event t.obs ~tid Bw_obs.Ev_reclaim ~a:!freed
+          ~b:(Bw_util.Growable.length bag)
+      end
     end
     else
       (* The watermark is not moving: either no background thread is

@@ -34,10 +34,19 @@ type scheme =
 
 type t
 
-val create : scheme:scheme -> max_threads:int -> ?gc_threshold:int -> unit -> t
+val create :
+  scheme:scheme ->
+  max_threads:int ->
+  ?gc_threshold:int ->
+  ?obs:Bw_obs.sink ->
+  unit ->
+  t
 (** [gc_threshold] (default 1024, the paper's setting) is the local garbage
     list length that triggers a reclamation attempt in the decentralized
-    scheme; in the centralized scheme reclamation happens on {!advance}. *)
+    scheme; in the centralized scheme reclamation happens on {!advance}.
+    [obs] (default {!Bw_obs.Null}) receives reclaim-batch latencies and
+    sizes, [Ev_reclaim] events, and registers the [G_epoch_pending] and
+    [G_epoch_watermark_lag] gauge providers. *)
 
 val scheme : t -> scheme
 

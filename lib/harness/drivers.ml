@@ -18,9 +18,9 @@ let hd_opt = function [] -> None | v :: _ -> Some v
 
 (* --- Bw-Tree drivers (OpenBw, baseline Bw, and arbitrary configs) --- *)
 
-let bwtree_driver_int ?(name = "OpenBw-Tree") ?config () : int Runner.driver
-    =
-  let t = Bw_int.create ?config () in
+let bwtree_driver_int ?(name = "OpenBw-Tree") ?config ?obs () :
+    int Runner.driver =
+  let t = Bw_int.create ?config ?obs () in
   let tree = t in
   {
     Runner.name;
@@ -28,7 +28,13 @@ let bwtree_driver_int ?(name = "OpenBw-Tree") ?config () : int Runner.driver
     read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
     update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
     remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
-    scan = (fun ~tid k n -> List.length (Bw_int.scan tree ~tid ~n k));
+    scan =
+      (fun ~tid k ~n visit ->
+        List.fold_left
+          (fun m (k, v) ->
+            visit k v;
+            m + 1)
+          0 (Bw_int.scan tree ~tid ~n k));
     start_aux = (fun () -> Bw_int.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
     thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
@@ -36,8 +42,8 @@ let bwtree_driver_int ?(name = "OpenBw-Tree") ?config () : int Runner.driver
   }
 
 (* exposes the underlying tree for experiments that need statistics *)
-let bwtree_instance_int ?config () =
-  let tree = Bw_int.create ?config () in
+let bwtree_instance_int ?config ?obs () =
+  let tree = Bw_int.create ?config ?obs () in
   let driver name : int Runner.driver =
     {
       Runner.name;
@@ -45,7 +51,13 @@ let bwtree_instance_int ?config () =
       read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
       update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
       remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
-      scan = (fun ~tid k n -> List.length (Bw_int.scan tree ~tid ~n k));
+      scan =
+      (fun ~tid k ~n visit ->
+        List.fold_left
+          (fun m (k, v) ->
+            visit k v;
+            m + 1)
+          0 (Bw_int.scan tree ~tid ~n k));
       start_aux = (fun () -> Bw_int.start_gc_thread tree ());
       stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
       thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
@@ -54,16 +66,22 @@ let bwtree_instance_int ?config () =
   in
   (tree, driver)
 
-let bwtree_driver_str ?(name = "OpenBw-Tree") ?config () :
+let bwtree_driver_str ?(name = "OpenBw-Tree") ?config ?obs () :
     string Runner.driver =
-  let tree = Bw_str.create ?config () in
+  let tree = Bw_str.create ?config ?obs () in
   {
     Runner.name;
     insert = (fun ~tid k v -> Bw_str.insert tree ~tid k v);
     read = (fun ~tid k -> hd_opt (Bw_str.lookup tree ~tid k));
     update = (fun ~tid k v -> Bw_str.update tree ~tid k v);
     remove = (fun ~tid k -> Bw_str.delete tree ~tid k 0);
-    scan = (fun ~tid k n -> List.length (Bw_str.scan tree ~tid ~n k));
+    scan =
+      (fun ~tid k ~n visit ->
+        List.fold_left
+          (fun m (k, v) ->
+            visit k v;
+            m + 1)
+          0 (Bw_str.scan tree ~tid ~n k));
     start_aux = (fun () -> Bw_str.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_str.stop_gc_thread tree);
     thread_done = (fun ~tid -> Bw_str.quiesce tree ~tid);
@@ -80,7 +98,7 @@ let btree_driver_int () : int Runner.driver =
     read = (fun ~tid k -> Bt_int.lookup t ~tid k);
     update = (fun ~tid k v -> Bt_int.update t ~tid k v);
     remove = (fun ~tid k -> Bt_int.delete t ~tid k);
-    scan = (fun ~tid k n -> Bt_int.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Bt_int.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -95,7 +113,7 @@ let btree_driver_str () : string Runner.driver =
     read = (fun ~tid k -> Bt_str.lookup t ~tid k);
     update = (fun ~tid k v -> Bt_str.update t ~tid k v);
     remove = (fun ~tid k -> Bt_str.delete t ~tid k);
-    scan = (fun ~tid k n -> Bt_str.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Bt_str.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -114,7 +132,7 @@ let skiplist_driver_int ?(policy = Skiplist.Background) () :
     read = (fun ~tid k -> Sl_int.lookup t ~tid k);
     update = (fun ~tid k v -> Sl_int.update t ~tid k v);
     remove = (fun ~tid k -> Sl_int.delete t ~tid k);
-    scan = (fun ~tid k n -> Sl_int.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Sl_int.scan t ~tid k ~n visit);
     start_aux = (fun () -> Sl_int.start_aux t);
     stop_aux = (fun () -> Sl_int.stop_aux t);
     thread_done = (fun ~tid -> ignore tid);
@@ -130,7 +148,7 @@ let skiplist_driver_str ?(policy = Skiplist.Background) () :
     read = (fun ~tid k -> Sl_str.lookup t ~tid k);
     update = (fun ~tid k v -> Sl_str.update t ~tid k v);
     remove = (fun ~tid k -> Sl_str.delete t ~tid k);
-    scan = (fun ~tid k n -> Sl_str.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Sl_str.scan t ~tid k ~n visit);
     start_aux = (fun () -> Sl_str.start_aux t);
     stop_aux = (fun () -> Sl_str.stop_aux t);
     thread_done = (fun ~tid -> ignore tid);
@@ -145,7 +163,7 @@ let art_driver_int () : int Runner.driver =
     read = (fun ~tid k -> Ar_int.lookup t ~tid k);
     update = (fun ~tid k v -> Ar_int.update t ~tid k v);
     remove = (fun ~tid k -> Ar_int.delete t ~tid k);
-    scan = (fun ~tid k n -> Ar_int.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Ar_int.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -160,7 +178,7 @@ let art_driver_str () : string Runner.driver =
     read = (fun ~tid k -> Ar_str.lookup t ~tid k);
     update = (fun ~tid k v -> Ar_str.update t ~tid k v);
     remove = (fun ~tid k -> Ar_str.delete t ~tid k);
-    scan = (fun ~tid k n -> Ar_str.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Ar_str.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -175,7 +193,7 @@ let masstree_driver_int () : int Runner.driver =
     read = (fun ~tid k -> Mt_int.lookup t ~tid k);
     update = (fun ~tid k v -> Mt_int.update t ~tid k v);
     remove = (fun ~tid k -> Mt_int.delete t ~tid k);
-    scan = (fun ~tid k n -> Mt_int.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Mt_int.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -190,7 +208,7 @@ let masstree_driver_str () : string Runner.driver =
     read = (fun ~tid k -> Mt_str.lookup t ~tid k);
     update = (fun ~tid k v -> Mt_str.update t ~tid k v);
     remove = (fun ~tid k -> Mt_str.delete t ~tid k);
-    scan = (fun ~tid k n -> Mt_str.scan t ~tid k n);
+    scan = (fun ~tid k ~n visit -> Mt_str.scan t ~tid k ~n visit);
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);

@@ -20,12 +20,43 @@ type 'k driver = {
   read : tid:int -> 'k -> int option;
   update : tid:int -> 'k -> int -> bool;
   remove : tid:int -> 'k -> bool;
-  scan : tid:int -> 'k -> int -> int;
+  scan : tid:int -> 'k -> n:int -> ('k -> int -> unit) -> int;
   start_aux : unit -> unit;
   stop_aux : unit -> unit;
   thread_done : tid:int -> unit;
   memory_words : unit -> int;
 }
+
+(* Wrap a driver so every operation records its latency into [obs]. The
+   Bw-Tree drivers measure inside the tree instead (closer to the op,
+   and they also see restarts/chain depths) — this wrapper is for the
+   competitor indexes, which know nothing about Bw_obs. *)
+let instrument obs (d : 'k driver) : 'k driver =
+  if not (Bw_obs.enabled obs) then d
+  else
+    let timed ~tid series f =
+      let t0 = Bw_obs.now_ns () in
+      let r = f () in
+      Bw_obs.observe obs ~tid series (Bw_obs.now_ns () - t0);
+      r
+    in
+    {
+      d with
+      insert =
+        (fun ~tid k v ->
+          timed ~tid Bw_obs.Lat_insert (fun () -> d.insert ~tid k v));
+      read =
+        (fun ~tid k -> timed ~tid Bw_obs.Lat_lookup (fun () -> d.read ~tid k));
+      update =
+        (fun ~tid k v ->
+          timed ~tid Bw_obs.Lat_update (fun () -> d.update ~tid k v));
+      remove =
+        (fun ~tid k ->
+          timed ~tid Bw_obs.Lat_delete (fun () -> d.remove ~tid k));
+      scan =
+        (fun ~tid k ~n visit ->
+          timed ~tid Bw_obs.Lat_scan (fun () -> d.scan ~tid k ~n visit));
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Start barrier                                                       *)
@@ -116,7 +147,7 @@ let exec_op (d : 'k driver) ~tid (op : 'k Workload.op) =
   | Workload.Insert (k, v) -> ignore (d.insert ~tid k v)
   | Workload.Read k -> ignore (d.read ~tid k)
   | Workload.Update (k, v) -> ignore (d.update ~tid k v)
-  | Workload.Scan (k, n) -> ignore (d.scan ~tid k n)
+  | Workload.Scan (k, n) -> ignore (d.scan ~tid k ~n (fun _ _ -> ()))
 
 (* Load phase: insert the key set with [nthreads] workers (striped), and
    report it as the Insert-only workload result. *)

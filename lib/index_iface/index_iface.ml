@@ -10,6 +10,7 @@ module Int_key = struct
 
   let compare = Int.compare
   let to_binary = Bw_util.Key_codec.of_int
+  let of_binary = Bw_util.Key_codec.to_int
   let dummy = 0
   let pp = Format.pp_print_int
 end
@@ -20,6 +21,7 @@ module String_key = struct
 
   let compare = String.compare
   let to_binary = Bw_util.Key_codec.of_string
+  let of_binary s = s
   let dummy = ""
   let pp = Format.pp_print_string
 end
@@ -49,9 +51,13 @@ module type INDEX = sig
   val update : t -> tid:int -> key -> int -> bool
   val remove : t -> tid:int -> key -> bool
 
-  val scan : t -> tid:int -> key -> int -> int
-  (** [scan t k n] visits up to [n] items starting at the first key >= [k]
-      and returns the number visited (the YCSB-E operation). *)
+  val scan : t -> tid:int -> key -> n:int -> (key -> int -> unit) -> int
+  (** [scan t ~tid k ~n visit] walks up to [n] items starting at the first
+      key >= [k] in key order, calling [visit key value] on each, and
+      returns the number visited (the YCSB-E operation). Under optimistic
+      concurrency an attempt that observes interference is retried;
+      [visit] is called exactly once per reported item, after the attempt
+      that produced it validated. *)
 
   val start_aux : t -> unit
   (** Start any auxiliary threads the design needs (epoch advancer,

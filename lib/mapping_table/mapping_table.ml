@@ -9,24 +9,33 @@ type 'a t = {
   next_id : int Atomic.t;
   free : int list Atomic.t;
   chunks : int Atomic.t;
+  obs : Bw_obs.sink;
 }
 
-let create ?(chunk_bits = 16) ?(dir_bits = 12) ~dummy () =
+let create ?(chunk_bits = 16) ?(dir_bits = 12) ?(obs = Bw_obs.Null) ~dummy ()
+    =
   if chunk_bits < 1 || chunk_bits > 24 then
     invalid_arg "Mapping_table.create: chunk_bits out of range";
   if dir_bits < 1 || dir_bits > 20 then
     invalid_arg "Mapping_table.create: dir_bits out of range";
   let absent = [||] in
-  {
-    dummy;
-    chunk_bits;
-    chunk_mask = (1 lsl chunk_bits) - 1;
-    directory = Array.init (1 lsl dir_bits) (fun _ -> Atomic.make absent);
-    absent;
-    next_id = Atomic.make 0;
-    free = Atomic.make [];
-    chunks = Atomic.make 0;
-  }
+  let t =
+    {
+      dummy;
+      chunk_bits;
+      chunk_mask = (1 lsl chunk_bits) - 1;
+      directory = Array.init (1 lsl dir_bits) (fun _ -> Atomic.make absent);
+      absent;
+      next_id = Atomic.make 0;
+      free = Atomic.make [];
+      chunks = Atomic.make 0;
+      obs;
+    }
+  in
+  Bw_obs.register_gauge obs Bw_obs.G_mt_chunks (fun () -> Atomic.get t.chunks);
+  Bw_obs.register_gauge obs Bw_obs.G_mt_free_ids (fun () ->
+      List.length (Atomic.get t.free));
+  t
 
 let capacity t = Array.length t.directory lsl t.chunk_bits
 
@@ -44,6 +53,13 @@ let chunk_for t id =
     in
     if Atomic.compare_and_set slot t.absent fresh then begin
       ignore (Atomic.fetch_and_add t.chunks 1);
+      if Bw_obs.enabled t.obs then begin
+        (* a chunk fault can come from any thread, including foreground
+           readers with no spare budget — anon context keeps it simple *)
+        Bw_obs.incr_anon t.obs Bw_obs.C_mt_growths;
+        Bw_obs.event_anon t.obs Bw_obs.Ev_mt_grow ~a:(id lsr t.chunk_bits)
+          ~b:(Atomic.get t.chunks)
+      end;
       fresh
     end
     else Atomic.get slot

@@ -19,11 +19,15 @@
 
 type 'a t
 
-val create : ?chunk_bits:int -> ?dir_bits:int -> dummy:'a -> unit -> 'a t
+val create :
+  ?chunk_bits:int -> ?dir_bits:int -> ?obs:Bw_obs.sink -> dummy:'a -> unit ->
+  'a t
 (** [create ~dummy ()] makes an empty table. [dummy] fills never-assigned
     cells (reading an unallocated id returns it). Default geometry:
     [chunk_bits = 16] (64 Ki entries per chunk), [dir_bits = 12] (4096
-    chunks ⇒ capacity 2{^28} ids). *)
+    chunks ⇒ capacity 2{^28} ids). [obs] (default {!Bw_obs.Null}) receives
+    [Ev_mt_grow] events on chunk faults and registers the [G_mt_chunks]
+    and [G_mt_free_ids] gauge providers. *)
 
 val allocate : 'a t -> 'a -> int
 (** Claim a fresh (or recycled) id and install the given pointer. *)

@@ -395,24 +395,26 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
      the seek key, then stream border nodes left-to-right, descending into
      sub-layers depth-first. Layers whose path already exceeds the seek
      key are unconstrained and streamed wholesale. *)
-  let scan t ~tid k n =
+  let scan t ~tid k ~n visit =
     let bkey = K.to_binary k in
-    retry ~tid @@ fun () ->
-    let visited = ref 0 in
-    let exception Done in
-    let slice_of d = Bw_util.Key_codec.slice64 bkey d in
-    let rec visit_link link ~depth ~constrained =
-      (match Atomic.get link.terminals with
-      | [] -> ()
-      | terms ->
-          List.iter
-            (fun (kb, v) ->
-              if (not constrained) || String.compare kb bkey >= 0 then begin
-                ignore (Atomic.get v);
-                incr visited;
-                if !visited >= n then raise Done
-              end)
-            (List.sort (fun (a, _) (b, _) -> String.compare a b) terms));
+    let items =
+      retry ~tid @@ fun () ->
+      let acc = ref [] in
+      let visited = ref 0 in
+      let exception Done in
+      let slice_of d = Bw_util.Key_codec.slice64 bkey d in
+      let rec visit_link link ~depth ~constrained =
+        (match Atomic.get link.terminals with
+        | [] -> ()
+        | terms ->
+            List.iter
+              (fun (kb, v) ->
+                if (not constrained) || String.compare kb bkey >= 0 then begin
+                  acc := (kb, Atomic.get v) :: !acc;
+                  incr visited;
+                  if !visited >= n then raise Done
+                end)
+              (List.sort (fun (a, _) (b, _) -> String.compare a b) terms));
       match Atomic.get link.next_layer with
       | None -> ()
       | Some sub -> visit_layer sub ~depth:(depth + 1) ~constrained
@@ -446,9 +448,16 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
         match next with Some nx -> walk nx | None -> ()
       in
       walk border0
+      in
+      (try visit_layer t.top ~depth:0 ~constrained:true with Done -> ());
+      !acc
     in
-    (try visit_layer t.top ~depth:0 ~constrained:true with Done -> ());
-    !visited
+    (* terminals store the exact binary key, so recovery is direct *)
+    List.fold_left
+      (fun m (kb, v) ->
+        visit (K.of_binary kb) v;
+        m + 1)
+      0 (List.rev items)
 
   (* --- introspection --- *)
 

@@ -26,9 +26,10 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) : sig
   val update : t -> tid:int -> key -> value -> bool
   val delete : t -> tid:int -> key -> bool
 
-  val scan : t -> tid:int -> key -> int -> int
+  val scan : t -> tid:int -> key -> n:int -> (key -> value -> unit) -> int
   (** Streams border nodes within each layer from the seek key's slice,
-      descending into deeper layers depth-first. *)
+      descending into deeper layers depth-first; hands up to [n] items to
+      the visitor once the attempt validates and returns the count. *)
 
   val cardinal : t -> int
   val memory_words : t -> int

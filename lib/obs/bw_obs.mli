@@ -1,0 +1,220 @@
+(** Low-overhead observability registry: latency/value histograms,
+    software counters, pull-style gauges and a bounded structural-event
+    trace, striped per domain so hot paths never write shared cache lines.
+
+    Every probe takes a {!sink}. With {!Null} (the default everywhere) a
+    probe is a single branch and touches nothing; with [To registry] it
+    writes only the caller's stripe. Merging across stripes happens at
+    {!snapshot} time, never on the hot path.
+
+    The registry is deliberately index-agnostic: the Bw-Tree core, the
+    epoch manager and the mapping table all publish into the same set of
+    series, so one snapshot describes a whole tree instance. *)
+
+(** {1 Series, counters, gauges, events} *)
+
+(** Log-bucketed histogram series. [Lat_*] record nanosecond spans;
+    [Val_*] record dimensionless magnitudes (per-op restart counts,
+    delta-chain depths, reclaim batch sizes). *)
+type series =
+  | Lat_insert
+  | Lat_delete
+  | Lat_update
+  | Lat_lookup
+  | Lat_scan
+  | Lat_consolidate  (** duration of one successful consolidation *)
+  | Lat_reclaim  (** duration of one garbage-collection batch *)
+  | Val_op_restarts  (** root-restarts taken by one point operation *)
+  | Val_chain_depth  (** delta-chain depth met by a lookup *)
+  | Val_reclaim_batch  (** objects freed by one collection batch *)
+
+val series_name : series -> string
+val series_unit : series -> string
+(** ["ns"] for [Lat_*], ["count"] for [Val_*]. *)
+
+(** Monotonic software-event counters. *)
+type counter =
+  | C_splits
+  | C_merges
+  | C_consolidations
+  | C_root_collapses
+  | C_reclaim_batches
+  | C_mt_growths  (** mapping-table chunks faulted in *)
+
+val counter_name : counter -> string
+
+(** Instantaneous values, sampled at {!snapshot} time from registered
+    provider callbacks (no hot-path writes). *)
+type gauge =
+  | G_epoch_pending  (** retired objects not yet reclaimed *)
+  | G_epoch_watermark_lag  (** global epoch minus the slowest reader's *)
+  | G_mt_free_ids  (** mapping-table free-list length *)
+  | G_mt_chunks  (** mapping-table chunks faulted in *)
+
+val gauge_name : gauge -> string
+
+type event_kind =
+  | Ev_split
+  | Ev_merge
+  | Ev_consolidate
+  | Ev_mt_grow
+  | Ev_reclaim
+  | Ev_root_collapse
+
+val event_kind_name : event_kind -> string
+
+(** One structural event. [ev_ns] is nanoseconds since the registry was
+    created; [ev_tid] is the emitting worker, or [-1] for contexts with
+    no thread identity (background collectors, chunk faults). [ev_a] and
+    [ev_b] are kind-specific operands (node ids, batch sizes, …). *)
+type event = {
+  ev_ns : int;
+  ev_tid : int;
+  ev_kind : event_kind;
+  ev_a : int;
+  ev_b : int;
+}
+
+(** {1 Registry and sink} *)
+
+type t
+
+(** What probes write into: nothing, or a registry. Keeping the disabled
+    case a constructor (rather than an option inside the registry) makes
+    the off path a single pattern-match branch. *)
+type sink = Null | To of t
+
+val create : ?stripes:int -> ?ring_capacity:int -> unit -> t
+(** [stripes] bounds the [tid]s that get private rows (default 65 —
+    {!Bwtree.default_config}[.max_threads] workers plus one checker).
+    Larger tids share the last stripe; with distinct tids below
+    [stripes], rows are owner-written and probes never contend.
+    [ring_capacity] (default 256) bounds each stripe's event ring;
+    overflow drops the oldest events and is reported in the snapshot. *)
+
+val sink : t -> sink
+
+val enabled : sink -> bool
+val now_ns : unit -> int
+(** Current process clock in nanoseconds. Probe sites measure spans as
+    [now_ns () - t0]; call it only after checking {!enabled}. *)
+
+(** {1 Probes (hot path)} *)
+
+val observe : sink -> tid:int -> series -> int -> unit
+(** Add one value (span or magnitude) to a series. Negative values are
+    clamped to 0. *)
+
+val incr : sink -> tid:int -> counter -> unit
+val event : sink -> tid:int -> event_kind -> a:int -> b:int -> unit
+
+val incr_anon : sink -> counter -> unit
+(** Like {!incr}/{!event} for emitters with no worker identity (epoch
+    background domain, mapping-table chunk faults): serialized through a
+    shared stripe, so they must stay off per-operation paths. *)
+
+val event_anon : sink -> event_kind -> a:int -> b:int -> unit
+
+val register_gauge : sink -> gauge -> (unit -> int) -> unit
+(** The provider is called at {!snapshot} time. Re-registering a gauge
+    replaces the previous provider. *)
+
+(** {1 Histograms (exposed for tests and external consumers)} *)
+
+module Histo : sig
+  (** Log-bucketed integer histogram: exact below 16, then 8 sub-buckets
+      per power of two (relative bucket width <= 12.5%). Mergeable:
+      bucket layout is global, so cross-domain merge is vector add. *)
+
+  type h
+
+  val n_buckets : int
+  val bucket_of_value : int -> int
+  val bucket_lo : int -> int
+  (** Smallest value mapping to the bucket. *)
+
+  val bucket_hi : int -> int
+  (** Largest value mapping to the bucket. *)
+
+  val create : unit -> h
+  val add : h -> int -> unit
+  val merge_into : dst:h -> h -> unit
+  val count : h -> int
+  val sum : h -> int
+  val min_value : h -> int
+  (** Exact smallest recorded value; 0 when empty. *)
+
+  val max_value : h -> int
+  (** Exact largest recorded value; 0 when empty. *)
+
+  val quantile : h -> float -> int
+  (** Nearest-rank quantile, reported as the upper bound of the bucket
+      holding that rank (so [quantile h 1.0 >= max_value h]); 0 when
+      empty. [q] is clamped to [0, 1]. *)
+end
+
+(** {1 Snapshot and export} *)
+
+type histo_summary = {
+  hs_series : series;
+  hs_count : int;
+  hs_sum : int;
+  hs_min : int;
+  hs_max : int;
+  hs_p50 : int;
+  hs_p90 : int;
+  hs_p99 : int;
+}
+
+type snapshot = {
+  sn_elapsed_s : float;  (** registry age when the snapshot was taken *)
+  sn_histos : histo_summary list;  (** non-empty series only *)
+  sn_counters : (counter * int) list;  (** every counter, zeros included *)
+  sn_gauges : (gauge * int) list;  (** registered gauges only *)
+  sn_events : event list;  (** surviving events, oldest first *)
+  sn_event_totals : (event_kind * int) list;
+      (** all-time emissions per kind (every kind, zeros included) —
+          unlike [sn_events], unaffected by ring overflow *)
+  sn_dropped_events : int;  (** ring overflow across all stripes *)
+}
+
+val snapshot : t -> snapshot
+(** Merges all stripes. Safe to call while workers are running: rows are
+    read racily, so in-flight probes may or may not be included, but
+    every quiesced probe is. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 JSON} *)
+
+(** A minimal self-contained JSON tree, serializer and parser — enough
+    to emit snapshots and to let tests and CI validate the emitted files
+    without external tooling. *)
+module Json : sig
+  type v =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of v list
+    | Obj of (string * v) list
+
+  val to_string : v -> string
+  val parse : string -> (v, string) result
+  (** Strict RFC-8259-style parser (objects, arrays, strings with
+      escapes, numbers, literals); [Error] carries an offset-tagged
+      message. *)
+
+  val member : string -> v -> v option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end
+
+val snapshot_json : snapshot -> Json.v
+val snapshot_to_string : snapshot -> string
+(** [snapshot_json] rendered compactly. Schema: object with
+    [elapsed_s], [histograms] (array of objects with [name], [unit],
+    [count], [sum], [min], [max], [p50], [p90], [p99]), [counters]
+    (object), [gauges] (object), and [events] (object with [dropped],
+    [kinds] — all-time per-kind totals, overflow-proof — and [log], an
+    array of [{ns; tid; kind; a; b}]). *)

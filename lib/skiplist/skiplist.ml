@@ -303,10 +303,12 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
     in
     go ()
 
-  let scan t ~tid k n =
+  let scan t ~tid k ~n visit =
     let f = find_level ~tid t k 0 in
     let succ = f.succ_node in
     let visited = ref 0 in
+    (* lock-free list walks never restart, so each live node can be handed
+       to the visitor as it is passed *)
     let rec walk = function
       | None -> ()
       | Some node ->
@@ -316,7 +318,7 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
                 (* skip logically-deleted nodes *)
                 walk (unmarked_next (Atomic.get node.nexts.(0)))
             | (Tail | Next _) as s ->
-                ignore (Atomic.get node.value);
+                visit node.key (Atomic.get node.value);
                 incr visited;
                 cnt tid Counters.Pointer_deref;
                 walk (unmarked_next s))

@@ -30,8 +30,10 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) : sig
   val update : t -> tid:int -> key -> value -> bool
   val delete : t -> tid:int -> key -> bool
 
-  val scan : t -> tid:int -> key -> int -> int
-  (** Walks the data level from the first key >= the argument. *)
+  val scan : t -> tid:int -> key -> n:int -> (key -> value -> unit) -> int
+  (** Walks the data level from the first key >= the argument, handing up
+      to [n] live items to the visitor in key order; returns the count
+      visited. *)
 
   val start_aux : t -> unit
   (** Start the maintenance domain ([Background] policy only). *)

@@ -68,6 +68,7 @@ type subject = {
   s_quiesce : tid:int -> unit;
   s_start_aux : unit -> unit;
   s_stop_aux : unit -> unit;
+  s_obs : Bw_obs.sink;
   s_epoch : Epoch.t option;
   s_verify : (unit -> unit) option;
   s_max_chains : (unit -> int * int) option;
@@ -76,14 +77,15 @@ type subject = {
 
 (* --- subjects --- *)
 
-let bwtree_subject ?(config = Bwtree.default_config) ~domains () =
+let bwtree_subject ?(config = Bwtree.default_config) ?(obs = Bw_obs.Null)
+    ~domains () =
   let config =
     if config.Bwtree.max_threads < domains + 1 then
       { config with Bwtree.max_threads = domains + 1 }
     else config
   in
   let module B = Harness.Drivers.Bw_int in
-  let t = B.create ~config () in
+  let t = B.create ~config ~obs () in
   {
     s_name = "OpenBw-Tree";
     s_unique = config.Bwtree.unique_keys;
@@ -95,6 +97,7 @@ let bwtree_subject ?(config = Bwtree.default_config) ~domains () =
     s_quiesce = (fun ~tid -> B.quiesce t ~tid);
     s_start_aux = (fun () -> B.start_gc_thread t ());
     s_stop_aux = (fun () -> B.stop_gc_thread t);
+    s_obs = obs;
     s_epoch = Some (B.epoch t);
     s_verify = Some (fun () -> B.verify_invariants t);
     s_max_chains = Some (fun () -> B.max_chains t);
@@ -119,10 +122,11 @@ let of_driver (d : int Runner.driver) =
         match d.Runner.read ~tid k with None -> [] | Some v -> [ v ]);
     s_update = (fun ~tid k v -> d.Runner.update ~tid k v);
     s_remove = (fun ~tid k _v -> d.Runner.remove ~tid k);
-    s_scan = (fun ~tid k n -> d.Runner.scan ~tid k n);
+    s_scan = (fun ~tid k n -> d.Runner.scan ~tid k ~n (fun _ _ -> ()));
     s_quiesce = (fun ~tid -> d.Runner.thread_done ~tid);
     s_start_aux = d.Runner.start_aux;
     s_stop_aux = d.Runner.stop_aux;
+    s_obs = Bw_obs.Null;
     s_epoch = None;
     s_verify = None;
     s_max_chains = None;
@@ -470,7 +474,21 @@ let run cfg s =
           (fun () ->
             Printf.sprintf
               "[phase %d] epoch: %d objects still pending after quiesce + \
-               flush" phase (Epoch.pending e))
+               flush" phase (Epoch.pending e));
+        (* The observability gauge must agree with the direct probe: a
+           quiesced, flushed tree reports zero pending garbage. *)
+        (match s.s_obs with
+        | Bw_obs.Null -> ()
+        | Bw_obs.To reg ->
+            let sn = Bw_obs.snapshot reg in
+            let g =
+              try List.assoc Bw_obs.G_epoch_pending sn.Bw_obs.sn_gauges
+              with Not_found -> 0
+            in
+            record (g = 0) (fun () ->
+                Printf.sprintf
+                  "[phase %d] obs: pending-garbage gauge reads %d after \
+                   quiesce + flush" phase g))
   in
 
   let check_structure ~phase =

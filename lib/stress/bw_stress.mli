@@ -71,6 +71,9 @@ type subject = {
   s_quiesce : tid:int -> unit;
   s_start_aux : unit -> unit;
   s_stop_aux : unit -> unit;
+  s_obs : Bw_obs.sink;
+      (** the subject's metrics sink, if any; lets the checker cross-check
+          gauges against direct probes *)
   s_epoch : Epoch.t option;
   s_verify : (unit -> unit) option;
   s_max_chains : (unit -> int * int) option;
@@ -78,7 +81,12 @@ type subject = {
       (** longest delta chain tolerated at a quiesced barrier *)
 }
 
-val bwtree_subject : ?config:Bwtree.config -> domains:int -> unit -> subject
+val bwtree_subject :
+  ?config:Bwtree.config ->
+  ?obs:Bw_obs.sink ->
+  domains:int ->
+  unit ->
+  subject
 (** A fresh integer-keyed Bw-Tree with every probe wired up.
     [config.max_threads] is raised to [domains + 1] if needed (the
     checker uses tid [domains]). *)

@@ -76,12 +76,24 @@ let test_scan_counts () =
   for k = 0 to 999 do
     assert (A.insert t ~tid:0 (k * 2) k)
   done;
-  Alcotest.(check int) "scan from 0" 100 (A.scan t ~tid:0 0 100);
-  Alcotest.(check int) "scan middle" 100 (A.scan t ~tid:0 1_000 100);
-  Alcotest.(check int) "scan tail" 10 (A.scan t ~tid:0 1_980 100);
-  Alcotest.(check int) "scan past end" 0 (A.scan t ~tid:0 10_000 100);
+  let collect k n =
+    let acc = ref [] in
+    let c = A.scan t ~tid:0 k ~n (fun k v -> acc := (k, v) :: !acc) in
+    (c, List.rev !acc)
+  in
+  let c, items = collect 0 100 in
+  Alcotest.(check int) "scan from 0" 100 c;
+  Alcotest.(check (list (pair int int)))
+    "visited pairs in key order"
+    (List.init 100 (fun i -> (i * 2, i)))
+    items;
+  Alcotest.(check int) "scan middle" 100 (fst (collect 1_000 100));
+  Alcotest.(check int) "scan tail" 10 (fst (collect 1_980 100));
+  Alcotest.(check int) "scan past end" 0 (fst (collect 10_000 100));
   (* seek between keys: 999 is odd, first qualifying key is 1000 *)
-  Alcotest.(check int) "seek rounds up" 100 (A.scan t ~tid:0 999 100)
+  let c, items = collect 999 100 in
+  Alcotest.(check int) "seek rounds up" 100 c;
+  Alcotest.(check int) "seek first key" 1_000 (fst (List.hd items))
 
 let test_string_keys_prefixes () =
   let t = AS.create () in

@@ -63,9 +63,19 @@ let test_scan () =
   for k = 0 to 9_999 do
     assert (B.insert t ~tid:0 (k * 2) k)
   done;
-  Alcotest.(check int) "scan middle" 100 (B.scan t ~tid:0 5_000 100);
-  Alcotest.(check int) "scan at end" 5 (B.scan t ~tid:0 19_990 100);
-  Alcotest.(check int) "scan past end" 0 (B.scan t ~tid:0 100_000 100)
+  let collect k n =
+    let acc = ref [] in
+    let c = B.scan t ~tid:0 k ~n (fun k v -> acc := (k, v) :: !acc) in
+    (c, List.rev !acc)
+  in
+  let c, items = collect 5_000 100 in
+  Alcotest.(check int) "scan middle" 100 c;
+  Alcotest.(check (list (pair int int)))
+    "visited pairs in key order"
+    (List.init 100 (fun i -> ((2_500 + i) * 2, 2_500 + i)))
+    items;
+  Alcotest.(check int) "scan at end" 5 (fst (collect 19_990 100));
+  Alcotest.(check int) "scan past end" 0 (fst (collect 100_000 100))
 
 let test_concurrent_inserts () =
   let t = B.create () in

@@ -14,27 +14,20 @@ let rng = Bw_util.Rng.create ~seed:0xBEEFL
 (* a tiny-node config that forces frequent splits, merges and
    consolidations so SMO paths get heavy coverage even in small tests *)
 let tiny =
-  {
-    Bwtree.default_config with
-    leaf_max = 8;
-    inner_max = 6;
-    leaf_chain_max = 4;
-    inner_chain_max = 2;
-    leaf_min = 2;
-    inner_min = 2;
-  }
+  Bwtree.Config.make ~leaf_max:8 ~inner_max:6 ~leaf_chain_max:4
+    ~inner_chain_max:2 ~leaf_min:2 ~inner_min:2 ()
 
 let all_configs =
   [
     ("default", Bwtree.default_config);
     ("microsoft", Bwtree.microsoft_config);
     ("tiny", tiny);
-    ("no-prealloc", { Bwtree.default_config with preallocate = false });
-    ("no-fc", { Bwtree.default_config with fast_consolidation = false });
-    ("no-ss", { Bwtree.default_config with search_shortcuts = false });
+    ("no-prealloc", Bwtree.Config.make ~preallocate:false ());
+    ("no-fc", Bwtree.Config.make ~fast_consolidation:false ());
+    ("no-ss", Bwtree.Config.make ~search_shortcuts:false ());
     ("gc-centralized",
-     { Bwtree.default_config with gc_scheme = Epoch.Centralized });
-    ("gc-off", { Bwtree.default_config with gc_scheme = Epoch.Disabled });
+     Bwtree.Config.make ~gc_scheme:Epoch.Centralized ());
+    ("gc-off", Bwtree.Config.make ~gc_scheme:Epoch.Disabled ());
   ]
 
 (* --- basic semantics --- *)
@@ -181,7 +174,7 @@ let prop_consolidation_equivalence =
 
 (* --- non-unique keys (§3.1) --- *)
 
-let nuniq = { Bwtree.default_config with unique_keys = false }
+let nuniq = Bwtree.Config.make ~unique_keys:false ()
 
 let test_non_unique_basic () =
   let t = T.create ~config:nuniq () in
@@ -353,7 +346,7 @@ let test_consolidate_all_flattens () =
   done
 
 let test_inplace_leaf_updates () =
-  let config = { Bwtree.default_config with inplace_leaf_update = true } in
+  let config = Bwtree.Config.make ~inplace_leaf_update:true () in
   let t = T.create ~config () in
   for k = 0 to 2_000 do
     assert (T.insert t k k)
@@ -367,7 +360,7 @@ let test_inplace_leaf_updates () =
   Alcotest.(check bool) "short leaf chains" true (ss.avg_leaf_chain < 1.0)
 
 let test_no_cas_config () =
-  let config = { Bwtree.default_config with use_atomic_cas = false } in
+  let config = Bwtree.Config.make ~use_atomic_cas:false () in
   let t = T.create ~config () in
   for k = 0 to 1_000 do
     assert (T.insert t k k)
@@ -396,10 +389,13 @@ let test_stats_sanity () =
   let ss = T.structure_stats t in
   Alcotest.(check bool) "leaf count plausible" true
     (ss.leaf_nodes * tiny.leaf_max >= 999);
-  let hw, chunks, cap = T.mapping_table_stats t in
-  Alcotest.(check bool) "ids allocated" true (hw > ss.leaf_nodes);
-  Alcotest.(check bool) "chunks faulted" true (chunks >= 1);
-  Alcotest.(check bool) "within capacity" true (hw < cap);
+  let ms = T.mapping_table_stats t in
+  Alcotest.(check bool) "ids allocated" true (ms.allocated > ss.leaf_nodes);
+  Alcotest.(check bool) "chunks faulted" true (ms.chunks >= 1);
+  Alcotest.(check bool)
+    "within capacity" true
+    (ms.allocated < ms.table_capacity);
+  Alcotest.(check bool) "freed sane" true (ms.freed >= 0);
   Alcotest.(check bool) "memory measured" true (T.memory_words t > 1000)
 
 let test_gc_integration () =
@@ -545,6 +541,34 @@ let test_iter_nodes_consistent () =
   Alcotest.(check int) "inner count" ss.inner_nodes !inners;
   Alcotest.(check int) "total items" 1000 !items
 
+(* --- config validation --- *)
+
+let test_config_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  (* default leaf_min is 16, so shrinking leaf_max alone is incoherent *)
+  expect_invalid "leaf_min >= leaf_max" (fun () ->
+      Bwtree.Config.make ~leaf_max:8 ());
+  expect_invalid "inner_min >= inner_max" (fun () ->
+      Bwtree.Config.make ~inner_max:4 ());
+  expect_invalid "leaf_chain_max < 1" (fun () ->
+      Bwtree.Config.make ~leaf_chain_max:0 ());
+  expect_invalid "gc_threshold < 1" (fun () ->
+      Bwtree.Config.make ~gc_threshold:0 ());
+  expect_invalid "max_threads < 1" (fun () ->
+      Bwtree.Config.make ~max_threads:0 ());
+  (* [create] re-validates raw record updates *)
+  expect_invalid "create rejects raw incoherent record" (fun () ->
+      T.create ~config:{ Bwtree.default_config with leaf_max = 4 } ());
+  (* coherent settings pass, including via ?base *)
+  let tiny' = Bwtree.Config.make ~leaf_max:8 ~leaf_min:2 () in
+  Alcotest.(check int) "make applies field" 8 tiny'.Bwtree.leaf_max;
+  let derived = Bwtree.Config.make ~base:tiny ~unique_keys:false () in
+  Alcotest.(check bool) "base carried" true (derived.Bwtree.leaf_max = 8)
+
 (* --- upsert --- *)
 
 let test_upsert () =
@@ -564,6 +588,7 @@ let () =
           Alcotest.test_case "extreme keys" `Quick
             test_negative_and_extreme_keys;
           Alcotest.test_case "upsert" `Quick test_upsert;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
         ] );
       ( "model",
         List.map

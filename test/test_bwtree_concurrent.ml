@@ -7,15 +7,8 @@ module IV = Index_iface.Int_value
 module T = Bwtree.Make (IK) (IV)
 
 let tiny =
-  {
-    Bwtree.default_config with
-    leaf_max = 8;
-    inner_max = 6;
-    leaf_chain_max = 4;
-    inner_chain_max = 2;
-    leaf_min = 2;
-    inner_min = 2;
-  }
+  Bwtree.Config.make ~leaf_max:8 ~inner_max:6 ~leaf_chain_max:4
+    ~inner_chain_max:2 ~leaf_min:2 ~inner_min:2 ()
 
 let spawn_workers n f =
   let domains = Array.init n (fun tid -> Domain.spawn (fun () -> f tid)) in

@@ -8,15 +8,8 @@ module T = Bwtree.Make (IK) (IV)
 module IntMap = Map.Make (Int)
 
 let tiny =
-  {
-    Bwtree.default_config with
-    leaf_max = 8;
-    inner_max = 6;
-    leaf_chain_max = 4;
-    inner_chain_max = 2;
-    leaf_min = 2;
-    inner_min = 2;
-  }
+  Bwtree.Config.make ~leaf_max:8 ~inner_max:6 ~leaf_chain_max:4
+    ~inner_chain_max:2 ~leaf_min:2 ~inner_min:2 ()
 
 (* an op sequence: (op selector, key, value) triples over a small key
    space so that collisions, re-inserts and merges are frequent *)

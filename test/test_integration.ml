@@ -77,7 +77,7 @@ let test_scan_agreement () =
     (fun start ->
       let counts =
         List.map
-          (fun (name, d) -> (name, d.Runner.scan ~tid:0 start 50))
+          (fun (name, d) -> (name, d.Runner.scan ~tid:0 start ~n:50 (fun _ _ -> ())))
           ds
       in
       let _, first = List.hd counts in

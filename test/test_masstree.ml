@@ -95,9 +95,19 @@ let test_scan_counts () =
   for k = 0 to 999 do
     assert (M.insert t ~tid:0 (k * 2) k)
   done;
-  Alcotest.(check int) "scan" 100 (M.scan t ~tid:0 500 100);
-  Alcotest.(check int) "scan tail" 10 (M.scan t ~tid:0 1_980 100);
-  Alcotest.(check int) "scan past end" 0 (M.scan t ~tid:0 10_000 100)
+  let collect k n =
+    let acc = ref [] in
+    let c = M.scan t ~tid:0 k ~n (fun k v -> acc := (k, v) :: !acc) in
+    (c, List.rev !acc)
+  in
+  let c, items = collect 500 100 in
+  Alcotest.(check int) "scan" 100 c;
+  Alcotest.(check (list (pair int int)))
+    "visited pairs in key order"
+    (List.init 100 (fun i -> ((250 + i) * 2, 250 + i)))
+    items;
+  Alcotest.(check int) "scan tail" 10 (fst (collect 1_980 100));
+  Alcotest.(check int) "scan past end" 0 (fst (collect 10_000 100))
 
 let test_concurrent_inserts () =
   let t = M.create () in

@@ -203,7 +203,7 @@ let test_checkpoint_non_unique () =
   (* a checkpoint of a non-unique index restores faithfully when loaded
      with the matching configuration, and fails loudly when loaded into a
      unique-keys tree (which would silently drop duplicates) *)
-  let nuniq = { Bwtree.default_config with unique_keys = false } in
+  let nuniq = Bwtree.Config.make ~unique_keys:false () in
   let t = T.create ~config:nuniq () in
   for k = 0 to 99 do
     for v = 0 to 4 do

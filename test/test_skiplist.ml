@@ -71,8 +71,18 @@ let test_scan () =
   for k = 0 to 999 do
     assert (S.insert t ~tid:0 (k * 2) k)
   done;
-  Alcotest.(check int) "scan" 100 (S.scan t ~tid:0 500 100);
-  Alcotest.(check int) "scan tail" 10 (S.scan t ~tid:0 1_980 100)
+  let collect k n =
+    let acc = ref [] in
+    let c = S.scan t ~tid:0 k ~n (fun k v -> acc := (k, v) :: !acc) in
+    (c, List.rev !acc)
+  in
+  let c, items = collect 500 100 in
+  Alcotest.(check int) "scan" 100 c;
+  Alcotest.(check (list (pair int int)))
+    "visited pairs in key order"
+    (List.init 100 (fun i -> ((250 + i) * 2, 250 + i)))
+    items;
+  Alcotest.(check int) "scan tail" 10 (fst (collect 1_980 100))
 
 let test_maintenance_builds_towers () =
   let t = S.create ~policy:Skiplist.Background () in

@@ -13,18 +13,9 @@ let scheme_name = function
 (* Small nodes and low thresholds so a short run still exercises splits,
    merges, consolidation and real reclamation pressure. *)
 let tree_config ~scheme ~unique =
-  {
-    Bwtree.default_config with
-    leaf_max = 32;
-    inner_max = 16;
-    leaf_chain_max = 8;
-    inner_chain_max = 2;
-    leaf_min = 4;
-    inner_min = 2;
-    unique_keys = unique;
-    gc_scheme = scheme;
-    gc_threshold = 32;
-  }
+  Bwtree.Config.make ~leaf_max:32 ~inner_max:16 ~leaf_chain_max:8
+    ~inner_chain_max:2 ~leaf_min:4 ~inner_min:2 ~unique_keys:unique
+    ~gc_scheme:scheme ~gc_threshold:32 ()
 
 let check_clean (r : Bw_stress.report) =
   Alcotest.(check (list string)) "no invariant violations" [] r.r_violations;
