@@ -1,0 +1,131 @@
+(* Networked Bw-Tree server: serves one index instance over the binary
+   wire protocol (lib/server), with a metrics registry always on so the
+   STATS frame and the shutdown snapshot have something to say.
+
+   Examples:
+     dune exec bin/bwt_server.exe -- --port 4680 --workers 4
+     dune exec bin/bwt_server.exe -- --port 0 --key-type str --index bw
+     kill -TERM <pid>   # graceful drain; writes --metrics-json if given *)
+
+open Cmdliner
+module Server = Bw_server.Server
+module Backend = Bw_server.Backend
+
+let backend_of ~index ~key_type ~obs : Bw_server.Backend.t =
+  let config =
+    match index with
+    | "openbw" -> None
+    | "bw" -> Some Bwtree.microsoft_config
+    | s ->
+        Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
+        exit 2
+  in
+  match key_type with
+  | "int" -> Backend.of_int_driver (Harness.Drivers.bwtree_driver_int ?config ~obs ())
+  | "str" -> Backend.of_str_driver (Harness.Drivers.bwtree_driver_str ?config ~obs ())
+  | s ->
+      Printf.eprintf "bwt_server: unknown key type %S (try: int, str)\n" s;
+      exit 2
+
+let main host port workers index key_type close_on_malformed metrics
+    metrics_json =
+  if workers < 1 then begin
+    Printf.eprintf "bwt_server: --workers must be >= 1\n";
+    exit 2
+  end;
+  let reg = Bw_obs.create ~stripes:(workers + 1) () in
+  let obs = Bw_obs.To reg in
+  let backend = backend_of ~index ~key_type ~obs in
+  let config =
+    {
+      Server.default_config with
+      host;
+      port;
+      workers;
+      close_on_malformed;
+      obs;
+    }
+  in
+  let server = Server.start ~config backend in
+  Printf.printf "bwt_server: serving %s (%s keys) on %s:%d with %d workers\n%!"
+    backend.Backend.name key_type host (Server.port server) workers;
+  let stop_requested = ref false in
+  let on_signal _ = stop_requested := true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  while not !stop_requested do
+    (try Unix.sleepf 0.1 with Unix.Unix_error (EINTR, _, _) -> ())
+  done;
+  Printf.printf "bwt_server: draining...\n%!";
+  Server.stop server;
+  let sn = Bw_obs.snapshot reg in
+  if metrics then Format.printf "%a@." Bw_obs.pp_snapshot sn;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      output_string oc (Bw_obs.snapshot_to_string sn);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "bwt_server: wrote %s\n%!" file)
+    metrics_json;
+  Printf.printf "bwt_server: clean shutdown\n%!"
+
+let cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port =
+    Arg.(value & opt int 4680
+         & info [ "p"; "port" ] ~docv:"PORT"
+             ~doc:"TCP port (0 picks an ephemeral port, printed on stdout).")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "w"; "workers" ] ~docv:"N"
+             ~doc:"Worker domains, each running its own event loop.")
+  in
+  let index =
+    Arg.(value & opt string "openbw"
+         & info [ "i"; "index" ] ~docv:"INDEX"
+             ~doc:"Index to serve: openbw, bw.")
+  in
+  let key_type =
+    Arg.(value & opt string "int"
+         & info [ "key-type" ] ~docv:"T"
+             ~doc:"Key type behind the binary wire keys: int, str.")
+  in
+  let close_on_malformed =
+    Arg.(value & flag
+         & info [ "close-on-malformed" ]
+             ~doc:"Drop a connection after replying ERR to a malformed \
+                   frame (framing-level violations always drop it).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ] ~doc:"Print a metrics snapshot at shutdown.")
+  in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"Write a JSON metrics snapshot to $(docv) at shutdown.")
+  in
+  let term =
+    Term.(
+      const main $ host $ port $ workers $ index $ key_type
+      $ close_on_malformed $ metrics $ metrics_json)
+  in
+  Cmd.v
+    (Cmd.info "bwt_server"
+       ~doc:"Serve a Bw-Tree over the binary wire protocol"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Starts one acceptor and N worker domains; all workers drive \
+              the same lock-free tree. SIGTERM/SIGINT drain in-flight \
+              requests, flush, and shut down cleanly.";
+         ])
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -94,12 +94,22 @@ let main index workload keyspace keys ops threads theta show_memory metrics
       (String.concat " " index_names);
     exit 0
   end;
+  let usage () =
+    Printf.eprintf
+      "usage: ycsb [--index INDEX] [--mix insert|c|a|e] [--keyspace \
+       mono|rand|email|hc]\n\
+      \            [--keys N>=1] [--ops N>=0] [--threads N>=1] [--theta \
+       0<F<1]\n\
+       run 'ycsb --help' for details, 'ycsb --list' for indexes\n";
+    exit 2
+  in
   let mix =
     match W.mix_of_string workload with
     | Some m -> m
     | None ->
-        Printf.eprintf "unknown workload %S (try: insert, c, a, e)\n" workload;
-        exit 1
+        Printf.eprintf "ycsb: unknown --mix %S (try: insert, c, a, e)\n"
+          workload;
+        usage ()
   in
   let space =
     match keyspace with
@@ -108,12 +118,29 @@ let main index workload keyspace keys ops threads theta show_memory metrics
     | "email" -> W.Email
     | "hc" -> W.Mono_hc
     | s ->
-        Printf.eprintf "unknown keyspace %S (try: mono, rand, email, hc)\n" s;
-        exit 1
+        Printf.eprintf "ycsb: unknown --keyspace %S (try: mono, rand, email, \
+                        hc)\n" s;
+        usage ()
   in
   if not (List.mem index index_names) then begin
-    Printf.eprintf "unknown index %S (try --list)\n" index;
-    exit 1
+    Printf.eprintf "ycsb: unknown --index %S (try --list)\n" index;
+    usage ()
+  end;
+  if keys < 1 then begin
+    Printf.eprintf "ycsb: --keys must be >= 1 (got %d)\n" keys;
+    usage ()
+  end;
+  if ops < 0 then begin
+    Printf.eprintf "ycsb: --ops must be >= 0 (got %d)\n" ops;
+    usage ()
+  end;
+  if threads < 1 then begin
+    Printf.eprintf "ycsb: --threads must be >= 1 (got %d)\n" threads;
+    usage ()
+  end;
+  if not (theta > 0.0 && theta < 1.0) then begin
+    Printf.eprintf "ycsb: --theta must be in (0,1) (got %g)\n" theta;
+    usage ()
   end;
   let cfg = { W.default_config with num_keys = keys; num_ops = ops; theta } in
   let obs =
@@ -136,7 +163,7 @@ let cmd =
   in
   let workload =
     Arg.(value & opt string "a"
-         & info [ "w"; "workload" ] ~docv:"MIX"
+         & info [ "w"; "workload"; "mix" ] ~docv:"MIX"
              ~doc:"Workload mix: insert, c (read-only), a (read/update), e \
                    (scan/insert).")
   in

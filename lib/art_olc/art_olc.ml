@@ -554,6 +554,8 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
      memory access than the OpenBw-Tree" — this rebuild-from-root cost is
      part of that). *)
   let scan t ~tid k ~n visit =
+    if n <= 0 then 0
+    else begin
     let bkey = bkey_of k in
     let items =
       retry ~tid @@ fun () ->
@@ -658,6 +660,7 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
         visit (K.of_binary (String.sub bk 0 (String.length bk - 1))) v;
         m + 1)
       0 (List.rev items)
+    end
 
   (* --- introspection --- *)
 

@@ -396,6 +396,8 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
      sub-layers depth-first. Layers whose path already exceeds the seek
      key are unconstrained and streamed wholesale. *)
   let scan t ~tid k ~n visit =
+    if n <= 0 then 0
+    else begin
     let bkey = K.to_binary k in
     let items =
       retry ~tid @@ fun () ->
@@ -458,6 +460,7 @@ module Make (K : Bwtree.KEY) (V : Bwtree.VALUE) = struct
         visit (K.of_binary kb) v;
         m + 1)
       0 (List.rev items)
+    end
 
   (* --- introspection --- *)
 

@@ -23,6 +23,12 @@ type series =
   | Lat_scan
   | Lat_consolidate
   | Lat_reclaim
+  | Lat_req_get
+  | Lat_req_put
+  | Lat_req_delete
+  | Lat_req_scan
+  | Lat_req_batch
+  | Lat_req_stats
   | Val_op_restarts
   | Val_chain_depth
   | Val_reclaim_batch
@@ -35,9 +41,15 @@ let series_index = function
   | Lat_scan -> 4
   | Lat_consolidate -> 5
   | Lat_reclaim -> 6
-  | Val_op_restarts -> 7
-  | Val_chain_depth -> 8
-  | Val_reclaim_batch -> 9
+  | Lat_req_get -> 7
+  | Lat_req_put -> 8
+  | Lat_req_delete -> 9
+  | Lat_req_scan -> 10
+  | Lat_req_batch -> 11
+  | Lat_req_stats -> 12
+  | Val_op_restarts -> 13
+  | Val_chain_depth -> 14
+  | Val_reclaim_batch -> 15
 
 let all_series =
   [
@@ -48,6 +60,12 @@ let all_series =
     Lat_scan;
     Lat_consolidate;
     Lat_reclaim;
+    Lat_req_get;
+    Lat_req_put;
+    Lat_req_delete;
+    Lat_req_scan;
+    Lat_req_batch;
+    Lat_req_stats;
     Val_op_restarts;
     Val_chain_depth;
     Val_reclaim_batch;
@@ -63,13 +81,20 @@ let series_name = function
   | Lat_scan -> "scan"
   | Lat_consolidate -> "consolidate"
   | Lat_reclaim -> "reclaim_batch"
+  | Lat_req_get -> "req_get"
+  | Lat_req_put -> "req_put"
+  | Lat_req_delete -> "req_delete"
+  | Lat_req_scan -> "req_scan"
+  | Lat_req_batch -> "req_batch"
+  | Lat_req_stats -> "req_stats"
   | Val_op_restarts -> "op_restarts"
   | Val_chain_depth -> "chain_depth"
   | Val_reclaim_batch -> "reclaim_batch_size"
 
 let series_unit = function
   | Lat_insert | Lat_delete | Lat_update | Lat_lookup | Lat_scan
-  | Lat_consolidate | Lat_reclaim ->
+  | Lat_consolidate | Lat_reclaim | Lat_req_get | Lat_req_put
+  | Lat_req_delete | Lat_req_scan | Lat_req_batch | Lat_req_stats ->
       "ns"
   | Val_op_restarts | Val_chain_depth | Val_reclaim_batch -> "count"
 
@@ -80,6 +105,10 @@ type counter =
   | C_root_collapses
   | C_reclaim_batches
   | C_mt_growths
+  | C_net_bytes_in
+  | C_net_bytes_out
+  | C_net_requests
+  | C_net_errors
 
 let counter_index = function
   | C_splits -> 0
@@ -88,6 +117,10 @@ let counter_index = function
   | C_root_collapses -> 3
   | C_reclaim_batches -> 4
   | C_mt_growths -> 5
+  | C_net_bytes_in -> 6
+  | C_net_bytes_out -> 7
+  | C_net_requests -> 8
+  | C_net_errors -> 9
 
 let all_counters =
   [
@@ -97,6 +130,10 @@ let all_counters =
     C_root_collapses;
     C_reclaim_batches;
     C_mt_growths;
+    C_net_bytes_in;
+    C_net_bytes_out;
+    C_net_requests;
+    C_net_errors;
   ]
 
 let n_counters = List.length all_counters
@@ -108,14 +145,26 @@ let counter_name = function
   | C_root_collapses -> "root_collapses"
   | C_reclaim_batches -> "reclaim_batches"
   | C_mt_growths -> "mt_growths"
+  | C_net_bytes_in -> "net_bytes_in"
+  | C_net_bytes_out -> "net_bytes_out"
+  | C_net_requests -> "net_requests"
+  | C_net_errors -> "net_errors"
 
-type gauge = G_epoch_pending | G_epoch_watermark_lag | G_mt_free_ids | G_mt_chunks
+type gauge =
+  | G_epoch_pending
+  | G_epoch_watermark_lag
+  | G_mt_free_ids
+  | G_mt_chunks
+  | G_net_active_conns
+  | G_net_queued_bytes
 
 let gauge_name = function
   | G_epoch_pending -> "epoch_pending"
   | G_epoch_watermark_lag -> "epoch_watermark_lag"
   | G_mt_free_ids -> "mt_free_ids"
   | G_mt_chunks -> "mt_chunks"
+  | G_net_active_conns -> "net_active_conns"
+  | G_net_queued_bytes -> "net_queued_bytes"
 
 type event_kind =
   | Ev_split
@@ -283,7 +332,10 @@ module Histo = struct
            b := !b + 1
          done
        with Exit -> ());
-      bucket_hi !found
+      (* the covering bucket's upper bound can overshoot the largest
+         recorded value (e.g. a single sample); never report a quantile
+         above the exact max *)
+      min (bucket_hi !found) h.h_max
     end
 end
 
@@ -356,13 +408,15 @@ let observe s ~tid series v =
   | Null -> ()
   | To r -> Histo.add (stripe_of r tid).histos.(series_index series) v
 
-let incr s ~tid c =
+let add s ~tid c n =
   match s with
   | Null -> ()
   | To r ->
       let row = (stripe_of r tid).counters in
       let i = counter_index c in
-      row.(i) <- row.(i) + 1
+      row.(i) <- row.(i) + n
+
+let incr s ~tid c = add s ~tid c 1
 
 let push_ring r ring kind ~tid ~a ~b =
   let slot = ring.writes mod Array.length ring.slots in

@@ -24,6 +24,12 @@ type series =
   | Lat_scan
   | Lat_consolidate  (** duration of one successful consolidation *)
   | Lat_reclaim  (** duration of one garbage-collection batch *)
+  | Lat_req_get  (** server-side wire request latency, per opcode *)
+  | Lat_req_put
+  | Lat_req_delete
+  | Lat_req_scan
+  | Lat_req_batch
+  | Lat_req_stats
   | Val_op_restarts  (** root-restarts taken by one point operation *)
   | Val_chain_depth  (** delta-chain depth met by a lookup *)
   | Val_reclaim_batch  (** objects freed by one collection batch *)
@@ -40,6 +46,10 @@ type counter =
   | C_root_collapses
   | C_reclaim_batches
   | C_mt_growths  (** mapping-table chunks faulted in *)
+  | C_net_bytes_in  (** wire bytes read off client sockets *)
+  | C_net_bytes_out  (** wire bytes written to client sockets *)
+  | C_net_requests  (** wire requests decoded (BATCH counts as one) *)
+  | C_net_errors  (** ERR replies sent (malformed frames, bad ops) *)
 
 val counter_name : counter -> string
 
@@ -50,6 +60,8 @@ type gauge =
   | G_epoch_watermark_lag  (** global epoch minus the slowest reader's *)
   | G_mt_free_ids  (** mapping-table free-list length *)
   | G_mt_chunks  (** mapping-table chunks faulted in *)
+  | G_net_active_conns  (** open client connections across all workers *)
+  | G_net_queued_bytes  (** response bytes buffered awaiting socket writes *)
 
 val gauge_name : gauge -> string
 
@@ -106,6 +118,10 @@ val observe : sink -> tid:int -> series -> int -> unit
     clamped to 0. *)
 
 val incr : sink -> tid:int -> counter -> unit
+
+val add : sink -> tid:int -> counter -> int -> unit
+(** Bump a counter by an arbitrary amount (bytes-in/out accounting). *)
+
 val event : sink -> tid:int -> event_kind -> a:int -> b:int -> unit
 
 val incr_anon : sink -> counter -> unit

@@ -110,6 +110,68 @@ let test_string_cross_index () =
     keys;
   List.iter (fun (_, d) -> d.Runner.stop_aux ()) ds
 
+(* visitor-based scan early termination: the count cap must be honoured
+   exactly at the edges on every index — n=0 visits nothing, n=1 stops
+   after the first item, an empty tree and a start key past the maximum
+   both visit nothing *)
+let test_scan_early_termination () =
+  (* empty trees first: no visits regardless of n *)
+  let empty = drivers () in
+  List.iter (fun (_, d) -> d.Runner.start_aux ()) empty;
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun n ->
+          let visited = ref 0 in
+          let c = d.Runner.scan ~tid:0 0 ~n (fun _ _ -> incr visited) in
+          Alcotest.(check int) (Printf.sprintf "%s empty n=%d count" name n) 0 c;
+          Alcotest.(check int) (Printf.sprintf "%s empty n=%d visits" name n) 0
+            !visited)
+        [ 0; 1; 50 ])
+    empty;
+  List.iter (fun (_, d) -> d.Runner.stop_aux ()) empty;
+  (* populated trees: keys 0,10,20,...,990 with value = key * 7 *)
+  let ds = drivers () in
+  List.iter (fun (_, d) -> d.Runner.start_aux ()) ds;
+  List.iter
+    (fun (_, d) ->
+      for i = 0 to 99 do
+        ignore (d.Runner.insert ~tid:0 (i * 10) (i * 70))
+      done)
+    ds;
+  Unix.sleepf 0.05;
+  List.iter
+    (fun (name, d) ->
+      (* n=0: the visitor must never fire, even with matching items *)
+      let visited = ref 0 in
+      let c = d.Runner.scan ~tid:0 0 ~n:0 (fun _ _ -> incr visited) in
+      Alcotest.(check int) (name ^ " n=0 count") 0 c;
+      Alcotest.(check int) (name ^ " n=0 visits") 0 !visited;
+      (* n=1: exactly the first item >= start, then stop *)
+      let got = ref [] in
+      let c = d.Runner.scan ~tid:0 15 ~n:1 (fun k v -> got := (k, v) :: !got) in
+      Alcotest.(check int) (name ^ " n=1 count") 1 c;
+      Alcotest.(check (list (pair int int))) (name ^ " n=1 item") [ (20, 140) ]
+        !got;
+      (* start exactly on an existing key is inclusive *)
+      let got = ref [] in
+      let c = d.Runner.scan ~tid:0 20 ~n:1 (fun k v -> got := (k, v) :: !got) in
+      Alcotest.(check int) (name ^ " inclusive count") 1 c;
+      Alcotest.(check (list (pair int int)))
+        (name ^ " inclusive item") [ (20, 140) ] !got;
+      (* cap larger than remaining items: visits exactly the tail *)
+      let visited = ref 0 in
+      let c = d.Runner.scan ~tid:0 981 ~n:50 (fun _ _ -> incr visited) in
+      Alcotest.(check int) (name ^ " tail count") 1 c;
+      Alcotest.(check int) (name ^ " tail visits") 1 !visited;
+      (* start past the maximum key: nothing to visit *)
+      let visited = ref 0 in
+      let c = d.Runner.scan ~tid:0 991 ~n:10 (fun _ _ -> incr visited) in
+      Alcotest.(check int) (name ^ " past-max count") 0 c;
+      Alcotest.(check int) (name ^ " past-max visits") 0 !visited)
+    ds;
+  List.iter (fun (_, d) -> d.Runner.stop_aux ()) ds
+
 (* the harness load/run plumbing produces sensible results *)
 let test_harness_phases () =
   let cfg = { W.default_config with num_keys = 5_000; num_ops = 10_000 } in
@@ -175,6 +237,8 @@ let () =
         [
           Alcotest.test_case "agreement" `Slow test_cross_index_agreement;
           Alcotest.test_case "scan agreement" `Slow test_scan_agreement;
+          Alcotest.test_case "scan early termination" `Quick
+            test_scan_early_termination;
           Alcotest.test_case "string keys" `Slow test_string_cross_index;
         ] );
       ( "harness",

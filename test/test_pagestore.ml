@@ -117,6 +117,78 @@ let test_codec_truncation () =
   Alcotest.check_raises "truncated" (Failure "Codec: truncated int")
     (fun () -> ignore (Pagestore.Codec.Int.decode "abc" ~pos:(ref 0)))
 
+(* qcheck properties: the wire protocol (lib/server) rides on these
+   codecs, so their roundtrip/rejection behavior is load-bearing beyond
+   the page store *)
+
+let encode_int v =
+  let buf = Buffer.create 16 in
+  Pagestore.Codec.Int.encode buf v;
+  Buffer.contents buf
+
+let encode_str s =
+  let buf = Buffer.create 32 in
+  Pagestore.Codec.String.encode buf s;
+  Buffer.contents buf
+
+let prop_codec_int_roundtrip =
+  QCheck.Test.make ~count:2_000 ~name:"int encode/decode identity" QCheck.int
+    (fun v ->
+      let s = encode_int v in
+      let pos = ref 0 in
+      Pagestore.Codec.Int.decode s ~pos = v && !pos = String.length s)
+
+let prop_codec_string_roundtrip =
+  QCheck.Test.make ~count:2_000 ~name:"string encode/decode identity"
+    QCheck.string (fun v ->
+      let s = encode_str v in
+      let pos = ref 0 in
+      Pagestore.Codec.String.decode s ~pos = v && !pos = String.length s)
+
+let prop_codec_mixed_stream_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"mixed int/string stream roundtrips"
+    QCheck.(
+      list
+        (oneof
+           [ map (fun i -> `I i) int; map (fun s -> `S s) string ]))
+    (fun items ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (function
+          | `I i -> Pagestore.Codec.Int.encode buf i
+          | `S s -> Pagestore.Codec.String.encode buf s)
+        items;
+      let enc = Buffer.contents buf in
+      let pos = ref 0 in
+      let decoded =
+        List.map
+          (function
+            | `I _ -> `I (Pagestore.Codec.Int.decode enc ~pos)
+            | `S _ -> `S (Pagestore.Codec.String.decode enc ~pos))
+          items
+      in
+      decoded = items && !pos = String.length enc)
+
+let rejects_truncated decode enc cut =
+  let prefix = String.sub enc 0 cut in
+  match decode prefix ~pos:(ref 0) with
+  | _ -> false
+  | exception Failure _ -> true
+
+let prop_codec_int_truncated =
+  QCheck.Test.make ~count:500 ~name:"truncated int rejected"
+    QCheck.(pair int (int_bound 7))
+    (fun (v, cut) ->
+      rejects_truncated Pagestore.Codec.Int.decode (encode_int v) cut)
+
+let prop_codec_string_truncated =
+  QCheck.Test.make ~count:500 ~name:"truncated string rejected"
+    QCheck.(pair string (int_bound 10_000))
+    (fun (v, cut) ->
+      let enc = encode_str v in
+      let cut = cut mod String.length enc in
+      rejects_truncated Pagestore.Codec.String.decode enc cut)
+
 (* --- checkpoint / recover --- *)
 
 let test_checkpoint_roundtrip () =
@@ -256,6 +328,11 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "truncation" `Quick test_codec_truncation;
+          q prop_codec_int_roundtrip;
+          q prop_codec_string_roundtrip;
+          q prop_codec_mixed_stream_roundtrip;
+          q prop_codec_int_truncated;
+          q prop_codec_string_truncated;
         ] );
       ( "checkpoint",
         [

@@ -1,0 +1,489 @@
+(* Serving-layer tests: wire protocol roundtrips and rejection, the
+   multi-domain TCP server against a sequential oracle under pipelined
+   concurrent clients, protocol fuzz over real sockets, error isolation
+   between connections, and graceful drain. *)
+
+module Wire = Bw_server.Wire
+module Server = Bw_server.Server
+module Backend = Bw_server.Backend
+module Key = Bw_util.Key_codec
+
+let start_server ?(workers = 2) ?(close_on_malformed = false)
+    ?(obs = Bw_obs.Null) () =
+  let backend =
+    Backend.of_int_driver (Harness.Drivers.bwtree_driver_int ~obs ())
+  in
+  let config =
+    { Server.default_config with port = 0; workers; close_on_malformed; obs }
+  in
+  Server.start ~config backend
+
+let with_server ?workers ?close_on_malformed ?obs f =
+  let srv = start_server ?workers ?close_on_malformed ?obs () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_req r = Wire.decode_req (Buffer.contents (let b = Buffer.create 64 in Wire.encode_req b r; b))
+let roundtrip_resp r = Wire.decode_resp (Buffer.contents (let b = Buffer.create 64 in Wire.encode_resp b r; b))
+
+let test_wire_roundtrip_unit () =
+  let reqs =
+    [
+      Wire.Get "k";
+      Wire.Get "";
+      Wire.Put (Wire.Insert, "a", 42);
+      Wire.Put (Wire.Update, "b", -1);
+      Wire.Put (Wire.Upsert, "c", max_int);
+      Wire.Delete "gone";
+      Wire.Scan ("start", 48);
+      Wire.Batch [ Wire.Get "x"; Wire.Put (Wire.Upsert, "y", 7); Wire.Scan ("z", 3) ];
+      Wire.Stats;
+    ]
+  in
+  List.iter (fun r -> assert (roundtrip_req r = r)) reqs;
+  let resps =
+    [
+      Wire.Value None;
+      Wire.Value (Some 9);
+      Wire.Applied true;
+      Wire.Applied false;
+      Wire.Scanned [];
+      Wire.Scanned [ ("a", 1); ("b", 2) ];
+      Wire.Batched [ Wire.Value (Some 1); Wire.Err "nope"; Wire.Applied true ];
+      Wire.Stats_payload "{}";
+      Wire.Err "bad";
+    ]
+  in
+  List.iter (fun r -> assert (roundtrip_resp r = r)) resps
+
+(* request generator: point ops, scans, one-level batches *)
+let gen_point =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Wire.Get k) string;
+        map3
+          (fun m k v ->
+            Wire.Put
+              ((match m mod 3 with 0 -> Wire.Insert | 1 -> Wire.Update | _ -> Wire.Upsert), k, v))
+          small_nat string int;
+        map (fun k -> Wire.Delete k) string;
+        map2 (fun k n -> Wire.Scan (k, n mod (Wire.max_scan + 1))) string small_nat;
+      ])
+
+let gen_req =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, gen_point);
+        (1, return Wire.Stats);
+        (2, map (fun l -> Wire.Batch l) (list_size (int_bound 8) gen_point));
+      ])
+
+let arb_req = QCheck.make gen_req
+
+let prop_wire_req_roundtrip =
+  QCheck.Test.make ~count:1_000 ~name:"wire request roundtrip" arb_req
+    (fun r -> roundtrip_req r = r)
+
+let prop_wire_req_prefix_rejected =
+  QCheck.Test.make ~count:1_000 ~name:"truncated request rejected"
+    QCheck.(pair arb_req (int_bound 10_000))
+    (fun (r, cut) ->
+      let b = Buffer.create 64 in
+      Wire.encode_req b r;
+      let enc = Buffer.contents b in
+      let cut = cut mod String.length enc in
+      match Wire.decode_req (String.sub enc 0 cut) with
+      | _ -> false
+      | exception Wire.Malformed _ -> true)
+
+let prop_wire_garbage_never_crashes =
+  QCheck.Test.make ~count:2_000 ~name:"garbage decode raises Malformed only"
+    QCheck.string (fun s ->
+      (match Wire.decode_req s with
+      | _ -> true
+      | exception Wire.Malformed _ -> true
+      | exception _ -> false)
+      &&
+      match Wire.decode_resp s with
+      | _ -> true
+      | exception Wire.Malformed _ -> true
+      | exception _ -> false)
+
+let test_wire_decoder_reassembly () =
+  (* frames split at every possible byte boundary reassemble intact *)
+  let reqs = [ Wire.Get "hello"; Wire.Put (Wire.Upsert, "k", 1); Wire.Stats ] in
+  let stream = String.concat "" (List.map Wire.frame_req reqs) in
+  for chunk = 1 to String.length stream do
+    let dec = Wire.Decoder.create () in
+    let got = ref [] in
+    let off = ref 0 in
+    while !off < String.length stream do
+      let n = min chunk (String.length stream - !off) in
+      Wire.Decoder.feed dec (Bytes.of_string (String.sub stream !off n)) n;
+      off := !off + n;
+      let rec drain () =
+        match Wire.Decoder.next dec with
+        | `Frame p ->
+            got := Wire.decode_req p :: !got;
+            drain ()
+        | `Need_more -> ()
+        | `Framing m -> Alcotest.fail m
+      in
+      drain ()
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "all frames at chunk %d" chunk)
+      (List.length reqs) (List.length !got);
+    assert (List.rev !got = reqs)
+  done
+
+let test_wire_oversized_frame_flagged () =
+  let dec = Wire.Decoder.create () in
+  (* length prefix announcing max_frame + 1 *)
+  let n = Wire.max_frame + 1 in
+  let hdr =
+    Bytes.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+  in
+  Wire.Decoder.feed dec hdr 4;
+  match Wire.Decoder.next dec with
+  | `Framing _ -> ()
+  | `Frame _ | `Need_more -> Alcotest.fail "oversized frame not flagged"
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: synchronous API                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sync_ops () =
+  with_server (fun srv ->
+      let c = Bw_client.connect ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Bw_client.close c) (fun () ->
+          Alcotest.(check (option int)) "get missing" None (Bw_client.Int_key.get c 1);
+          Alcotest.(check bool) "insert" true
+            (Bw_client.Int_key.put c ~mode:Wire.Insert 1 10);
+          Alcotest.(check bool) "duplicate insert" false
+            (Bw_client.Int_key.put c ~mode:Wire.Insert 1 11);
+          Alcotest.(check (option int)) "get" (Some 10) (Bw_client.Int_key.get c 1);
+          Alcotest.(check bool) "update" true (Bw_client.Int_key.put c ~mode:Wire.Update 1 12);
+          Alcotest.(check (option int)) "get updated" (Some 12) (Bw_client.Int_key.get c 1);
+          Alcotest.(check bool) "update missing" false
+            (Bw_client.Int_key.put c ~mode:Wire.Update 2 0);
+          Alcotest.(check bool) "upsert new" true (Bw_client.Int_key.put c 2 20);
+          Alcotest.(check bool) "upsert existing" true (Bw_client.Int_key.put c 2 21);
+          Alcotest.(check (option int)) "upsert visible" (Some 21)
+            (Bw_client.Int_key.get c 2);
+          Alcotest.(check bool) "delete" true (Bw_client.Int_key.delete c 1);
+          Alcotest.(check bool) "delete missing" false (Bw_client.Int_key.delete c 1);
+          for k = 10 to 29 do
+            ignore (Bw_client.Int_key.put c ~mode:Wire.Insert k (k * 100))
+          done;
+          Alcotest.(check (list (pair int int))) "scan"
+            [ (10, 1000); (11, 1100); (12, 1200) ]
+            (Bw_client.Int_key.scan c 10 ~n:3);
+          Alcotest.(check (list (pair int int))) "scan past end" []
+            (Bw_client.Int_key.scan c 1_000_000 ~n:5);
+          Alcotest.(check (list (pair int int))) "scan n=0" []
+            (Bw_client.Int_key.scan c 10 ~n:0);
+          (* batch: replies arrive per-slot, errors isolated *)
+          (match
+             Bw_client.batch c
+               [
+                 Wire.Get (Key.of_int 2);
+                 Wire.Put (Wire.Upsert, Key.of_int 3, 33);
+                 Wire.Get (Key.of_int 3);
+                 Wire.Get "not-a-valid-int-key";
+               ]
+           with
+          | [ Wire.Value (Some 21); Wire.Applied true; Wire.Value (Some 33); Wire.Err _ ] ->
+              ()
+          | rs ->
+              Alcotest.fail
+                (Printf.sprintf "unexpected batch replies (%d)" (List.length rs)));
+          (* stats comes back as a parseable JSON document *)
+          match Bw_obs.Json.parse (Bw_client.stats c) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("STATS not JSON: " ^ e)))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: concurrent pipelined clients vs sequential oracle          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each client domain owns a disjoint key stripe and replays a
+   deterministic op sequence pipelined [depth] deep; afterwards the tree
+   must agree exactly with a sequential replay of the same sequences. *)
+let test_concurrent_oracle () =
+  let nclients = 4 and per_client_ops = 4_000 and stripe = 1_000_000 in
+  let depth = 16 in
+  let ops_for tid =
+    let rng = Bw_util.Rng.create ~seed:(Int64.of_int (1000 + tid)) in
+    Array.init per_client_ops (fun _ ->
+        let k = (tid * stripe) + Bw_util.Rng.next_int rng 500 in
+        match Bw_util.Rng.next_int rng 4 with
+        | 0 -> Wire.Put (Wire.Insert, Key.of_int k, k)
+        | 1 -> Wire.Put (Wire.Upsert, Key.of_int k, k * 2)
+        | 2 -> Wire.Delete (Key.of_int k)
+        | _ -> Wire.Get (Key.of_int k))
+  in
+  (* sequential oracle over the same ops *)
+  let oracle = Hashtbl.create 4096 in
+  for tid = 0 to nclients - 1 do
+    Array.iter
+      (fun op ->
+        match op with
+        | Wire.Put (Wire.Insert, k, v) ->
+            let k = Key.to_int k in
+            if not (Hashtbl.mem oracle k) then Hashtbl.replace oracle k v
+        | Wire.Put (Wire.Upsert, k, v) -> Hashtbl.replace oracle (Key.to_int k) v
+        | Wire.Delete k -> Hashtbl.remove oracle (Key.to_int k)
+        | _ -> ())
+      (ops_for tid)
+  done;
+  with_server ~workers:3 (fun srv ->
+      let port = Server.port srv in
+      let conns = Array.init nclients (fun _ -> Bw_client.connect ~port ()) in
+      let errors = Atomic.make 0 in
+      let domains =
+        Array.init nclients (fun tid ->
+            Domain.spawn (fun () ->
+                let c = conns.(tid) in
+                Array.iter
+                  (fun op ->
+                    (if Bw_client.inflight c >= depth then
+                       match Bw_client.recv c with
+                       | Wire.Err _ -> Atomic.incr errors
+                       | _ -> ());
+                    Bw_client.send c op)
+                  (ops_for tid);
+                Bw_client.flush c;
+                while Bw_client.inflight c > 0 do
+                  match Bw_client.recv c with
+                  | Wire.Err _ -> Atomic.incr errors
+                  | _ -> ()
+                done))
+      in
+      Array.iter Domain.join domains;
+      Alcotest.(check int) "no ERR replies" 0 (Atomic.get errors);
+      (* verify every stripe key against the oracle over a fresh conn *)
+      let v = Bw_client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () ->
+          Bw_client.close v;
+          Array.iter Bw_client.close conns)
+        (fun () ->
+          for tid = 0 to nclients - 1 do
+            for i = 0 to 499 do
+              let k = (tid * stripe) + i in
+              Alcotest.(check (option int))
+                (Printf.sprintf "key %d" k)
+                (Hashtbl.find_opt oracle k)
+                (Bw_client.Int_key.get v k)
+            done
+          done;
+          (* and the scan view agrees with the oracle's cardinality *)
+          let total = Hashtbl.length oracle in
+          let scanned =
+            List.length (Bw_client.Int_key.scan v 0 ~n:Wire.max_scan)
+          in
+          Alcotest.(check int) "scan cardinality" total scanned))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: protocol fuzz and error isolation                          *)
+(* ------------------------------------------------------------------ *)
+
+(* a raw socket speaking bytes, for sending malformed traffic *)
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  fd
+
+let raw_send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* read one framed response with a timeout; None on clean EOF *)
+let raw_recv_resp fd =
+  let dec = Wire.Decoder.create () in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    match Wire.Decoder.next dec with
+    | `Frame p -> Some (Wire.decode_resp p)
+    | `Framing m -> Alcotest.fail ("client-side framing: " ^ m)
+    | `Need_more ->
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "timeout waiting for response";
+        (match Unix.select [ fd ] [] [] 1.0 with
+        | [], _, _ -> go ()
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> None
+            | n ->
+                Wire.Decoder.feed dec buf n;
+                go ()))
+  in
+  go ()
+
+let expect_err name fd =
+  match raw_recv_resp fd with
+  | Some (Wire.Err _) -> ()
+  | Some _ -> Alcotest.fail (name ^ ": expected ERR reply")
+  | None -> Alcotest.fail (name ^ ": connection closed instead of ERR")
+
+let frame_of_payload payload =
+  let b = Buffer.create (String.length payload + 4) in
+  Wire.add_frame b payload;
+  Buffer.contents b
+
+let test_fuzz_malformed_frames () =
+  let obs = Bw_obs.To (Bw_obs.create ()) in
+  with_server ~obs (fun srv ->
+      let port = Server.port srv in
+      (* a healthy connection that must survive everything below *)
+      let healthy = Bw_client.connect ~port () in
+      ignore (Bw_client.Int_key.put healthy 7 70);
+      let fuzz = raw_connect port in
+      (* unknown opcode *)
+      raw_send fuzz (frame_of_payload "\255garbage");
+      expect_err "unknown opcode" fuzz;
+      (* empty payload *)
+      raw_send fuzz (frame_of_payload "");
+      expect_err "empty payload" fuzz;
+      (* truncated PUT body *)
+      raw_send fuzz (frame_of_payload "\002\000abc");
+      expect_err "truncated put" fuzz;
+      (* random garbage payloads, all answered with ERR, none fatal *)
+      let rng = Bw_util.Rng.create ~seed:99L in
+      for _ = 1 to 200 do
+        let len = Bw_util.Rng.next_int rng 64 in
+        let payload =
+          String.init len (fun _ -> Char.chr (Bw_util.Rng.next_int rng 256))
+        in
+        raw_send fuzz (frame_of_payload payload);
+        match raw_recv_resp fuzz with
+        | Some _ -> () (* usually ERR; a lucky valid frame is fine too *)
+        | None -> Alcotest.fail "server dropped conn on payload-level garbage"
+      done;
+      (* the same connection still serves valid requests... *)
+      raw_send fuzz (Wire.frame_req (Wire.Get (Key.of_int 7)));
+      (match raw_recv_resp fuzz with
+      | Some (Wire.Value (Some 70)) -> ()
+      | _ -> Alcotest.fail "valid request after fuzz failed");
+      (* ...and a framing-level violation gets ERR then close *)
+      let n = Wire.max_frame + 1 in
+      raw_send fuzz
+        (String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff)));
+      (match raw_recv_resp fuzz with
+      | Some (Wire.Err _) -> ()
+      | Some _ -> Alcotest.fail "framing violation: expected ERR"
+      | None -> () (* close without reply is acceptable too *));
+      (match raw_recv_resp fuzz with
+      | None -> ()
+      | Some _ -> Alcotest.fail "framing violation must close the conn");
+      Unix.close fuzz;
+      (* the healthy connection never noticed *)
+      Alcotest.(check (option int)) "other conn unaffected" (Some 70)
+        (Bw_client.Int_key.get healthy 7);
+      Bw_client.close healthy;
+      (* and the registry counted the abuse *)
+      match obs with
+      | Bw_obs.To reg ->
+          let sn = Bw_obs.snapshot reg in
+          let errors = List.assoc Bw_obs.C_net_errors sn.Bw_obs.sn_counters in
+          Alcotest.(check bool) "net_errors counted" true (errors > 0)
+      | Bw_obs.Null -> assert false)
+
+let test_close_on_malformed () =
+  with_server ~close_on_malformed:true (fun srv ->
+      let fuzz = raw_connect (Server.port srv) in
+      raw_send fuzz (frame_of_payload "\255bad");
+      expect_err "still get ERR first" fuzz;
+      (match raw_recv_resp fuzz with
+      | None -> ()
+      | Some _ -> Alcotest.fail "conn should close after malformed frame");
+      Unix.close fuzz)
+
+let test_half_frame_then_eof () =
+  (* a client dying mid-frame must not wedge or crash the server *)
+  with_server (fun srv ->
+      let port = Server.port srv in
+      let fuzz = raw_connect port in
+      let full = Wire.frame_req (Wire.Get (Key.of_int 1)) in
+      raw_send fuzz (String.sub full 0 (String.length full - 2));
+      Unix.close fuzz;
+      (* server must still serve new connections *)
+      let c = Bw_client.connect ~port () in
+      ignore (Bw_client.Int_key.put c 1 1);
+      Alcotest.(check (option int)) "still serving" (Some 1)
+        (Bw_client.Int_key.get c 1);
+      Bw_client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful drain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_answers_inflight () =
+  let srv = start_server () in
+  let port = Server.port srv in
+  let c = Bw_client.connect ~port () in
+  ignore (Bw_client.Int_key.put c 5 50);
+  (* pipeline a burst, then stop the server before reading replies *)
+  let n = 100 in
+  for _ = 1 to n do
+    Bw_client.send c (Wire.Get (Key.of_int 5))
+  done;
+  Bw_client.flush c;
+  Server.stop srv;
+  let got = ref 0 in
+  (try
+     while Bw_client.inflight c > 0 do
+       match Bw_client.recv c with
+       | Wire.Value (Some 50) -> incr got
+       | r ->
+           Alcotest.fail
+             (match r with
+             | Wire.Err m -> "ERR during drain: " ^ m
+             | _ -> "wrong reply during drain")
+     done
+   with Bw_client.Server_closed ->
+     Alcotest.fail "server closed before answering in-flight requests");
+  Alcotest.(check int) "all in-flight answered" n !got;
+  Bw_client.close c
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip units" `Quick test_wire_roundtrip_unit;
+          Alcotest.test_case "decoder reassembly" `Quick
+            test_wire_decoder_reassembly;
+          Alcotest.test_case "oversized frame" `Quick
+            test_wire_oversized_frame_flagged;
+          q prop_wire_req_roundtrip;
+          q prop_wire_req_prefix_rejected;
+          q prop_wire_garbage_never_crashes;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "sync ops" `Quick test_sync_ops;
+          Alcotest.test_case "concurrent pipelined oracle" `Slow
+            test_concurrent_oracle;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "malformed frames isolated" `Quick
+            test_fuzz_malformed_frames;
+          Alcotest.test_case "close-on-malformed" `Quick
+            test_close_on_malformed;
+          Alcotest.test_case "half frame then EOF" `Quick
+            test_half_frame_then_eof;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "drain answers in-flight" `Quick
+            test_drain_answers_inflight;
+        ] );
+    ]
