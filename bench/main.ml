@@ -790,6 +790,38 @@ let store scale =
     (Pagestore.Log.segment_count log)
 
 (* ------------------------------------------------------------------ *)
+(* Bw-forest: shard-count scaling over the lib/shard router            *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper (§6) attributes the Bw-tree's scalability ceiling to
+   centralized-structure contention (mapping table, root deltas);
+   range-partitioning the key space over N smaller trees divides that
+   contention without changing the driver contract. This measures YCSB
+   C/A/E over a forest of 1/2/4/8 OpenBw-Trees on uniform-random int
+   keys ([Part.make_int ~lo:0] spreads them evenly across shards). *)
+let shards_bench scale =
+  print_header
+    "Bw-forest: shard-count scaling (YCSB C/A/E, rand int keys, \
+     range-partitioned OpenBw-Tree forest)";
+  let counts = [ 1; 2; 4; 8 ] in
+  List.iter
+    (fun mix ->
+      let cells =
+        List.map
+          (fun n ->
+            let mk () =
+              if n = 1 then Drivers.bwtree_driver_int ()
+              else Drivers.bwtree_forest_int ~lo:0 ~shards:n ()
+            in
+            ( Printf.sprintf "%dsh" n,
+              mops_of ~mkdriver:mk ~conv:(W.int_key_of W.Rand_int)
+                ~space:W.Rand_int ~mix ~nthreads:scale.threads scale ))
+          counts
+      in
+      print_row (Format.asprintf "%a" W.pp_mix mix) cells)
+    [ W.Read_only; W.Read_update; W.Scan_insert ]
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -799,6 +831,7 @@ let experiments =
     ("fig12", fig12); ("tab2", tab2); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("tab3", tab3); ("fig16", fig16); ("fig17", fig17);
     ("fig18", fig18); ("bech", bech); ("abl", abl); ("store", store);
+    ("shards", shards_bench);
   ]
 
 let () =

@@ -3,10 +3,16 @@
    delta-chain and node-occupancy histograms, operation counters,
    mapping-table growth, memory — plus an optional full physical dump.
 
+   With --shards N the load goes through the lib/shard partition into a
+   forest of N trees; each shard reports its own summary (key count,
+   shape, mapping table, memory) and the histograms/counters below them
+   are forest-wide totals.
+
    Examples:
      dune exec bin/bwt_inspect.exe -- --keys 100000 --keyspace rand
      dune exec bin/bwt_inspect.exe -- --baseline --threads 8 --keyspace hc
-     dune exec bin/bwt_inspect.exe -- --keys 200 --dump *)
+     dune exec bin/bwt_inspect.exe -- --keys 200 --dump
+     dune exec bin/bwt_inspect.exe -- --shards 4 --keyspace rand *)
 
 module Tree = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
 module W = Workload
@@ -16,6 +22,7 @@ let () =
   let keys = ref 100_000
   and threads = ref 1
   and keyspace = ref "rand"
+  and shards = ref 1
   and baseline = ref false
   and dump = ref false in
   let args =
@@ -25,30 +32,49 @@ let () =
       ( "--keyspace",
         Arg.Set_string keyspace,
         "S  mono | rand | hc (default rand)" );
+      ( "--shards",
+        Arg.Set_int shards,
+        "N  range-partition the load over N trees (default 1)" );
       ("--baseline", Arg.Set baseline, "   use the baseline Bw-Tree config");
       ("--dump", Arg.Set dump, "   print every logical node and chain");
     ]
   in
   Arg.parse args (fun _ -> ()) "bwt_inspect [options]";
+  if !shards < 1 then begin
+    Printf.eprintf "bwt_inspect: --shards must be >= 1\n";
+    exit 1
+  end;
   let config =
     if !baseline then Bwtree.microsoft_config else Bwtree.default_config
   in
-  let t = Tree.create ~config () in
-  Tree.start_gc_thread t ();
+  let n_shards = !shards in
+  let trees = Array.init n_shards (fun _ -> Tree.create ~config ()) in
+  (* mono keys are dense in [0, keys); rand/hc scramble over the whole
+     non-negative range — partition what the load will actually cover
+     so the shard summaries show the balance *)
+  let part =
+    match !keyspace with
+    | "mono" -> Bw_shard.Part.make_int ~lo:0 ~hi:(max 1 (!keys - 1)) n_shards
+    | _ -> Bw_shard.Part.make_int ~lo:0 n_shards
+  in
+  let tree_of k = trees.(Bw_shard.Part.shard_of_int part k) in
+  Array.iter (fun t -> Tree.start_gc_thread t ()) trees;
   let nthreads = max 1 !threads in
   let spawn f =
     let ds = Array.init nthreads (fun tid -> Domain.spawn (fun () -> f tid)) in
     Array.iter Domain.join ds
   in
+  let quiesce_all ~tid = Array.iter (fun t -> Tree.quiesce t ~tid) trees in
   (match !keyspace with
   | "hc" ->
       let hc = W.Hc.create ~nthreads in
       let per = !keys / nthreads in
       spawn (fun tid ->
           for i = 1 to per do
-            ignore (Tree.insert t ~tid (W.Hc.next hc ~tid) i)
+            let k = W.Hc.next hc ~tid in
+            ignore (Tree.insert (tree_of k) ~tid k i)
           done;
-          Tree.quiesce t ~tid)
+          quiesce_all ~tid)
   | ks ->
       let conv =
         match ks with
@@ -62,34 +88,57 @@ let () =
       spawn (fun tid ->
           let i = ref tid in
           while !i < n do
-            ignore (Tree.insert t ~tid (conv !i) !i);
+            let k = conv !i in
+            ignore (Tree.insert (tree_of k) ~tid k !i);
             i := !i + nthreads
           done;
-          Tree.quiesce t ~tid));
-  Tree.stop_gc_thread t;
+          quiesce_all ~tid));
+  Array.iter Tree.stop_gc_thread trees;
 
-  Printf.printf "configuration: %s | %d keys (%s) | %d loader threads\n\n"
+  Printf.printf "configuration: %s | %d keys (%s) | %d loader threads%s\n\n"
     (if !baseline then "baseline Bw-Tree" else "OpenBw-Tree")
-    !keys !keyspace nthreads;
+    !keys !keyspace nthreads
+    (if n_shards > 1 then Printf.sprintf " | %d shards" n_shards else "");
 
-  let ss = Tree.structure_stats t in
-  Printf.printf
-    "height %d | %d inner + %d leaf logical nodes\n\
-     IDCL %.2f | LDCL %.2f | INS %.2f | LNS %.2f | IPU %.1f%% | LPU %.1f%%\n\n"
-    ss.depth ss.inner_nodes ss.leaf_nodes ss.avg_inner_chain ss.avg_leaf_chain
-    ss.avg_inner_size ss.avg_leaf_size
-    (100. *. ss.inner_prealloc_util)
-    (100. *. ss.leaf_prealloc_util);
+  if n_shards = 1 then begin
+    let ss = Tree.structure_stats trees.(0) in
+    Printf.printf
+      "height %d | %d inner + %d leaf logical nodes\n\
+       IDCL %.2f | LDCL %.2f | INS %.2f | LNS %.2f | IPU %.1f%% | LPU %.1f%%\n\n"
+      ss.depth ss.inner_nodes ss.leaf_nodes ss.avg_inner_chain
+      ss.avg_leaf_chain ss.avg_inner_size ss.avg_leaf_size
+      (100. *. ss.inner_prealloc_util)
+      (100. *. ss.leaf_prealloc_util)
+  end
+  else begin
+    Array.iteri
+      (fun i t ->
+        let ss = Tree.structure_stats t in
+        Printf.printf
+          "shard %d: %8d keys | height %d | %4d inner + %6d leaf | LDCL \
+           %.2f | %7.2f MB\n"
+          i (Tree.cardinal t) ss.depth ss.inner_nodes ss.leaf_nodes
+          ss.avg_leaf_chain
+          (float_of_int (Tree.memory_words t * 8) /. 1024. /. 1024.);
+        Format.printf "         %a@." Bwtree.pp_mapping_stats
+          (Tree.mapping_table_stats t))
+      trees;
+    print_newline ();
+    Printf.printf "forest totals:\n"
+  end;
 
   let leaf_chain = H.create ()
   and leaf_size = H.create ()
   and inner_size = H.create () in
-  Tree.iter_nodes t (fun ~leaf ~chain ~size ->
-      if leaf then begin
-        H.add leaf_chain chain;
-        H.add leaf_size size
-      end
-      else H.add inner_size size);
+  Array.iter
+    (fun t ->
+      Tree.iter_nodes t (fun ~leaf ~chain ~size ->
+          if leaf then begin
+            H.add leaf_chain chain;
+            H.add leaf_size size
+          end
+          else H.add inner_size size))
+    trees;
   Format.printf "leaf delta-chain lengths (p50=%d p99=%d max=%d):@.%a@."
     (H.percentile leaf_chain 50.0)
     (H.percentile leaf_chain 99.0)
@@ -99,19 +148,34 @@ let () =
     (H.max_value leaf_size) (H.pp ~width:36) leaf_size;
   Format.printf "inner fan-out:@.%a@." (H.pp ~width:36) inner_size;
 
-  let os = Tree.op_stats t in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 trees in
   Printf.printf
     "ops: %d inserts | %d splits | %d merges | %d consolidations | %d \
      failed CaS | %d restarts | %d SMO helps\n"
-    os.inserts os.splits os.merges os.consolidations os.failed_cas os.restarts
-    os.smo_helps;
-  Format.printf "%a@." Bwtree.pp_mapping_stats (Tree.mapping_table_stats t);
+    (sum (fun t -> (Tree.op_stats t).inserts))
+    (sum (fun t -> (Tree.op_stats t).splits))
+    (sum (fun t -> (Tree.op_stats t).merges))
+    (sum (fun t -> (Tree.op_stats t).consolidations))
+    (sum (fun t -> (Tree.op_stats t).failed_cas))
+    (sum (fun t -> (Tree.op_stats t).restarts))
+    (sum (fun t -> (Tree.op_stats t).smo_helps));
+  if n_shards = 1 then
+    Format.printf "%a@." Bwtree.pp_mapping_stats
+      (Tree.mapping_table_stats trees.(0));
   Printf.printf "memory: %.2f MB live\n"
-    (float_of_int (Tree.memory_words t * 8) /. 1024. /. 1024.);
-  let e = Epoch.stats (Tree.epoch t) in
+    (float_of_int (sum Tree.memory_words * 8) /. 1024. /. 1024.);
+  let esum f =
+    Array.fold_left (fun acc t -> acc + f (Epoch.stats (Tree.epoch t))) 0 trees
+  in
   Printf.printf "epochs: %d entered | %d retired | %d reclaimed | %d advanced\n"
-    e.enters e.retired e.reclaimed e.epochs_advanced;
-  if !dump then begin
-    print_newline ();
-    Tree.dump t Format.std_formatter
-  end
+    (esum (fun e -> e.Epoch.enters))
+    (esum (fun e -> e.Epoch.retired))
+    (esum (fun e -> e.Epoch.reclaimed))
+    (esum (fun e -> e.Epoch.epochs_advanced));
+  if !dump then
+    Array.iteri
+      (fun i t ->
+        print_newline ();
+        if n_shards > 1 then Printf.printf "-- shard %d --\n" i;
+        Tree.dump t Format.std_formatter)
+      trees

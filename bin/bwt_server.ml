@@ -11,7 +11,13 @@ open Cmdliner
 module Server = Bw_server.Server
 module Backend = Bw_server.Backend
 
-let backend_of ~index ~key_type ~obs : Bw_server.Backend.t =
+(* With --shards 1 this is exactly the pre-forest single-tree server: no
+   router, one registry, the plain snapshot — a strict no-op. With N > 1
+   the index is a range-partitioned forest (Bw_shard via
+   Harness.Drivers), each shard feeding its own registry; STATS and the
+   shutdown snapshot report the merged forest-wide totals plus
+   shard<i>_-prefixed per-shard series. *)
+let backend_of ~index ~key_type ~shards ~obs ~obs_of : Bw_server.Backend.t =
   let config =
     match index with
     | "openbw" -> None
@@ -21,21 +27,56 @@ let backend_of ~index ~key_type ~obs : Bw_server.Backend.t =
         exit 2
   in
   match key_type with
-  | "int" -> Backend.of_int_driver (Harness.Drivers.bwtree_driver_int ?config ~obs ())
-  | "str" -> Backend.of_str_driver (Harness.Drivers.bwtree_driver_str ?config ~obs ())
+  | "int" ->
+      if shards = 1 then
+        Backend.of_int_driver (Harness.Drivers.bwtree_driver_int ?config ~obs ())
+      else
+        (* partition the non-negative ints: that is where realistic
+           client key sets live (negative keys still route, to shard 0) *)
+        Backend.of_int_driver
+          (Harness.Drivers.bwtree_forest_int ?config ~obs_of ~lo:0 ~shards ())
+  | "str" ->
+      if shards = 1 then
+        Backend.of_str_driver (Harness.Drivers.bwtree_driver_str ?config ~obs ())
+      else
+        Backend.of_str_driver
+          (Harness.Drivers.bwtree_forest_str ?config ~obs_of ~shards ())
   | s ->
       Printf.eprintf "bwt_server: unknown key type %S (try: int, str)\n" s;
       exit 2
 
-let main host port workers index key_type close_on_malformed metrics
+let main host port workers shards index key_type close_on_malformed metrics
     metrics_json =
   if workers < 1 then begin
     Printf.eprintf "bwt_server: --workers must be >= 1\n";
     exit 2
   end;
+  if shards < 1 then begin
+    Printf.eprintf "bwt_server: --shards must be >= 1\n";
+    exit 2
+  end;
   let reg = Bw_obs.create ~stripes:(workers + 1) () in
   let obs = Bw_obs.To reg in
-  let backend = backend_of ~index ~key_type ~obs in
+  let shard_regs =
+    Array.init (if shards = 1 then 0 else shards) (fun _ ->
+        Bw_obs.create ~stripes:(workers + 1) ())
+  in
+  let obs_of i = Bw_obs.To shard_regs.(i) in
+  let backend = backend_of ~index ~key_type ~shards ~obs ~obs_of in
+  let snapshot_merged () =
+    Bw_obs.snapshot_all (reg :: Array.to_list shard_regs)
+  in
+  let stats_string () =
+    if shards = 1 then Bw_obs.snapshot_to_string (Bw_obs.snapshot reg)
+    else
+      let per_shard =
+        Array.to_list
+          (Array.mapi
+             (fun i r -> (Printf.sprintf "shard%d" i, Bw_obs.snapshot r))
+             shard_regs)
+      in
+      Bw_obs.sharded_snapshot_to_string ~shards:per_shard (snapshot_merged ())
+  in
   let config =
     {
       Server.default_config with
@@ -44,11 +85,12 @@ let main host port workers index key_type close_on_malformed metrics
       workers;
       close_on_malformed;
       obs;
+      stats_json = (if shards = 1 then None else Some stats_string);
     }
   in
   let server = Server.start ~config backend in
   Printf.printf "bwt_server: serving %s (%s keys) on %s:%d with %d workers\n%!"
-    backend.Backend.name key_type host (Server.port server) workers;
+    backend.Index_iface.name key_type host (Server.port server) workers;
   let stop_requested = ref false in
   let on_signal _ = stop_requested := true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -58,12 +100,11 @@ let main host port workers index key_type close_on_malformed metrics
   done;
   Printf.printf "bwt_server: draining...\n%!";
   Server.stop server;
-  let sn = Bw_obs.snapshot reg in
-  if metrics then Format.printf "%a@." Bw_obs.pp_snapshot sn;
+  if metrics then Format.printf "%a@." Bw_obs.pp_snapshot (snapshot_merged ());
   Option.iter
     (fun file ->
       let oc = open_out file in
-      output_string oc (Bw_obs.snapshot_to_string sn);
+      output_string oc (stats_string ());
       output_char oc '\n';
       close_out oc;
       Printf.printf "bwt_server: wrote %s\n%!" file)
@@ -84,6 +125,14 @@ let cmd =
     Arg.(value & opt int 4
          & info [ "w"; "workers" ] ~docv:"N"
              ~doc:"Worker domains, each running its own event loop.")
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Serve a range-partitioned forest of $(docv) trees \
+                   instead of a single tree (1 = plain single-tree \
+                   server). STATS and the shutdown snapshot then carry \
+                   merged totals plus shard<i>_-prefixed series.")
   in
   let index =
     Arg.(value & opt string "openbw"
@@ -112,7 +161,7 @@ let cmd =
   in
   let term =
     Term.(
-      const main $ host $ port $ workers $ index $ key_type
+      const main $ host $ port $ workers $ shards $ index $ key_type
       $ close_on_malformed $ metrics $ metrics_json)
   in
   Cmd.v

@@ -3,7 +3,12 @@
    it, SIGTERMs the server and asserts a clean drain plus a metrics
    snapshot on disk (validated by json_check in the @ci rule).
 
-   Usage: bwt_smoke METRICS_JSON_OUT *)
+   Two passes: a single-tree server (--shards 1, YCSB-A traffic) and a
+   4-shard forest server (--shards 4, YCSB-E traffic, whose SCAN frames
+   cross shard boundaries and whose snapshot carries the shard<i>_
+   series merged over the per-shard registries).
+
+   Usage: bwt_smoke METRICS_JSON_OUT SHARDED_METRICS_JSON_OUT *)
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline ("bwt_smoke: " ^ m); exit 1) fmt
 
@@ -14,22 +19,13 @@ let wait_exit name pid =
   | _, Unix.WSIGNALED s -> die "%s killed by signal %d" name s
   | _, Unix.WSTOPPED s -> die "%s stopped by signal %d" name s
 
-let () =
-  let out_file =
-    match Sys.argv with
-    | [| _; f |] -> f
-    | _ ->
-        prerr_endline "usage: bwt_smoke METRICS_JSON_OUT";
-        exit 2
-  in
-  (* hard backstop: a hung server must fail CI, not wedge it *)
-  ignore (Unix.alarm 120);
+let run_pass ~shards ~mix ~out_file =
   let srv_out_r, srv_out_w = Unix.pipe () in
   let server_pid =
     Unix.create_process "./bwt_server.exe"
       [|
         "./bwt_server.exe"; "--port"; "0"; "--workers"; "2";
-        "--metrics-json"; out_file;
+        "--shards"; string_of_int shards; "--metrics-json"; out_file;
       |]
       Unix.stdin srv_out_w Unix.stderr
   in
@@ -50,7 +46,7 @@ let () =
     Unix.create_process "./bwt_loadgen.exe"
       [|
         "./bwt_loadgen.exe"; "--port"; string_of_int port; "--clients"; "4";
-        "--pipeline"; "8"; "--mix"; "a"; "--keys"; "20000"; "--ops"; "40000";
+        "--pipeline"; "8"; "--mix"; mix; "--keys"; "20000"; "--ops"; "40000";
       |]
       Unix.stdin Unix.stdout Unix.stderr
   in
@@ -62,7 +58,23 @@ let () =
        print_endline (input_line srv_out)
      done
    with End_of_file -> ());
+  Unix.close srv_out_r;
   wait_exit "bwt_server" server_pid;
   if not (Sys.file_exists out_file) then
     die "server did not write %s" out_file;
-  Printf.printf "bwt_smoke: ok (port %d, snapshot %s)\n" port out_file
+  Printf.printf "bwt_smoke: pass ok (%d shard(s), mix %s, port %d, snapshot %s)\n%!"
+    shards mix port out_file
+
+let () =
+  let single_out, sharded_out =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ ->
+        prerr_endline "usage: bwt_smoke METRICS_JSON_OUT SHARDED_METRICS_JSON_OUT";
+        exit 2
+  in
+  (* hard backstop: a hung server must fail CI, not wedge it *)
+  ignore (Unix.alarm 240);
+  run_pass ~shards:1 ~mix:"a" ~out_file:single_out;
+  run_pass ~shards:4 ~mix:"e" ~out_file:sharded_out;
+  Printf.printf "bwt_smoke: ok (%s, %s)\n" single_out sharded_out

@@ -17,6 +17,7 @@ let ops = ref 5_000
 let seed = ref 1
 let scheme = ref "decentralized"
 let index = ref "openbw"
+let shards = ref 1
 let unique = ref true
 let quiet = ref false
 let metrics = ref false
@@ -41,6 +42,10 @@ let speclist =
     ( "--index",
       Arg.Set_string index,
       "S subject: openbw | bw | skiplist | btree | art | masstree" );
+    ( "--shards",
+      Arg.Set_int shards,
+      "N range-partition the subject into N shards (default 1; runs the \
+       oracle-replay invariants against a lib/shard forest)" );
     ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
     ("--quiet", Arg.Set quiet, " suppress per-phase progress lines");
     ( "--metrics",
@@ -82,6 +87,21 @@ let () =
     if !metrics || !metrics_json <> "" then Bw_obs.To (Bw_obs.create ())
     else Bw_obs.Null
   in
+  if !shards < 1 then raise (Arg.Bad "--shards must be >= 1");
+  if !shards > 1 && not !unique then
+    raise (Arg.Bad "--non-unique is only supported with --shards 1");
+  (* a forest subject goes through the driver interface (probe-less, so
+     the epoch/gauge cross-checks are skipped) but the journal-replay,
+     keyspace-sweep and scan invariants all run against the router;
+     partitioning the stress keyspace itself spreads the stripes over
+     every shard and makes the sweeps genuinely cross-shard *)
+  let forest mk =
+    if !shards = 1 then mk ()
+    else
+      let keyspace = cfg.Bw_stress.domains * cfg.Bw_stress.keys_per_domain in
+      let part = Bw_shard.Part.make_int ~lo:0 ~hi:(keyspace - 1) !shards in
+      Bw_shard.route_int part (Array.init !shards (fun _ -> mk ()))
+  in
   let subject =
     match !index with
     | "openbw" | "bw" ->
@@ -89,15 +109,26 @@ let () =
           if !index = "bw" then Bwtree.microsoft_config
           else Bwtree.default_config
         in
-        Bw_stress.bwtree_subject
-          ~config:{ base with gc_scheme; unique_keys = !unique }
-          ~obs ~domains:cfg.Bw_stress.domains ()
+        let config = { base with gc_scheme; unique_keys = !unique } in
+        if !shards = 1 then
+          Bw_stress.bwtree_subject ~config ~obs
+            ~domains:cfg.Bw_stress.domains ()
+        else
+          Bw_stress.of_driver
+            (forest (fun () ->
+                 Harness.Drivers.bwtree_driver_int ~config ~obs ()))
     | "skiplist" ->
-        Bw_stress.of_driver (Harness.Drivers.skiplist_driver_int ())
-    | "btree" -> Bw_stress.of_driver (Harness.Drivers.btree_driver_int ())
-    | "art" -> Bw_stress.of_driver (Harness.Drivers.art_driver_int ())
+        Bw_stress.of_driver
+          (forest (fun () -> Harness.Drivers.skiplist_driver_int ()))
+    | "btree" ->
+        Bw_stress.of_driver
+          (forest (fun () -> Harness.Drivers.btree_driver_int ()))
+    | "art" ->
+        Bw_stress.of_driver
+          (forest (fun () -> Harness.Drivers.art_driver_int ()))
     | "masstree" ->
-        Bw_stress.of_driver (Harness.Drivers.masstree_driver_int ())
+        Bw_stress.of_driver
+          (forest (fun () -> Harness.Drivers.masstree_driver_int ()))
     | s -> raise (Arg.Bad ("unknown index " ^ s))
   in
   Printf.printf "stress: %s | %d domains + %d churn | scheme %s | %s keys\n%!"

@@ -44,23 +44,36 @@ let mk_str_driver name (obs : Bw_obs.sink) : string Runner.driver =
   | "art" -> Runner.instrument obs (Drivers.art_driver_str ())
   | _ -> invalid_arg "unknown index"
 
-let emit_metrics obs ~text ~json_file =
-  match obs with
-  | Bw_obs.Null -> ()
-  | Bw_obs.To reg ->
-      let sn = Bw_obs.snapshot reg in
-      if text then Format.printf "%a@." Bw_obs.pp_snapshot sn;
-      Option.iter
-        (fun file ->
-          let oc = open_out file in
-          output_string oc (Bw_obs.snapshot_to_string sn);
-          output_char oc '\n';
-          close_out oc;
-          Printf.printf "metrics: wrote %s\n%!" file)
-        json_file
+(* One registry for a single tree; one per shard for a forest. The text
+   snapshot and the merged JSON totals are identical either way; a
+   sharded run's JSON additionally carries shard<i>_-prefixed series. *)
+let emit_metrics ~(regs : Bw_obs.t array) ~text ~json_file =
+  if Array.length regs > 0 then begin
+    let merged = Bw_obs.snapshot_all (Array.to_list regs) in
+    if text then Format.printf "%a@." Bw_obs.pp_snapshot merged;
+    Option.iter
+      (fun file ->
+        let body =
+          if Array.length regs = 1 then Bw_obs.snapshot_to_string merged
+          else
+            let shards =
+              Array.to_list
+                (Array.mapi
+                   (fun i r -> (Printf.sprintf "shard%d" i, Bw_obs.snapshot r))
+                   regs)
+            in
+            Bw_obs.sharded_snapshot_to_string ~shards merged
+        in
+        let oc = open_out file in
+        output_string oc body;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "metrics: wrote %s\n%!" file)
+      json_file
+  end
 
 let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
-    ~mix ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json =
+    ~mix ~threads ~cfg ~show_memory =
   Printf.printf "index: %s | workload: %s | keys: %s | threads: %d\n%!"
     driver.name
     (Format.asprintf "%a" W.pp_mix mix)
@@ -83,11 +96,10 @@ let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
   driver.stop_aux ();
   if show_memory then
     Printf.printf "memory: %.2f MB live heap\n%!"
-      (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0);
-  emit_metrics obs ~text:metrics ~json_file:metrics_json
+      (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0)
 
-let main index workload keyspace keys ops threads theta show_memory metrics
-    metrics_json list_ =
+let main index workload keyspace keys ops threads shards theta show_memory
+    metrics metrics_json list_ =
   if list_ then begin
     Printf.printf "indexes: %s\nworkloads: insert | c | a | e\nkeyspaces: \
                    mono | rand | email | hc\n"
@@ -98,8 +110,8 @@ let main index workload keyspace keys ops threads theta show_memory metrics
     Printf.eprintf
       "usage: ycsb [--index INDEX] [--mix insert|c|a|e] [--keyspace \
        mono|rand|email|hc]\n\
-      \            [--keys N>=1] [--ops N>=0] [--threads N>=1] [--theta \
-       0<F<1]\n\
+      \            [--keys N>=1] [--ops N>=0] [--threads N>=1] [--shards \
+       N>=1] [--theta 0<F<1]\n\
        run 'ycsb --help' for details, 'ycsb --list' for indexes\n";
     exit 2
   in
@@ -138,23 +150,51 @@ let main index workload keyspace keys ops threads theta show_memory metrics
     Printf.eprintf "ycsb: --threads must be >= 1 (got %d)\n" threads;
     usage ()
   end;
+  if shards < 1 then begin
+    Printf.eprintf "ycsb: --shards must be >= 1 (got %d)\n" shards;
+    usage ()
+  end;
   if not (theta > 0.0 && theta < 1.0) then begin
     Printf.eprintf "ycsb: --theta must be in (0,1) (got %g)\n" theta;
     usage ()
   end;
   let cfg = { W.default_config with num_keys = keys; num_ops = ops; theta } in
-  let obs =
+  let regs =
     if metrics || metrics_json <> None then
-      Bw_obs.To (Bw_obs.create ~stripes:(threads + 1) ())
-    else Bw_obs.Null
+      Array.init shards (fun _ -> Bw_obs.create ~stripes:(threads + 1) ())
+    else [||]
   in
-  match space with
+  let obs_of i =
+    if Array.length regs = 0 then Bw_obs.Null else Bw_obs.To regs.(i)
+  in
+  (* --shards 1 builds exactly the single driver of previous releases;
+     N > 1 routes N instances of the same index through lib/shard *)
+  (match space with
   | W.Email ->
-      run_generic (mk_str_driver index obs) ~conv:W.email_key_of ~space ~mix
-        ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json
+      let driver =
+        if shards = 1 then mk_str_driver index (obs_of 0)
+        else
+          (* email keys all start with a lowercase name, so partition
+             the ["a", "z") slice range rather than the full space *)
+          let part = Bw_shard.Part.make ~lo:"a" ~hi:"z" shards in
+          Bw_shard.route_binary part
+            (Array.init shards (fun i -> mk_str_driver index (obs_of i)))
+      in
+      run_generic driver ~conv:W.email_key_of ~space ~mix ~threads ~cfg
+        ~show_memory
   | _ ->
-      run_generic (mk_int_driver index obs) ~conv:(W.int_key_of space) ~space
-        ~mix ~threads ~cfg ~show_memory ~obs ~metrics ~metrics_json
+      let driver =
+        if shards = 1 then mk_int_driver index (obs_of 0)
+        else
+          (* every ycsb keyspace generates non-negative keys, so
+             partition [0, max_int] — rand keys spread evenly *)
+          let part = Bw_shard.Part.make_int ~lo:0 shards in
+          Bw_shard.route_int part
+            (Array.init shards (fun i -> mk_int_driver index (obs_of i)))
+      in
+      run_generic driver ~conv:(W.int_key_of space) ~space ~mix ~threads ~cfg
+        ~show_memory);
+  emit_metrics ~regs ~text:metrics ~json_file:metrics_json
 
 let cmd =
   let index =
@@ -184,6 +224,12 @@ let cmd =
     Arg.(value & opt int 1
          & info [ "t"; "threads" ] ~docv:"N" ~doc:"Worker threads (domains).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Range-partition the index into $(docv) shards behind \
+                   the lib/shard router (1 = plain single index).")
+  in
   let theta =
     Arg.(value & opt float 0.99
          & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew in (0,1).")
@@ -207,8 +253,8 @@ let cmd =
   in
   let term =
     Term.(
-      const main $ index $ workload $ keyspace $ keys $ ops $ threads $ theta
-      $ memory $ metrics $ metrics_json $ list_)
+      const main $ index $ workload $ keyspace $ keys $ ops $ threads
+      $ shards $ theta $ memory $ metrics $ metrics_json $ list_)
   in
   Cmd.v
     (Cmd.info "ycsb" ~doc:"YCSB-style microbenchmarks for in-memory indexes"

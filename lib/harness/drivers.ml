@@ -215,6 +215,23 @@ let masstree_driver_str () : string Runner.driver =
     memory_words = (fun () -> Mt_str.memory_words t);
   }
 
+(* --- range-partitioned Bw-Tree forests (lib/shard router) --- *)
+
+(* [obs_of i] supplies shard [i]'s metrics sink, so a forest can feed
+   per-shard registries (labeled shard<i>_* series in the merged
+   snapshot) or one shared registry — striping is by tid either way. *)
+let bwtree_forest_int ?name ?config ?(obs_of = fun _ -> Bw_obs.Null) ?lo ?hi
+    ~shards () : int Runner.driver =
+  let part = Bw_shard.Part.make_int ?lo ?hi shards in
+  Bw_shard.route_int ?name part
+    (Array.init shards (fun i -> bwtree_driver_int ?config ~obs:(obs_of i) ()))
+
+let bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null) ?lo ?hi
+    ~shards () : string Runner.driver =
+  let part = Bw_shard.Part.make ?lo ?hi shards in
+  Bw_shard.route_binary ?name part
+    (Array.init shards (fun i -> bwtree_driver_str ?config ~obs:(obs_of i) ()))
+
 (* --- the six-index lineup used by §6 experiments --- *)
 
 let int_lineup () : (string * (unit -> int Runner.driver)) list =

@@ -14,7 +14,11 @@ module Counters = Bw_util.Counters
 (* Drivers: a uniform closure-record view of one index instance         *)
 (* ------------------------------------------------------------------ *)
 
-type 'k driver = {
+(* The record itself lives in Index_iface so the server and shard layers
+   can consume drivers without depending on the harness; re-exporting it
+   here keeps every [Runner.driver] reference (and [{ Runner.name; .. }]
+   construction) working unchanged. *)
+type 'k driver = 'k Index_iface.driver = {
   name : string;
   insert : tid:int -> 'k -> int -> bool;
   read : tid:int -> 'k -> int option;

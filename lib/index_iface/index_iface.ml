@@ -74,3 +74,75 @@ module type INDEX = sig
 end
 
 type 'k index = (module INDEX with type key = 'k)
+
+(* ------------------------------------------------------------------ *)
+(* Drivers: a uniform closure-record view of one index instance        *)
+(* ------------------------------------------------------------------ *)
+
+(** A first-class index instance: the closure-record form of {!INDEX}
+    that the harness, the benchmarks, the stress checker, the serving
+    layer and the shard router all consume. Anything that satisfies this
+    record — a single tree, a range-partitioned forest of trees
+    ({!Bw_shard.route}), an instrumented wrapper — is interchangeable
+    everywhere a driver is accepted. *)
+type 'k driver = {
+  name : string;
+  insert : tid:int -> 'k -> int -> bool;
+  read : tid:int -> 'k -> int option;
+  update : tid:int -> 'k -> int -> bool;
+  remove : tid:int -> 'k -> bool;
+  scan : tid:int -> 'k -> n:int -> ('k -> int -> unit) -> int;
+      (** Visitor scan with {!INDEX.scan}'s exactly-once semantics. *)
+  start_aux : unit -> unit;
+  stop_aux : unit -> unit;
+  thread_done : tid:int -> unit;
+  memory_words : unit -> int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Backends: the monomorphic binary-keyed view                         *)
+(* ------------------------------------------------------------------ *)
+
+type backend = string driver
+(** A driver whose keys travel in their binary-comparable encoding
+    ({!Bw_util.Key_codec}). This is the serving layer's contract: the
+    wire protocol carries binary keys, so a backend closes over a
+    concrete driver plus its key codec and the server's event loop never
+    needs to be generic over the key type. *)
+
+exception Bad_key of string
+(** A syntactically invalid binary key reached a backend — a caller
+    (protocol) error, not an index fault. *)
+
+let backend_of_driver ~(decode_key : string -> 'k)
+    ~(encode_key : 'k -> string) (d : 'k driver) : backend =
+  let key s =
+    (* Key_codec decoders fail with Invalid_argument (and Failure from
+       Scanf-style codecs); anything else — Out_of_memory, assertion
+       failures inside the codec — is a real fault and must not be
+       swallowed as a protocol error. *)
+    match decode_key s with
+    | k -> k
+    | exception (Invalid_argument _ | Failure _) -> raise (Bad_key s)
+  in
+  {
+    name = d.name;
+    insert = (fun ~tid k v -> d.insert ~tid (key k) v);
+    read = (fun ~tid k -> d.read ~tid (key k));
+    update = (fun ~tid k v -> d.update ~tid (key k) v);
+    remove = (fun ~tid k -> d.remove ~tid (key k));
+    scan =
+      (fun ~tid k ~n visit ->
+        d.scan ~tid (key k) ~n (fun k v -> visit (encode_key k) v));
+    start_aux = d.start_aux;
+    stop_aux = d.stop_aux;
+    thread_done = d.thread_done;
+    memory_words = d.memory_words;
+  }
+
+let backend_of_int_driver (d : int driver) : backend =
+  backend_of_driver ~decode_key:Bw_util.Key_codec.to_int
+    ~encode_key:Bw_util.Key_codec.of_int d
+
+let backend_of_str_driver (d : string driver) : backend =
+  backend_of_driver ~decode_key:(fun s -> s) ~encode_key:(fun s -> s) d

@@ -484,12 +484,18 @@ type snapshot = {
   sn_dropped_events : int;
 }
 
-let snapshot r =
+(* One snapshot over any number of registries, as if all their stripes
+   belonged to one: histograms and counters merge exactly (bucket layout
+   is global), gauges registered in several registries sum, and event
+   logs interleave by timestamp. [snapshot r] is the single-registry
+   case; the shard router snapshots one registry per shard plus the
+   serving layer's and merges them into forest-wide totals. *)
+let snapshot_all rs =
+  if rs = [] then invalid_arg "Bw_obs.snapshot_all: no registries";
+  let iter_stripes f = List.iter (fun r -> Array.iter f r.stripes) rs in
   let merged = Array.init n_series (fun _ -> Histo.create ()) in
-  Array.iter
-    (fun st ->
-      Array.iteri (fun i h -> Histo.merge_into ~dst:merged.(i) h) st.histos)
-    r.stripes;
+  iter_stripes (fun st ->
+      Array.iteri (fun i h -> Histo.merge_into ~dst:merged.(i) h) st.histos);
   let histos =
     List.filter_map
       (fun s ->
@@ -513,19 +519,31 @@ let snapshot r =
     List.map
       (fun c ->
         let i = counter_index c in
-        ( c,
-          Array.fold_left (fun acc st -> acc + st.counters.(i)) 0 r.stripes ))
+        let total = ref 0 in
+        iter_stripes (fun st -> total := !total + st.counters.(i));
+        (c, !total))
       all_counters
   in
   let gauges =
-    Mutex.lock r.gauge_lock;
-    let gs = r.gauges in
-    Mutex.unlock r.gauge_lock;
-    List.rev_map (fun (g, f) -> (g, try f () with _ -> 0)) gs
+    let sampled =
+      List.concat_map
+        (fun r ->
+          Mutex.lock r.gauge_lock;
+          let gs = r.gauges in
+          Mutex.unlock r.gauge_lock;
+          List.rev_map (fun (g, f) -> (g, try f () with _ -> 0)) gs)
+        rs
+    in
+    (* a gauge registered in several registries reports the sum *)
+    List.fold_left
+      (fun acc (g, v) ->
+        if List.mem_assoc g acc then
+          List.map (fun (g', v') -> if g' = g then (g', v' + v) else (g', v')) acc
+        else acc @ [ (g, v) ])
+      [] sampled
   in
   let events = ref [] and dropped = ref 0 in
-  Array.iter
-    (fun st ->
+  iter_stripes (fun st ->
       let ring = st.ring in
       let cap = Array.length ring.slots in
       let w = ring.writes in
@@ -536,8 +554,7 @@ let snapshot r =
          same-timestamp bursts in emission order *)
       for i = live - 1 downto 0 do
         events := ring.slots.((w - live + i) mod cap) :: !events
-      done)
-    r.stripes;
+      done);
   let events =
     List.stable_sort (fun a b -> compare a.ev_ns b.ev_ns) !events
   in
@@ -545,14 +562,18 @@ let snapshot r =
     List.map
       (fun k ->
         let i = kind_index k in
-        ( k,
-          Array.fold_left
-            (fun acc st -> acc + st.ring.kind_counts.(i))
-            0 r.stripes ))
+        let total = ref 0 in
+        iter_stripes (fun st -> total := !total + st.ring.kind_counts.(i));
+        (k, !total))
       all_kinds
   in
+  let elapsed =
+    List.fold_left
+      (fun acc r -> Float.max acc (float_of_int (now_ns () - r.t0_ns) /. 1e9))
+      0.0 rs
+  in
   {
-    sn_elapsed_s = float_of_int (now_ns () - r.t0_ns) /. 1e9;
+    sn_elapsed_s = elapsed;
     sn_histos = histos;
     sn_counters = counters;
     sn_gauges = gauges;
@@ -560,6 +581,8 @@ let snapshot r =
     sn_event_totals = event_totals;
     sn_dropped_events = !dropped;
   }
+
+let snapshot r = snapshot_all [ r ]
 
 let pp_snapshot ppf sn =
   let open Format in
@@ -861,22 +884,29 @@ module Json = struct
     | _ -> None
 end
 
+let histo_json ?prefix h =
+  let open Json in
+  let name =
+    match prefix with
+    | None -> series_name h.hs_series
+    | Some p -> p ^ "_" ^ series_name h.hs_series
+  in
+  Obj
+    [
+      ("name", Str name);
+      ("unit", Str (series_unit h.hs_series));
+      ("count", Int h.hs_count);
+      ("sum", Int h.hs_sum);
+      ("min", Int h.hs_min);
+      ("max", Int h.hs_max);
+      ("p50", Int h.hs_p50);
+      ("p90", Int h.hs_p90);
+      ("p99", Int h.hs_p99);
+    ]
+
 let snapshot_json sn =
   let open Json in
-  let histo h =
-    Obj
-      [
-        ("name", Str (series_name h.hs_series));
-        ("unit", Str (series_unit h.hs_series));
-        ("count", Int h.hs_count);
-        ("sum", Int h.hs_sum);
-        ("min", Int h.hs_min);
-        ("max", Int h.hs_max);
-        ("p50", Int h.hs_p50);
-        ("p90", Int h.hs_p90);
-        ("p99", Int h.hs_p99);
-      ]
-  in
+  let histo h = histo_json h in
   let event e =
     Obj
       [
@@ -912,3 +942,47 @@ let snapshot_json sn =
     ]
 
 let snapshot_to_string sn = Json.to_string (snapshot_json sn)
+
+(* The merged snapshot's JSON with every labeled shard's non-empty
+   series appended under "<label>_<name>" keys. The unprefixed entries
+   stay exact forest-wide totals, so consumers of the single-tree schema
+   (json_check, dashboards) keep working; the prefixed ones expose the
+   per-shard breakdown. Zero shard counters are elided — the merged
+   object already lists every counter. *)
+let sharded_snapshot_json ~shards merged =
+  let open Json in
+  let pfx lbl s = lbl ^ "_" ^ s in
+  let extra_histos =
+    List.concat_map
+      (fun (lbl, sn) -> List.map (fun h -> histo_json ~prefix:lbl h) sn.sn_histos)
+      shards
+  in
+  let extra_counters =
+    List.concat_map
+      (fun (lbl, sn) ->
+        List.filter_map
+          (fun (c, v) ->
+            if v = 0 then None else Some (pfx lbl (counter_name c), Int v))
+          sn.sn_counters)
+      shards
+  in
+  let extra_gauges =
+    List.concat_map
+      (fun (lbl, sn) ->
+        List.map (fun (g, v) -> (pfx lbl (gauge_name g), Int v)) sn.sn_gauges)
+      shards
+  in
+  match snapshot_json merged with
+  | Obj fields ->
+      Obj
+        (List.map
+           (function
+             | "histograms", Arr hs -> ("histograms", Arr (hs @ extra_histos))
+             | "counters", Obj cs -> ("counters", Obj (cs @ extra_counters))
+             | "gauges", Obj gs -> ("gauges", Obj (gs @ extra_gauges))
+             | kv -> kv)
+           fields)
+  | v -> v
+
+let sharded_snapshot_to_string ~shards merged =
+  Json.to_string (sharded_snapshot_json ~shards merged)

@@ -199,6 +199,15 @@ val snapshot : t -> snapshot
     read racily, so in-flight probes may or may not be included, but
     every quiesced probe is. *)
 
+val snapshot_all : t list -> snapshot
+(** One snapshot over several registries, as if all their stripes
+    belonged to one: histograms and counters merge exactly, a gauge
+    registered in several registries reports the sum, event logs
+    interleave by timestamp and [sn_elapsed_s] is the oldest registry's
+    age. [snapshot r = snapshot_all [r]]. The shard router uses this to
+    report forest-wide totals over per-shard registries. Raises
+    [Invalid_argument] on the empty list. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 (** {1 JSON} *)
@@ -234,3 +243,15 @@ val snapshot_to_string : snapshot -> string
     (object), [gauges] (object), and [events] (object with [dropped],
     [kinds] — all-time per-kind totals, overflow-proof — and [log], an
     array of [{ns; tid; kind; a; b}]). *)
+
+val sharded_snapshot_json :
+  shards:(string * snapshot) list -> snapshot -> Json.v
+
+val sharded_snapshot_to_string :
+  shards:(string * snapshot) list -> snapshot -> string
+(** [sharded_snapshot_json ~shards merged] is [snapshot_json merged] —
+    typically a {!snapshot_all} over per-shard registries, so the
+    unprefixed entries are exact forest-wide totals — with each labeled
+    shard's non-empty histograms, non-zero counters and gauges appended
+    under ["<label>_<name>"] keys. The single-tree schema stays valid;
+    the prefixed series add the per-shard breakdown. *)

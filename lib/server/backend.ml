@@ -1,54 +1,20 @@
-(** A monomorphic, binary-keyed view of one index instance.
+(** The serving layer's index contract, re-exported from
+    {!Index_iface}.
 
-    The wire protocol carries keys as binary-comparable strings
-    ({!Bw_util.Key_codec}); a backend closes over a concrete
-    {!Harness.Runner.driver} plus its key codec, so the server's event
-    loop never needs to be generic over the key type. All workers share
-    the one underlying index through its lock-free API — the backend
-    record adds no synchronization. *)
+    A backend is simply a [string Index_iface.driver] whose keys are
+    binary-comparable encodings ({!Bw_util.Key_codec}) — the same record
+    the harness, the stress checker and the shard router consume, so a
+    single tree, an instrumented driver or a range-partitioned forest
+    ({!Bw_shard.route}) all serve identically. All workers share the one
+    underlying index through its lock-free API — the backend record adds
+    no synchronization.
 
-type t = {
-  name : string;
-  get : tid:int -> string -> int option;
-  insert : tid:int -> string -> int -> bool;
-  update : tid:int -> string -> int -> bool;
-  delete : tid:int -> string -> bool;
-  scan : tid:int -> string -> n:int -> (string * int) list;
-      (** Items from the first key >= the start key, as (binary key,
-          value), at most [n]. *)
-  start : unit -> unit;
-  stop : unit -> unit;
-  thread_done : tid:int -> unit;
-}
+    A syntactically invalid wire key surfaces as
+    {!Index_iface.Bad_key}; the server answers it with an ERR reply
+    rather than crashing the worker. *)
 
-let of_driver ~(decode_key : string -> 'k) ~(encode_key : 'k -> string)
-    (d : 'k Harness.Runner.driver) : t =
-  let key s =
-    (* a syntactically bad key is a protocol error, not a server crash *)
-    try decode_key s
-    with _ -> raise (Wire.Malformed "undecodable key")
-  in
-  {
-    name = d.Harness.Runner.name;
-    get = (fun ~tid k -> d.Harness.Runner.read ~tid (key k));
-    insert = (fun ~tid k v -> d.Harness.Runner.insert ~tid (key k) v);
-    update = (fun ~tid k v -> d.Harness.Runner.update ~tid (key k) v);
-    delete = (fun ~tid k -> d.Harness.Runner.remove ~tid (key k));
-    scan =
-      (fun ~tid k ~n ->
-        let acc = ref [] in
-        ignore
-          (d.Harness.Runner.scan ~tid (key k) ~n (fun k v ->
-               acc := (encode_key k, v) :: !acc));
-        List.rev !acc);
-    start = d.Harness.Runner.start_aux;
-    stop = d.Harness.Runner.stop_aux;
-    thread_done = (fun ~tid -> d.Harness.Runner.thread_done ~tid);
-  }
+type t = Index_iface.backend
 
-let of_int_driver d =
-  of_driver ~decode_key:Bw_util.Key_codec.to_int
-    ~encode_key:Bw_util.Key_codec.of_int d
-
-let of_str_driver d =
-  of_driver ~decode_key:(fun s -> s) ~encode_key:(fun s -> s) d
+let of_driver = Index_iface.backend_of_driver
+let of_int_driver = Index_iface.backend_of_int_driver
+let of_str_driver = Index_iface.backend_of_str_driver

@@ -23,6 +23,8 @@
     request already received, flush within [drain_timeout_s], close, and
     release their epoch slots. *)
 
+open Index_iface
+
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port; see {!port}. *)
@@ -31,6 +33,9 @@ type config = {
   close_on_malformed : bool;
   drain_timeout_s : float;
   obs : Bw_obs.sink;
+  stats_json : (unit -> string) option;
+      (** what a STATS frame answers; [None] snapshots [obs]. A sharded
+          server plugs in the merged-plus-per-shard snapshot here. *)
 }
 
 let default_config =
@@ -42,6 +47,7 @@ let default_config =
     close_on_malformed = false;
     drain_timeout_s = 5.0;
     obs = Bw_obs.Null;
+    stats_json = None;
   }
 
 type conn = {
@@ -92,55 +98,78 @@ let series_of_req : Wire.req -> Bw_obs.series = function
   | Wire.Batch _ -> Bw_obs.Lat_req_batch
   | Wire.Stats -> Bw_obs.Lat_req_stats
 
-let rec eval t ~tid (req : Wire.req) : Wire.resp =
+(* Evaluate one request, appending the encoded response body to [body].
+   SCAN streams visits straight into the encode buffer — items never
+   materialize as a list. Point ops compute their result before any byte
+   is written, so a raising sub-request leaves [body] untouched and
+   BATCH slot isolation only needs a scratch buffer around scans. *)
+let rec eval_into t ~tid body (req : Wire.req) : unit =
   let b = t.backend in
   match req with
-  | Wire.Get k -> Wire.Value (b.get ~tid k)
-  | Wire.Put (Wire.Insert, k, v) -> Wire.Applied (b.insert ~tid k v)
-  | Wire.Put (Wire.Update, k, v) -> Wire.Applied (b.update ~tid k v)
-  | Wire.Put (Wire.Upsert, k, v) -> Wire.Applied (upsert b ~tid k v)
-  | Wire.Delete k -> Wire.Applied (b.delete ~tid k)
-  | Wire.Scan (k, n) -> Wire.Scanned (b.scan ~tid k ~n)
+  | Wire.Get k -> Wire.encode_resp body (Wire.Value (b.read ~tid k))
+  | Wire.Put (Wire.Insert, k, v) ->
+      Wire.encode_resp body (Wire.Applied (b.insert ~tid k v))
+  | Wire.Put (Wire.Update, k, v) ->
+      Wire.encode_resp body (Wire.Applied (b.update ~tid k v))
+  | Wire.Put (Wire.Upsert, k, v) ->
+      Wire.encode_resp body (Wire.Applied (upsert b ~tid k v))
+  | Wire.Delete k -> Wire.encode_resp body (Wire.Applied (b.remove ~tid k))
+  | Wire.Scan (k, n) ->
+      Wire.encode_scanned_into body (fun visit -> b.scan ~tid k ~n visit)
   | Wire.Batch reqs ->
       (* sub-request failures are isolated to their slot *)
-      Wire.Batched
-        (List.map
-           (fun r ->
-             try eval t ~tid r
-             with Wire.Malformed m -> Wire.Err m)
-           reqs)
+      Wire.encode_batched_header body (List.length reqs);
+      List.iter
+        (fun r ->
+          let slot = Buffer.create 64 in
+          match eval_into t ~tid slot r with
+          | () -> Buffer.add_buffer body slot
+          | exception Wire.Malformed m -> Wire.encode_resp body (Wire.Err m)
+          | exception Bad_key _ ->
+              Wire.encode_resp body (Wire.Err "undecodable key"))
+        reqs
   | Wire.Stats ->
       let json =
-        match t.cfg.obs with
-        | Bw_obs.Null -> "{}"
-        | Bw_obs.To reg -> Bw_obs.snapshot_to_string (Bw_obs.snapshot reg)
+        match t.cfg.stats_json with
+        | Some f -> f ()
+        | None -> (
+            match t.cfg.obs with
+            | Bw_obs.Null -> "{}"
+            | Bw_obs.To reg ->
+                Bw_obs.snapshot_to_string (Bw_obs.snapshot reg))
       in
-      Wire.Stats_payload json
+      Wire.encode_resp body (Wire.Stats_payload json)
 
-(* Decode + evaluate one frame; never raises. Returns the reply and
-   whether the connection must be put into drain-and-close. *)
-let handle_frame t ~tid payload : Wire.resp * bool =
+(* Decode + evaluate one frame, appending the framed reply to [out];
+   never raises. Returns whether the connection must be put into
+   drain-and-close. *)
+let handle_frame t ~tid out payload : bool =
   let obs = t.cfg.obs in
   Bw_obs.incr obs ~tid Bw_obs.C_net_requests;
+  let err m close =
+    Bw_obs.incr obs ~tid Bw_obs.C_net_errors;
+    Buffer.add_string out (Wire.frame_resp (Wire.Err m));
+    close
+  in
   match Wire.decode_req payload with
   | exception Wire.Malformed m ->
-      Bw_obs.incr obs ~tid Bw_obs.C_net_errors;
-      (Wire.Err ("malformed request: " ^ m), t.cfg.close_on_malformed)
+      err ("malformed request: " ^ m) t.cfg.close_on_malformed
   | req -> (
       let t0 = if Bw_obs.enabled obs then Bw_obs.now_ns () else 0 in
-      match eval t ~tid req with
-      | resp ->
+      let body = Buffer.create 64 in
+      match eval_into t ~tid body req with
+      | () ->
           if Bw_obs.enabled obs then
             Bw_obs.observe obs ~tid (series_of_req req)
               (Bw_obs.now_ns () - t0);
-          (resp, false)
-      | exception Wire.Malformed m ->
-          Bw_obs.incr obs ~tid Bw_obs.C_net_errors;
-          (Wire.Err m, t.cfg.close_on_malformed)
+          Wire.add_frame_buf out body;
+          false
+      | exception Wire.Malformed m -> err m t.cfg.close_on_malformed
+      | exception Bad_key _ ->
+          err "undecodable key" t.cfg.close_on_malformed
       | exception exn ->
           (* an operation failure must not take the worker down *)
-          Bw_obs.incr obs ~tid Bw_obs.C_net_errors;
-          (Wire.Err ("internal error: " ^ Printexc.to_string exn), false))
+          err ("internal error: " ^ Printexc.to_string exn) false)
 
 (* ------------------------------------------------------------------ *)
 (* Worker event loop                                                   *)
@@ -186,9 +215,7 @@ let process_frames t ~tid (c : conn) =
     match Wire.Decoder.next c.dec with
     | `Need_more -> continue := false
     | `Frame payload ->
-        let resp, close = handle_frame t ~tid payload in
-        Buffer.add_string c.out (Wire.frame_resp resp);
-        if close then c.closing <- true
+        if handle_frame t ~tid c.out payload then c.closing <- true
     | `Framing m ->
         Bw_obs.incr t.cfg.obs ~tid Bw_obs.C_net_errors;
         Buffer.add_string c.out
@@ -391,7 +418,7 @@ let start ?(config = default_config) (backend : Backend.t) : t =
       Atomic.get t.active_conns);
   Bw_obs.register_gauge config.obs Bw_obs.G_net_queued_bytes (fun () ->
       Array.fold_left (fun acc w -> acc + Atomic.get w.queued_bytes) 0 workers);
-  backend.start ();
+  backend.start_aux ();
   let worker_domains =
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) workers)
@@ -416,5 +443,5 @@ let stop (t : t) =
         (try Unix.close w.wake_r with Unix.Unix_error _ -> ());
         try Unix.close w.wake_w with Unix.Unix_error _ -> ())
       t.workers;
-    t.backend.stop ()
+    t.backend.stop_aux ()
   end

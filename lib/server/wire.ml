@@ -195,6 +195,32 @@ let rec encode_resp buf = function
           C.encode_string buf s
       | Err _ -> assert false)
 
+(* BATCH reply prologue for callers that encode sub-replies
+   incrementally (the server streams each slot as it evaluates). *)
+let encode_batched_header body n =
+  add_byte body st_ok;
+  add_byte body tag_batched;
+  C.encode_int body n
+
+(* Streaming SCAN reply: [scan visit] appends each visited item straight
+   into an encode buffer — no intermediate (key, value) list. The item
+   count precedes the items on the wire, so the items land in a scratch
+   buffer that is appended after the walk; the scratch holds encoded
+   bytes, never per-item heap cells. *)
+let encode_scanned_into body (scan : (string -> int -> unit) -> int) =
+  let items = Buffer.create 256 in
+  let count = ref 0 in
+  ignore
+    (scan (fun k v ->
+         incr count;
+         C.encode_string items k;
+         C.encode_int items v)
+      : int);
+  add_byte body st_ok;
+  add_byte body tag_scanned;
+  C.encode_int body !count;
+  Buffer.add_buffer body items
+
 let rec decode_resp_at s ~pos ~depth =
   match decode_byte s ~pos with
   | b when b = st_err -> Err (decode_string s ~pos)
@@ -239,13 +265,20 @@ let decode_resp s =
 (* Framing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let add_frame buf payload =
-  let n = String.length payload in
+let add_frame_len buf n =
   Buffer.add_char buf (Char.chr (n land 0xff));
   Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
   Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
-  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let add_frame buf payload =
+  add_frame_len buf (String.length payload);
   Buffer.add_string buf payload
+
+let add_frame_buf buf body =
+  (* frame an already-encoded payload without stringifying it *)
+  add_frame_len buf (Buffer.length body);
+  Buffer.add_buffer buf body
 
 let frame_req r =
   let body = Buffer.create 64 in

@@ -209,6 +209,57 @@ let test_sync_ops () =
           | Error e -> Alcotest.fail ("STATS not JSON: " ^ e)))
 
 (* ------------------------------------------------------------------ *)
+(* Loopback: forest backend                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The same wire surface served by a 4-shard lib/shard forest: point
+   ops route by key, SCAN replies stitch shard continuations together
+   (the [0, 1023] partition puts boundaries at 256/512/768), and the
+   sharded stats hook feeds the STATS frame. *)
+let test_forest_backend () =
+  let backend =
+    Backend.of_int_driver
+      (Harness.Drivers.bwtree_forest_int ~lo:0 ~hi:1023 ~shards:4 ())
+  in
+  let config =
+    {
+      Server.default_config with
+      port = 0;
+      workers = 2;
+      stats_json = (fun () -> {|{"forest":4}|}) |> Option.some;
+    }
+  in
+  let srv = Server.start ~config backend in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let c = Bw_client.connect ~port:(Server.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> Bw_client.close c)
+        (fun () ->
+          for k = 0 to 1023 do
+            ignore (Bw_client.Int_key.put c ~mode:Wire.Insert k (k * 3))
+          done;
+          Alcotest.(check (list (pair int int)))
+            "wire scan crosses two shard boundaries"
+            (List.init 300 (fun i -> (200 + i, (200 + i) * 3)))
+            (Bw_client.Int_key.scan c 200 ~n:300);
+          Alcotest.(check (list (pair int int)))
+            "wire scan clipped at the last shard"
+            (List.init 24 (fun i -> (1000 + i, (1000 + i) * 3)))
+            (Bw_client.Int_key.scan c 1000 ~n:100);
+          Alcotest.(check (option int)) "point read routed" (Some 2700)
+            (Bw_client.Int_key.get c 900);
+          Alcotest.(check bool) "delete on a boundary" true
+            (Bw_client.Int_key.delete c 512);
+          Alcotest.(check (list (pair int int)))
+            "scan over the deleted boundary key"
+            [ (511, 1533); (513, 1539) ]
+            (Bw_client.Int_key.scan c 511 ~n:2);
+          Alcotest.(check string) "stats served by the config hook"
+            {|{"forest":4}|} (Bw_client.stats c)))
+
+(* ------------------------------------------------------------------ *)
 (* Loopback: concurrent pipelined clients vs sequential oracle          *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +520,7 @@ let () =
       ( "loopback",
         [
           Alcotest.test_case "sync ops" `Quick test_sync_ops;
+          Alcotest.test_case "forest backend" `Quick test_forest_backend;
           Alcotest.test_case "concurrent pipelined oracle" `Slow
             test_concurrent_oracle;
         ] );
