@@ -49,9 +49,11 @@ let wl_cfg scale =
 (* Generic workload execution                                          *)
 (* ------------------------------------------------------------------ *)
 
-(* Load the key set, then (for non-insert mixes) run the measured phase. *)
-let run_workload (driver : 'k Runner.driver) ~(conv : int -> 'k) ~space ~mix
-    ~nthreads scale =
+(* Load the key set, then (for non-insert mixes) run the measured phase;
+   [batch] > 1 submits the measured phase through the driver's batch
+   path in groups of that many point ops. *)
+let run_workload ?(batch = 1) (driver : 'k Runner.driver) ~(conv : int -> 'k)
+    ~space ~mix ~nthreads scale =
   let cfg = wl_cfg scale in
   let load_trace = W.load_trace cfg space conv in
   let load_res = Runner.load driver ~nthreads load_trace in
@@ -63,16 +65,16 @@ let run_workload (driver : 'k Runner.driver) ~(conv : int -> 'k) ~space ~mix
           Array.init nthreads (fun tid ->
               W.ops_trace cfg space mix ~tid ~nthreads conv)
         in
-        Runner.run driver traces
+        Runner.run_batched driver ~batch traces
   in
   driver.stop_aux ();
   res
 
-let mops_of ~mkdriver ~conv ~space ~mix ~nthreads scale =
+let mops_of ?batch ~mkdriver ~conv ~space ~mix ~nthreads scale =
   let xs =
     Array.init (max 1 scale.repeats) (fun _ ->
         let d = Runner.instrument !obs_sink (mkdriver ()) in
-        (run_workload d ~conv ~space ~mix ~nthreads scale).mops)
+        (run_workload ?batch d ~conv ~space ~mix ~nthreads scale).mops)
   in
   Bw_util.Stats.median xs
 
@@ -822,6 +824,35 @@ let shards_bench scale =
     [ W.Read_only; W.Read_update; W.Scan_insert ]
 
 (* ------------------------------------------------------------------ *)
+(* Batch execution: ops per execute_batch call                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The epoch-amortized multi-op path (DESIGN.md "Batch execution"):
+   point ops sorted by key and walked left-to-right through one epoch
+   entry, reusing the previous leaf while keys stay inside its separator
+   range. Batch 1 is the plain per-op path, so the first column is the
+   baseline the speedup is measured against. *)
+let batch_bench scale =
+  print_header
+    "Batch execution: ops per execute_batch call (rand int keys, \
+     OpenBw-Tree, multi-threaded)";
+  let batches = [ 1; 8; 64; 256; 1024 ] in
+  List.iter
+    (fun mix ->
+      let cells =
+        List.map
+          (fun b ->
+            ( Printf.sprintf "b=%d" b,
+              mops_of ~batch:b
+                ~mkdriver:(fun () -> Drivers.bwtree_driver_int ())
+                ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int ~mix
+                ~nthreads:scale.threads scale ))
+          batches
+      in
+      print_row (Format.asprintf "%a" W.pp_mix mix) cells)
+    [ W.Read_only; W.Read_update ]
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -831,7 +862,7 @@ let experiments =
     ("fig12", fig12); ("tab2", tab2); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("tab3", tab3); ("fig16", fig16); ("fig17", fig17);
     ("fig18", fig18); ("bech", bech); ("abl", abl); ("store", store);
-    ("shards", shards_bench);
+    ("shards", shards_bench); ("batch", batch_bench);
   ]
 
 let () =

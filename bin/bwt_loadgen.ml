@@ -31,27 +31,44 @@ let series_of_op : string W.op -> Bw_obs.series = function
   | W.Scan _ -> Bw_obs.Lat_req_scan
 
 (* Replay [ops] on [client], keeping up to [depth] requests in flight.
+   With [batch] > 1 the trace is chunked into BATCH frames of up to
+   [batch] sub-requests; each frame counts as one in-flight request and
+   its whole-frame latency is recorded under the first op's series.
    Client-side latency (send to matching reply, including pipeline
-   queueing) goes to [obs]; ERR replies are counted, not fatal. *)
-let drive obs ~tid client ops ~depth =
+   queueing) goes to [obs]; ERR replies — top-level or inside a BATCH
+   response — are counted, not fatal. *)
+let drive obs ~tid client ops ~depth ~batch =
   let timed = Bw_obs.enabled obs in
   let stamps = Queue.create () in
   let errors = ref 0 in
   let drain_one () =
     (match Bw_client.recv client with
     | Wire.Err _ -> incr errors
+    | Wire.Batched rs ->
+        List.iter (function Wire.Err _ -> incr errors | _ -> ()) rs
     | _ -> ());
     if timed then begin
       let series, t0 = Queue.pop stamps in
       Bw_obs.observe obs ~tid series (Bw_obs.now_ns () - t0)
     end
   in
-  Array.iter
-    (fun op ->
-      if Bw_client.inflight client >= depth then drain_one ();
-      if timed then Queue.add (series_of_op op, Bw_obs.now_ns ()) stamps;
-      Bw_client.send client (req_of_op op))
-    ops;
+  let submit series req =
+    if Bw_client.inflight client >= depth then drain_one ();
+    if timed then Queue.add (series, Bw_obs.now_ns ()) stamps;
+    Bw_client.send client req
+  in
+  if batch = 1 then
+    Array.iter (fun op -> submit (series_of_op op) (req_of_op op)) ops
+  else begin
+    let n = Array.length ops in
+    let i = ref 0 in
+    while !i < n do
+      let len = min batch (n - !i) in
+      let chunk = List.init len (fun j -> req_of_op ops.(!i + j)) in
+      submit (series_of_op ops.(!i)) (Wire.Batch chunk);
+      i := !i + len
+    done
+  end;
   Bw_client.flush client;
   while Bw_client.inflight client > 0 do
     drain_one ()
@@ -62,7 +79,7 @@ let drive obs ~tid client ops ~depth =
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let main host port clients depth mix keyspace keys ops theta no_load
+let main host port clients depth batch mix keyspace keys ops theta no_load
     stats_json metrics metrics_json =
   let mix =
     match W.mix_of_string mix with
@@ -89,6 +106,11 @@ let main host port clients depth mix keyspace keys ops theta no_load
        --ops >= 0\n";
     exit 2
   end;
+  if batch < 1 || batch > Wire.max_batch then begin
+    Printf.eprintf "bwt_loadgen: --batch must be in [1, %d] (got %d)\n"
+      Wire.max_batch batch;
+    exit 2
+  end;
   (* keys travel in their binary-comparable form; the server decodes *)
   let conv : int -> string =
     match space with
@@ -102,11 +124,12 @@ let main host port clients depth mix keyspace keys ops theta no_load
     else Bw_obs.Null
   in
   Printf.printf
-    "bwt_loadgen: %s:%d | mix: %s | keys: %s | clients: %d | pipeline: %d\n%!"
+    "bwt_loadgen: %s:%d | mix: %s | keys: %s | clients: %d | pipeline: %d%s\n%!"
     host port
     (Format.asprintf "%a" W.pp_mix mix)
     (Format.asprintf "%a" W.pp_key_space space)
-    clients depth;
+    clients depth
+    (if batch > 1 then Printf.sprintf " | batch: %d" batch else "");
   let conns =
     try Array.init clients (fun _ -> Bw_client.connect ~host ~port ())
     with Unix.Unix_error (e, _, _) ->
@@ -117,7 +140,7 @@ let main host port clients depth mix keyspace keys ops theta no_load
   let errors = Atomic.make 0 in
   let run_clients traces =
     Harness.Runner.run_phase ~nthreads:clients (fun tid ->
-        let e = drive obs ~tid conns.(tid) traces.(tid) ~depth in
+        let e = drive obs ~tid conns.(tid) traces.(tid) ~depth ~batch in
         ignore (Atomic.fetch_and_add errors e))
   in
   (* load phase: stripe the key set across client connections *)
@@ -193,6 +216,12 @@ let cmd =
          & info [ "pipeline" ] ~docv:"D"
              ~doc:"Requests kept in flight per connection.")
   in
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "b"; "batch" ] ~docv:"N"
+             ~doc:"Pack $(docv) operations per BATCH frame (1 = one \
+                   request per frame).")
+  in
   let mix =
     Arg.(value & opt string "a"
          & info [ "m"; "mix" ] ~docv:"MIX"
@@ -240,8 +269,8 @@ let cmd =
   in
   let term =
     Term.(
-      const main $ host $ port $ clients $ depth $ mix $ keyspace $ keys
-      $ ops $ theta $ no_load $ stats_json $ metrics $ metrics_json)
+      const main $ host $ port $ clients $ depth $ batch $ mix $ keyspace
+      $ keys $ ops $ theta $ no_load $ stats_json $ metrics $ metrics_json)
   in
   Cmd.v
     (Cmd.info "bwt_loadgen"

@@ -4,9 +4,10 @@
    snapshot on disk (validated by json_check in the @ci rule).
 
    Two passes: a single-tree server (--shards 1, YCSB-A traffic) and a
-   4-shard forest server (--shards 4, YCSB-E traffic, whose SCAN frames
-   cross shard boundaries and whose snapshot carries the shard<i>_
-   series merged over the per-shard registries).
+   4-shard forest server (--shards 4, YCSB-E traffic batched 8 ops per
+   BATCH frame, whose SCAN frames cross shard boundaries, whose batches
+   split across shards, and whose snapshot carries the shard<i>_ series
+   merged over the per-shard registries).
 
    Usage: bwt_smoke METRICS_JSON_OUT SHARDED_METRICS_JSON_OUT *)
 
@@ -19,7 +20,7 @@ let wait_exit name pid =
   | _, Unix.WSIGNALED s -> die "%s killed by signal %d" name s
   | _, Unix.WSTOPPED s -> die "%s stopped by signal %d" name s
 
-let run_pass ~shards ~mix ~out_file =
+let run_pass ~shards ~mix ~batch ~out_file =
   let srv_out_r, srv_out_w = Unix.pipe () in
   let server_pid =
     Unix.create_process "./bwt_server.exe"
@@ -47,6 +48,7 @@ let run_pass ~shards ~mix ~out_file =
       [|
         "./bwt_loadgen.exe"; "--port"; string_of_int port; "--clients"; "4";
         "--pipeline"; "8"; "--mix"; mix; "--keys"; "20000"; "--ops"; "40000";
+        "--batch"; string_of_int batch;
       |]
       Unix.stdin Unix.stdout Unix.stderr
   in
@@ -75,6 +77,6 @@ let () =
   in
   (* hard backstop: a hung server must fail CI, not wedge it *)
   ignore (Unix.alarm 240);
-  run_pass ~shards:1 ~mix:"a" ~out_file:single_out;
-  run_pass ~shards:4 ~mix:"e" ~out_file:sharded_out;
+  run_pass ~shards:1 ~mix:"a" ~batch:1 ~out_file:single_out;
+  run_pass ~shards:4 ~mix:"e" ~batch:8 ~out_file:sharded_out;
   Printf.printf "bwt_smoke: ok (%s, %s)\n" single_out sharded_out

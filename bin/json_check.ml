@@ -74,7 +74,10 @@ let () =
   List.iter
     (fun k ->
       if not (List.mem_assoc k counters) then fail "counter %S missing" k)
-    [ "splits"; "consolidations"; "reclaim_batches"; "mt_growths" ];
+    [
+      "splits"; "consolidations"; "reclaim_batches"; "mt_growths";
+      "batch_redescents";
+    ];
   let gauges = as_obj "gauges" (get "gauges" v) in
   List.iter
     (fun k ->

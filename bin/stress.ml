@@ -18,6 +18,7 @@ let seed = ref 1
 let scheme = ref "decentralized"
 let index = ref "openbw"
 let shards = ref 1
+let batch = ref 1
 let unique = ref true
 let quiet = ref false
 let metrics = ref false
@@ -46,6 +47,10 @@ let speclist =
       Arg.Set_int shards,
       "N range-partition the subject into N shards (default 1; runs the \
        oracle-replay invariants against a lib/shard forest)" );
+    ( "--batch",
+      Arg.Set_int batch,
+      "N submit point ops through the subject's batch path in groups of N \
+       (default 1 = per-op)" );
     ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
     ("--quiet", Arg.Set quiet, " suppress per-phase progress lines");
     ( "--metrics",
@@ -69,8 +74,10 @@ let () =
     | "disabled" -> Epoch.Disabled
     | s -> raise (Arg.Bad ("unknown scheme " ^ s))
   in
+  if !batch < 1 then raise (Arg.Bad "--batch must be >= 1");
   let cfg =
-    if !short then { Bw_stress.short_config with verbose = not !quiet }
+    if !short then
+      { Bw_stress.short_config with batch = !batch; verbose = not !quiet }
     else
       {
         Bw_stress.short_config with
@@ -80,6 +87,7 @@ let () =
         ops_per_phase = !ops;
         time_budget_s = Some !seconds;
         seed = !seed;
+        batch = !batch;
         verbose = not !quiet;
       }
   in
@@ -131,10 +139,12 @@ let () =
           (forest (fun () -> Harness.Drivers.masstree_driver_int ()))
     | s -> raise (Arg.Bad ("unknown index " ^ s))
   in
-  Printf.printf "stress: %s | %d domains + %d churn | scheme %s | %s keys\n%!"
+  Printf.printf
+    "stress: %s | %d domains + %d churn | scheme %s | %s keys%s\n%!"
     subject.Bw_stress.s_name cfg.Bw_stress.domains
     cfg.Bw_stress.churn_domains !scheme
-    (if !unique then "unique" else "non-unique");
+    (if !unique then "unique" else "non-unique")
+    (if !batch > 1 then Printf.sprintf " | batch %d" !batch else "");
   let r = Bw_stress.run cfg subject in
   Format.printf "%a@." Bw_stress.pp_report r;
   (match obs with

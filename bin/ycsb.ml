@@ -73,12 +73,13 @@ let emit_metrics ~(regs : Bw_obs.t array) ~text ~json_file =
   end
 
 let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
-    ~mix ~threads ~cfg ~show_memory =
-  Printf.printf "index: %s | workload: %s | keys: %s | threads: %d\n%!"
+    ~mix ~threads ~batch ~cfg ~show_memory =
+  Printf.printf "index: %s | workload: %s | keys: %s | threads: %d%s\n%!"
     driver.name
     (Format.asprintf "%a" W.pp_mix mix)
     (Format.asprintf "%a" W.pp_key_space space)
-    threads;
+    threads
+    (if batch > 1 then Printf.sprintf " | batch: %d" batch else "");
   let trace = W.load_trace cfg space conv in
   let load = Runner.load driver ~nthreads:threads trace in
   Printf.printf "load : %8d keys in %6.2fs = %7.3f Mops/s\n%!" load.ops
@@ -90,7 +91,7 @@ let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
         Array.init threads (fun tid ->
             W.ops_trace cfg space mix ~tid ~nthreads:threads conv)
       in
-      let r = Runner.run driver traces in
+      let r = Runner.run_batched driver ~batch traces in
       Printf.printf "run  : %8d ops  in %6.2fs = %7.3f Mops/s\n%!" r.ops
         r.seconds r.mops);
   driver.stop_aux ();
@@ -98,8 +99,8 @@ let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
     Printf.printf "memory: %.2f MB live heap\n%!"
       (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0)
 
-let main index workload keyspace keys ops threads shards theta show_memory
-    metrics metrics_json list_ =
+let main index workload keyspace keys ops threads shards batch theta
+    show_memory metrics metrics_json list_ =
   if list_ then begin
     Printf.printf "indexes: %s\nworkloads: insert | c | a | e\nkeyspaces: \
                    mono | rand | email | hc\n"
@@ -111,7 +112,7 @@ let main index workload keyspace keys ops threads shards theta show_memory
       "usage: ycsb [--index INDEX] [--mix insert|c|a|e] [--keyspace \
        mono|rand|email|hc]\n\
       \            [--keys N>=1] [--ops N>=0] [--threads N>=1] [--shards \
-       N>=1] [--theta 0<F<1]\n\
+       N>=1] [--batch N>=1] [--theta 0<F<1]\n\
        run 'ycsb --help' for details, 'ycsb --list' for indexes\n";
     exit 2
   in
@@ -154,6 +155,10 @@ let main index workload keyspace keys ops threads shards theta show_memory
     Printf.eprintf "ycsb: --shards must be >= 1 (got %d)\n" shards;
     usage ()
   end;
+  if batch < 1 then begin
+    Printf.eprintf "ycsb: --batch must be >= 1 (got %d)\n" batch;
+    usage ()
+  end;
   if not (theta > 0.0 && theta < 1.0) then begin
     Printf.eprintf "ycsb: --theta must be in (0,1) (got %g)\n" theta;
     usage ()
@@ -180,8 +185,8 @@ let main index workload keyspace keys ops threads shards theta show_memory
           Bw_shard.route_binary part
             (Array.init shards (fun i -> mk_str_driver index (obs_of i)))
       in
-      run_generic driver ~conv:W.email_key_of ~space ~mix ~threads ~cfg
-        ~show_memory
+      run_generic driver ~conv:W.email_key_of ~space ~mix ~threads ~batch
+        ~cfg ~show_memory
   | _ ->
       let driver =
         if shards = 1 then mk_int_driver index (obs_of 0)
@@ -192,8 +197,8 @@ let main index workload keyspace keys ops threads shards theta show_memory
           Bw_shard.route_int part
             (Array.init shards (fun i -> mk_int_driver index (obs_of i)))
       in
-      run_generic driver ~conv:(W.int_key_of space) ~space ~mix ~threads ~cfg
-        ~show_memory);
+      run_generic driver ~conv:(W.int_key_of space) ~space ~mix ~threads
+        ~batch ~cfg ~show_memory);
   emit_metrics ~regs ~text:metrics ~json_file:metrics_json
 
 let cmd =
@@ -230,6 +235,12 @@ let cmd =
              ~doc:"Range-partition the index into $(docv) shards behind \
                    the lib/shard router (1 = plain single index).")
   in
+  let batch =
+    Arg.(value & opt int 1
+         & info [ "b"; "batch" ] ~docv:"N"
+             ~doc:"Submit point operations in batches of $(docv) through \
+                   the index's batch path (1 = per-op submission).")
+  in
   let theta =
     Arg.(value & opt float 0.99
          & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew in (0,1).")
@@ -254,7 +265,7 @@ let cmd =
   let term =
     Term.(
       const main $ index $ workload $ keyspace $ keys $ ops $ threads
-      $ shards $ theta $ memory $ metrics $ metrics_json $ list_)
+      $ shards $ batch $ theta $ memory $ metrics $ metrics_json $ list_)
   in
   Cmd.v
     (Cmd.info "ycsb" ~doc:"YCSB-style microbenchmarks for in-memory indexes"

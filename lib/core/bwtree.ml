@@ -153,6 +153,10 @@ module Make (K : KEY) (V : VALUE) :
     epoch : Epoch.t;
     o : Bw_obs.sink;
     st : int array array;  (* [tid].[field], owner-written *)
+    bperm : int array array;
+        (* per-tid batch-permutation scratch, owner-written; each row is
+           grown to the batch size once and then reused, so steady-state
+           fixed-size batches sort without allocating *)
   }
 
   let sbump t tid f = t.st.(tid).(f) <- t.st.(tid).(f) + 1
@@ -219,6 +223,7 @@ module Make (K : KEY) (V : VALUE) :
           ~gc_threshold:config.gc_threshold ~obs ();
       o = obs;
       st = Array.init config.max_threads (fun _ -> Array.make n_stat_fields 0);
+      bperm = Array.make config.max_threads [||];
     }
 
   let config t = t.cfg
@@ -1188,11 +1193,14 @@ module Make (K : KEY) (V : VALUE) :
   (* Descent                                                           *)
   (* ---------------------------------------------------------------- *)
 
-  (* Walk from the root to the leaf logical node owning [k], helping
+  (* Walk from [start] down to the leaf logical node owning [k], helping
      unfinished SMOs along the way (the help-along protocol, §2.4).
-     Returns the ancestor path (nearest first) and the leaf's (id, head)
-     snapshot. *)
-  let locate t ~tid k =
+     [parent_path] must hold [start]'s ancestors, nearest first (empty
+     when starting at the root). Returns the ancestor path and the
+     leaf's (id, head) snapshot. The batch path re-enters here from a
+     cached ancestor; if that ancestor has since been merged away its
+     head carries a remove delta and the walk restarts from the root. *)
+  let locate_from t ~tid k ~start ~parent_path =
     let rec down id parent_path =
       cnt tid Counters.Node_visit;
       let head = mt_get t ~tid id in
@@ -1218,7 +1226,10 @@ module Make (K : KEY) (V : VALUE) :
         | Child cid -> down cid ((id, head) :: parent_path)
         | Go_right rid -> down rid parent_path
     in
-    down (Atomic.get t.root) []
+    down start parent_path
+
+  let locate t ~tid k =
+    locate_from t ~tid k ~start:(Atomic.get t.root) ~parent_path:[]
 
   (* ---------------------------------------------------------------- *)
   (* Leaf probing (existence / visibility, §3.1 + §4.4)                *)
@@ -1453,63 +1464,71 @@ module Make (K : KEY) (V : VALUE) :
           raise Restart
         end;
         post_append_leaf t ~tid id repl parent_path ~check_underflow:false;
-        true
-    | _ -> false
+        Some repl
+    | _ -> None
 
-  let insert_body t ~tid k v =
-    with_epoch t ~tid @@ fun () ->
-    retry_loop t ~tid @@ fun () ->
-    let parent_path, id, head = locate t ~tid k in
+  (* The write cores take an already-located leaf, so the point ops
+     (locate-then-core) and the batch path (which reuses the previous
+     traversal) share one copy of the delta-append protocol. Each
+     returns the point-op boolean plus the head under which the outcome
+     is current — the appended delta on success — so the batch path can
+     keep probing without re-reading the mapping-table cell. *)
+  let insert_core t ~tid parent_path id head k v =
     let p = probe_leaf t ~tid head k in
     let duplicate =
       if t.cfg.unique_keys then p.p_found
       else List.exists (V.equal v) p.p_values
     in
-    if duplicate then false
-    else if
-      t.cfg.inplace_leaf_update
-      && try_inplace_insert t ~tid id head parent_path k v
-    then true
-    else begin
-      if head_is_append_blocked head then raise Restart;
-      claim_slot t ~tid id head;
-      let m = meta_of head in
-      let d =
-        LD
-          {
-            l_op = L_ins (k, v);
-            l_next = head;
-            l_meta =
+    if duplicate then (false, head)
+    else
+      match
+        if t.cfg.inplace_leaf_update then
+          try_inplace_insert t ~tid id head parent_path k v
+        else None
+      with
+      | Some repl -> (true, repl)
+      | None ->
+          if head_is_append_blocked head then raise Restart;
+          claim_slot t ~tid id head;
+          let m = meta_of head in
+          let d =
+            LD
               {
-                size = m.size + 1;
-                depth = m.depth + 1;
-                lo = m.lo;
-                hi = m.hi;
-                right = m.right;
-                offset = p.p_offset;
-              };
-          }
-      in
-      cnt tid Counters.Allocation;
-      if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
-        sbump t tid f_failed_cas;
-        slot_wasted head;
-        raise Restart
-      end;
-      post_append_leaf t ~tid id d parent_path ~check_underflow:false;
-      true
-    end
+                l_op = L_ins (k, v);
+                l_next = head;
+                l_meta =
+                  {
+                    size = m.size + 1;
+                    depth = m.depth + 1;
+                    lo = m.lo;
+                    hi = m.hi;
+                    right = m.right;
+                    offset = p.p_offset;
+                  };
+              }
+          in
+          cnt tid Counters.Allocation;
+          if not (mt_cas t ~tid id ~expect:head ~repl:d) then begin
+            sbump t tid f_failed_cas;
+            slot_wasted head;
+            raise Restart
+          end;
+          post_append_leaf t ~tid id d parent_path ~check_underflow:false;
+          (true, d)
 
-  let delete_body t ~tid k v =
+  let insert_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let parent_path, id, head = locate t ~tid k in
+    fst (insert_core t ~tid parent_path id head k v)
+
+  let delete_core t ~tid parent_path id head k v =
     let p = probe_leaf t ~tid head k in
     let present =
       if t.cfg.unique_keys then p.p_found
       else List.exists (V.equal v) p.p_values
     in
-    if not present then false
+    if not present then (false, head)
     else begin
       if head_is_append_blocked head then raise Restart;
       claim_slot t ~tid id head;
@@ -1541,15 +1560,18 @@ module Make (K : KEY) (V : VALUE) :
         raise Restart
       end;
       post_append_leaf t ~tid id d parent_path ~check_underflow:true;
-      true
+      (true, d)
     end
 
-  let update_body t ~tid k v =
+  let delete_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
     retry_loop t ~tid @@ fun () ->
     let parent_path, id, head = locate t ~tid k in
+    fst (delete_core t ~tid parent_path id head k v)
+
+  let update_core t ~tid parent_path id head k v =
     let p = probe_leaf t ~tid head k in
-    if not p.p_found then false
+    if not p.p_found then (false, head)
     else begin
       if head_is_append_blocked head then raise Restart;
       claim_slot t ~tid id head;
@@ -1578,8 +1600,14 @@ module Make (K : KEY) (V : VALUE) :
         raise Restart
       end;
       post_append_leaf t ~tid id d parent_path ~check_underflow:false;
-      true
+      (true, d)
     end
+
+  let update_body t ~tid k v =
+    with_epoch t ~tid @@ fun () ->
+    retry_loop t ~tid @@ fun () ->
+    let parent_path, id, head = locate t ~tid k in
+    fst (update_core t ~tid parent_path id head k v)
 
   (* ---------------------------------------------------------------- *)
   (* Reads                                                             *)
@@ -1629,6 +1657,164 @@ module Make (K : KEY) (V : VALUE) :
     if not (update t ~tid k v) then ignore (insert t ~tid k v)
 
   let mem t ?(tid = 0) k = lookup t ~tid k <> []
+
+  (* ---------------------------------------------------------------- *)
+  (* Batch execution                                                   *)
+  (* ---------------------------------------------------------------- *)
+
+  type batch_op =
+    | B_insert of value
+    | B_update of value
+    | B_upsert of value
+    | B_delete of value
+    | B_get
+
+  type batch_result = R_applied of bool | R_values of value list
+
+  (* Walk the key-sorted permutation left to right, reusing the previous
+     traversal while keys stay inside the cached leaf's separator range.
+     Cached heads may be stale (our own appended delta, or a snapshot a
+     concurrent SMO has since replaced): reads then see a consistent
+     chain that existed within our epoch, and writes CaS against the
+     cached head, so interference surfaces as an ordinary failed CaS ->
+     Restart, which drops the cache and re-descends. Re-descent restarts
+     from the nearest cached ancestor whose range still covers the key
+     (its own staleness is repaired by the B-link right moves and the
+     remove-delta Restart inside [locate_from]), or the root when no
+     ancestor covers it. Returns how many descents beyond the first the
+     batch needed. *)
+  let exec_batch_body t ~tid (ops : (key * batch_op) array) perm
+      (results : batch_result array) =
+    let n = Array.length perm in
+    let ctx = ref None in
+    (* skewed batches repeat hot keys; sorted order makes the repeats
+       adjacent, so one probe serves the whole run of duplicates as long
+       as the chain head is physically unchanged (any interleaved write
+       to the leaf swings the head and forces a fresh probe) *)
+    let last_get = ref None in
+    let locates = ref 0 in
+    let locate_ctx k =
+      incr locates;
+      let loc =
+        match !ctx with
+        | Some (path, _, _) ->
+            let rec from_ancestor = function
+              | [] -> locate t ~tid k
+              | (aid, ahead) :: tl ->
+                  let m = meta_of ahead in
+                  if kb k m.lo >= 0 && kb k m.hi < 0 then
+                    locate_from t ~tid k ~start:aid ~parent_path:tl
+                  else from_ancestor tl
+            in
+            from_ancestor path
+        | None -> locate t ~tid k
+      in
+      ctx := Some loc;
+      loc
+    in
+    let leaf_for k =
+      match !ctx with
+      | Some ((_, _, head) as loc) ->
+          let m = meta_of head in
+          if kb k m.lo >= 0 && kb k m.hi < 0 then loc else locate_ctx k
+      | None -> locate_ctx k
+    in
+    for j = 0 to n - 1 do
+      let i = perm.(j) in
+      let k, op = ops.(i) in
+      let result =
+        retry_loop t ~tid @@ fun () ->
+        try
+          match op with
+          | B_get -> (
+              let _, _, head = leaf_for k in
+              match !last_get with
+              | Some (lk, lh, r) when lh == head && K.compare lk k = 0 -> r
+              | _ ->
+                  if Bw_obs.enabled t.o then
+                    Bw_obs.observe t.o ~tid Bw_obs.Val_chain_depth
+                      (meta_of head).depth;
+                  let r = R_values (probe_leaf t ~tid head k).p_values in
+                  last_get := Some (k, head, r);
+                  r)
+          | B_insert v ->
+              let path, id, head = leaf_for k in
+              let ok, nh = insert_core t ~tid path id head k v in
+              ctx := Some (path, id, nh);
+              R_applied ok
+          | B_update v ->
+              let path, id, head = leaf_for k in
+              let ok, nh = update_core t ~tid path id head k v in
+              ctx := Some (path, id, nh);
+              R_applied ok
+          | B_delete v ->
+              let path, id, head = leaf_for k in
+              let ok, nh = delete_core t ~tid path id head k v in
+              ctx := Some (path, id, nh);
+              R_applied ok
+          | B_upsert v ->
+              let path, id, head = leaf_for k in
+              let ok, nh = update_core t ~tid path id head k v in
+              if ok then begin
+                ctx := Some (path, id, nh);
+                R_applied true
+              end
+              else begin
+                let ok, nh = insert_core t ~tid path id head k v in
+                ctx := Some (path, id, nh);
+                R_applied ok
+              end
+        with Restart ->
+          (* the cached traversal is the suspect: drop it so the retry
+             re-descends instead of spinning on the same snapshot *)
+          ctx := None;
+          raise Restart
+      in
+      results.(i) <- result
+    done;
+    max 0 (!locates - 1)
+
+  let execute_batch t ?(tid = 0) (ops : (key * batch_op) array) =
+    let n = Array.length ops in
+    if n = 0 then [||]
+    else begin
+      Array.iter
+        (fun (_, op) ->
+          match op with
+          | B_insert _ -> sbump t tid f_inserts
+          | B_update _ | B_upsert _ -> sbump t tid f_updates
+          | B_delete _ -> sbump t tid f_deletes
+          | B_get -> sbump t tid f_lookups)
+        ops;
+      let perm =
+        let p = t.bperm.(tid) in
+        if Array.length p = n then p
+        else begin
+          let p = Array.make n 0 in
+          t.bperm.(tid) <- p;
+          p
+        end
+      in
+      for i = 0 to n - 1 do
+        perm.(i) <- i
+      done;
+      (* key order with the submission index as tie-break: a stable sort
+         in effect, so duplicate keys execute in submission order *)
+      Array.sort
+        (fun i j ->
+          let c = K.compare (fst ops.(i)) (fst ops.(j)) in
+          if c <> 0 then c else i - j)
+        perm;
+      let results = Array.make n (R_applied false) in
+      let redescents =
+        with_epoch t ~tid (fun () -> exec_batch_body t ~tid ops perm results)
+      in
+      if Bw_obs.enabled t.o then begin
+        Bw_obs.observe t.o ~tid Bw_obs.Val_batch_size n;
+        Bw_obs.add t.o ~tid Bw_obs.C_batch_redescents redescents
+      end;
+      results
+    end
 
   (* ---------------------------------------------------------------- *)
   (* Iterators (§3.2, Appendix C)                                      *)

@@ -241,6 +241,36 @@ module type S = sig
 
   val mem : t -> ?tid:int -> key -> bool
 
+  (** {1 Batch execution}
+
+      Amortizes per-operation overhead across a request batch: the ops
+      are sorted by key (stable — ties keep submission order, so
+      non-unique/overwrite semantics match sequential execution), the
+      epoch is entered once, and the sorted run is walked left-to-right
+      reusing the previous traversal while keys stay inside the cached
+      leaf's separator range. Re-descent (from the nearest cached
+      ancestor still covering the key, else the root) happens only on
+      range exit, SMO encounter or CaS failure. *)
+
+  type batch_op =
+    | B_insert of value
+    | B_update of value
+    | B_upsert of value
+    | B_delete of value
+    | B_get
+
+  type batch_result = R_applied of bool | R_values of value list
+
+  val execute_batch :
+    t -> ?tid:int -> (key * batch_op) array -> batch_result array
+  (** Executes the ops and returns one result per op, in submission
+      order: [R_applied] for writes (the same booleans the point ops
+      return; [B_upsert] reports whether the update or the fallback
+      insert took effect) and [R_values] for [B_get]. Equivalent to
+      applying the ops sequentially in submission order. Per-[tid]
+      scratch buffers are reused, so steady-state fixed-size batches add
+      no allocation beyond the deltas and the result array. *)
+
   (** {1 Range operations (§3.2, Appendix C)} *)
 
   module Iterator : sig

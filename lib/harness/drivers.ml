@@ -18,6 +18,44 @@ let hd_opt = function [] -> None | v :: _ -> Some v
 
 (* --- Bw-Tree drivers (OpenBw, baseline Bw, and arbitrary configs) --- *)
 
+(* Driver batch ops in tree terms, mirroring the per-op closures below
+   (remove deletes with value 0, read reports the newest value). The
+   conversion arrays are batch-sized, so they go through [Bw_util.Arr]
+   to avoid a forced minor collection per batch. *)
+let bw_int_batch tree ~tid ops =
+  let bops =
+    Bw_util.Arr.map
+      (function
+        | Bop_insert (k, v) -> (k, Bw_int.B_insert v)
+        | Bop_update (k, v) -> (k, Bw_int.B_update v)
+        | Bop_upsert (k, v) -> (k, Bw_int.B_upsert v)
+        | Bop_remove k -> (k, Bw_int.B_delete 0)
+        | Bop_read k -> (k, Bw_int.B_get))
+      ops
+  in
+  Bw_util.Arr.map
+    (function
+      | Bw_int.R_applied b -> Bres_applied b
+      | Bw_int.R_values vs -> Bres_value (hd_opt vs))
+    (Bw_int.execute_batch tree ~tid bops)
+
+let bw_str_batch tree ~tid ops =
+  let bops =
+    Bw_util.Arr.map
+      (function
+        | Bop_insert (k, v) -> (k, Bw_str.B_insert v)
+        | Bop_update (k, v) -> (k, Bw_str.B_update v)
+        | Bop_upsert (k, v) -> (k, Bw_str.B_upsert v)
+        | Bop_remove k -> (k, Bw_str.B_delete 0)
+        | Bop_read k -> (k, Bw_str.B_get))
+      ops
+  in
+  Bw_util.Arr.map
+    (function
+      | Bw_str.R_applied b -> Bres_applied b
+      | Bw_str.R_values vs -> Bres_value (hd_opt vs))
+    (Bw_str.execute_batch tree ~tid bops)
+
 let bwtree_driver_int ?(name = "OpenBw-Tree") ?config ?obs () :
     int Runner.driver =
   let t = Bw_int.create ?config ?obs () in
@@ -35,6 +73,7 @@ let bwtree_driver_int ?(name = "OpenBw-Tree") ?config ?obs () :
             visit k v;
             m + 1)
           0 (Bw_int.scan tree ~tid ~n k));
+    batch = Some (bw_int_batch tree);
     start_aux = (fun () -> Bw_int.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
     thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
@@ -58,6 +97,7 @@ let bwtree_instance_int ?config ?obs () =
             visit k v;
             m + 1)
           0 (Bw_int.scan tree ~tid ~n k));
+      batch = Some (bw_int_batch tree);
       start_aux = (fun () -> Bw_int.start_gc_thread tree ());
       stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
       thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
@@ -82,6 +122,7 @@ let bwtree_driver_str ?(name = "OpenBw-Tree") ?config ?obs () :
             visit k v;
             m + 1)
           0 (Bw_str.scan tree ~tid ~n k));
+    batch = Some (bw_str_batch tree);
     start_aux = (fun () -> Bw_str.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_str.stop_gc_thread tree);
     thread_done = (fun ~tid -> Bw_str.quiesce tree ~tid);
@@ -99,6 +140,7 @@ let btree_driver_int () : int Runner.driver =
     update = (fun ~tid k v -> Bt_int.update t ~tid k v);
     remove = (fun ~tid k -> Bt_int.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Bt_int.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -114,6 +156,7 @@ let btree_driver_str () : string Runner.driver =
     update = (fun ~tid k v -> Bt_str.update t ~tid k v);
     remove = (fun ~tid k -> Bt_str.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Bt_str.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -133,6 +176,7 @@ let skiplist_driver_int ?(policy = Skiplist.Background) () :
     update = (fun ~tid k v -> Sl_int.update t ~tid k v);
     remove = (fun ~tid k -> Sl_int.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Sl_int.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = (fun () -> Sl_int.start_aux t);
     stop_aux = (fun () -> Sl_int.stop_aux t);
     thread_done = (fun ~tid -> ignore tid);
@@ -149,6 +193,7 @@ let skiplist_driver_str ?(policy = Skiplist.Background) () :
     update = (fun ~tid k v -> Sl_str.update t ~tid k v);
     remove = (fun ~tid k -> Sl_str.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Sl_str.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = (fun () -> Sl_str.start_aux t);
     stop_aux = (fun () -> Sl_str.stop_aux t);
     thread_done = (fun ~tid -> ignore tid);
@@ -164,6 +209,7 @@ let art_driver_int () : int Runner.driver =
     update = (fun ~tid k v -> Ar_int.update t ~tid k v);
     remove = (fun ~tid k -> Ar_int.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Ar_int.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -179,6 +225,7 @@ let art_driver_str () : string Runner.driver =
     update = (fun ~tid k v -> Ar_str.update t ~tid k v);
     remove = (fun ~tid k -> Ar_str.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Ar_str.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -194,6 +241,7 @@ let masstree_driver_int () : int Runner.driver =
     update = (fun ~tid k v -> Mt_int.update t ~tid k v);
     remove = (fun ~tid k -> Mt_int.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Mt_int.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);
@@ -209,6 +257,7 @@ let masstree_driver_str () : string Runner.driver =
     update = (fun ~tid k v -> Mt_str.update t ~tid k v);
     remove = (fun ~tid k -> Mt_str.delete t ~tid k);
     scan = (fun ~tid k ~n visit -> Mt_str.scan t ~tid k ~n visit);
+    batch = None;
     start_aux = ignore;
     stop_aux = ignore;
     thread_done = (fun ~tid -> ignore tid);

@@ -25,6 +25,11 @@ type 'k driver = 'k Index_iface.driver = {
   update : tid:int -> 'k -> int -> bool;
   remove : tid:int -> 'k -> bool;
   scan : tid:int -> 'k -> n:int -> ('k -> int -> unit) -> int;
+  batch :
+    (tid:int ->
+    'k Index_iface.batch_op array ->
+    Index_iface.batch_result array)
+    option;
   start_aux : unit -> unit;
   stop_aux : unit -> unit;
   thread_done : tid:int -> unit;
@@ -194,6 +199,68 @@ let run (d : 'k driver) (traces : 'k Workload.op array array) =
     mops = Bw_util.Stats.throughput_mops ~ops ~seconds;
     mem_words = 0;
   }
+
+(* Measured phase in batches of [batch] point ops: each worker fills a
+   reusable request buffer from its trace and hands it to
+   [Index_iface.exec_batch] (the driver's native batch path, or the
+   per-op fallback). Scans flush the pending batch and run per-op, same
+   order as {!run}. *)
+let run_batched (d : 'k driver) ~batch (traces : 'k Workload.op array array) =
+  if batch <= 1 then run d traces
+  else begin
+    let nthreads = Array.length traces in
+    d.start_aux ();
+    let seconds =
+      run_phase ~nthreads (fun tid ->
+          let ops = traces.(tid) in
+          (* allocated on the first pending op (no dummy of type 'k
+             batch_op exists), then reused for every full batch;
+             Bw_util.Arr.make so a large --batch doesn't force a minor
+             collection at buffer birth *)
+          let buf = ref None in
+          let len = ref 0 in
+          let flush () =
+            if !len > 0 then begin
+              let b = Option.get !buf in
+              let sub = if !len = batch then b else Array.sub b 0 !len in
+              ignore (Index_iface.exec_batch d ~tid sub);
+              len := 0
+            end
+          in
+          let push op =
+            let b =
+              match !buf with
+              | Some b -> b
+              | None ->
+                  let b = Bw_util.Arr.make batch op in
+                  buf := Some b;
+                  b
+            in
+            b.(!len) <- op;
+            incr len;
+            if !len = batch then flush ()
+          in
+          Array.iter
+            (fun op ->
+              match op with
+              | Workload.Insert (k, v) -> push (Index_iface.Bop_insert (k, v))
+              | Workload.Read k -> push (Index_iface.Bop_read k)
+              | Workload.Update (k, v) -> push (Index_iface.Bop_update (k, v))
+              | Workload.Scan (k, n) ->
+                  flush ();
+                  ignore (d.scan ~tid k ~n (fun _ _ -> ())))
+            ops;
+          flush ();
+          d.thread_done ~tid)
+    in
+    let ops = Array.fold_left (fun acc a -> acc + Array.length a) 0 traces in
+    {
+      ops;
+      seconds;
+      mops = Bw_util.Stats.throughput_mops ~ops ~seconds;
+      mem_words = 0;
+    }
+  end
 
 let with_memory (d : _ driver) (r : result) =
   { r with mem_words = d.memory_words () }

@@ -79,6 +79,22 @@ type 'k index = (module INDEX with type key = 'k)
 (* Drivers: a uniform closure-record view of one index instance        *)
 (* ------------------------------------------------------------------ *)
 
+(** One operation of a multi-op batch, in driver terms (unique-key
+    point ops; [Bop_remove] needs no value, like {!INDEX.remove}). *)
+type 'k batch_op =
+  | Bop_insert of 'k * int
+  | Bop_update of 'k * int
+  | Bop_upsert of 'k * int
+  | Bop_remove of 'k
+  | Bop_read of 'k
+
+type batch_result =
+  | Bres_applied of bool  (** writes: the point-op boolean *)
+  | Bres_value of int option  (** [Bop_read]: the visible value *)
+  | Bres_bad_key
+      (** backends only: this slot's binary key failed to decode; the
+          rest of the batch still executed *)
+
 (** A first-class index instance: the closure-record form of {!INDEX}
     that the harness, the benchmarks, the stress checker, the serving
     layer and the shard router all consume. Anything that satisfies this
@@ -93,11 +109,60 @@ type 'k driver = {
   remove : tid:int -> 'k -> bool;
   scan : tid:int -> 'k -> n:int -> ('k -> int -> unit) -> int;
       (** Visitor scan with {!INDEX.scan}'s exactly-once semantics. *)
+  batch : (tid:int -> 'k batch_op array -> batch_result array) option;
+      (** Amortized multi-op execution, one result per op in submission
+          order, equivalent to applying the ops sequentially. [None]
+          (every index without a native batch path) makes {!exec_batch}
+          fall back to the point ops, so batch callers need no special
+          case per index. *)
   start_aux : unit -> unit;
   stop_aux : unit -> unit;
   thread_done : tid:int -> unit;
   memory_words : unit -> int;
 }
+
+let batch_op_key = function
+  | Bop_insert (k, _)
+  | Bop_update (k, _)
+  | Bop_upsert (k, _)
+  | Bop_remove k
+  | Bop_read k ->
+      k
+
+let map_batch_op f = function
+  | Bop_insert (k, v) -> Bop_insert (f k, v)
+  | Bop_update (k, v) -> Bop_update (f k, v)
+  | Bop_upsert (k, v) -> Bop_upsert (f k, v)
+  | Bop_remove k -> Bop_remove (f k)
+  | Bop_read k -> Bop_read (f k)
+
+(* Upsert in point-op terms: retry until either arm wins, since between
+   a failed update (absent) and the insert a concurrent writer may
+   create the key, and vice versa. *)
+let rec driver_upsert (d : 'k driver) ~tid k v =
+  if d.update ~tid k v then true
+  else if d.insert ~tid k v then true
+  else driver_upsert d ~tid k v
+
+let run_batch_seq (d : 'k driver) ~tid (ops : 'k batch_op array) :
+    batch_result array =
+  (* Bw_util.Arr: a batch-sized Array.map would force a minor
+     collection per batch (young first element seeding a major-heap
+     result array). *)
+  Bw_util.Arr.map
+    (function
+      | Bop_insert (k, v) -> Bres_applied (d.insert ~tid k v)
+      | Bop_update (k, v) -> Bres_applied (d.update ~tid k v)
+      | Bop_upsert (k, v) -> Bres_applied (driver_upsert d ~tid k v)
+      | Bop_remove k -> Bres_applied (d.remove ~tid k)
+      | Bop_read k -> Bres_value (d.read ~tid k))
+    ops
+
+let exec_batch (d : 'k driver) ~tid (ops : 'k batch_op array) :
+    batch_result array =
+  match d.batch with
+  | Some run -> run ~tid ops
+  | None -> run_batch_seq d ~tid ops
 
 (* ------------------------------------------------------------------ *)
 (* Backends: the monomorphic binary-keyed view                         *)
@@ -134,6 +199,42 @@ let backend_of_driver ~(decode_key : string -> 'k)
     scan =
       (fun ~tid k ~n visit ->
         d.scan ~tid (key k) ~n (fun k v -> visit (encode_key k) v));
+    batch =
+      Option.map
+        (fun run ~tid (ops : string batch_op array) ->
+          (* Decode per slot so one undecodable key answers
+             [Bres_bad_key] in place instead of poisoning the batch. *)
+          let dec =
+            Bw_util.Arr.map
+              (fun op ->
+                match map_batch_op key op with
+                | op -> Some op
+                | exception Bad_key _ -> None)
+              ops
+          in
+          let good =
+            Array.fold_left
+              (fun a -> function Some _ -> a + 1 | None -> a)
+              0 dec
+          in
+          if good = Array.length ops then
+            run ~tid
+              (Bw_util.Arr.map
+                 (function Some op -> op | None -> assert false)
+                 dec)
+          else begin
+            let pairs =
+              List.filter_map
+                (fun (i, op) -> Option.map (fun op -> (i, op)) op)
+                (List.mapi (fun i op -> (i, op)) (Array.to_list dec))
+            in
+            let inner = Bw_util.Arr.of_list (List.map snd pairs) in
+            let sub = run ~tid inner in
+            let results = Array.make (Array.length ops) Bres_bad_key in
+            List.iteri (fun j (i, _) -> results.(i) <- sub.(j)) pairs;
+            results
+          end)
+        d.batch;
     start_aux = d.start_aux;
     stop_aux = d.stop_aux;
     thread_done = d.thread_done;

@@ -32,6 +32,7 @@ type series =
   | Val_op_restarts
   | Val_chain_depth
   | Val_reclaim_batch
+  | Val_batch_size
 
 let series_index = function
   | Lat_insert -> 0
@@ -50,6 +51,7 @@ let series_index = function
   | Val_op_restarts -> 13
   | Val_chain_depth -> 14
   | Val_reclaim_batch -> 15
+  | Val_batch_size -> 16
 
 let all_series =
   [
@@ -69,6 +71,7 @@ let all_series =
     Val_op_restarts;
     Val_chain_depth;
     Val_reclaim_batch;
+    Val_batch_size;
   ]
 
 let n_series = List.length all_series
@@ -90,13 +93,15 @@ let series_name = function
   | Val_op_restarts -> "op_restarts"
   | Val_chain_depth -> "chain_depth"
   | Val_reclaim_batch -> "reclaim_batch_size"
+  | Val_batch_size -> "batch_size"
 
 let series_unit = function
   | Lat_insert | Lat_delete | Lat_update | Lat_lookup | Lat_scan
   | Lat_consolidate | Lat_reclaim | Lat_req_get | Lat_req_put
   | Lat_req_delete | Lat_req_scan | Lat_req_batch | Lat_req_stats ->
       "ns"
-  | Val_op_restarts | Val_chain_depth | Val_reclaim_batch -> "count"
+  | Val_op_restarts | Val_chain_depth | Val_reclaim_batch | Val_batch_size ->
+      "count"
 
 type counter =
   | C_splits
@@ -109,6 +114,7 @@ type counter =
   | C_net_bytes_out
   | C_net_requests
   | C_net_errors
+  | C_batch_redescents
 
 let counter_index = function
   | C_splits -> 0
@@ -121,6 +127,7 @@ let counter_index = function
   | C_net_bytes_out -> 7
   | C_net_requests -> 8
   | C_net_errors -> 9
+  | C_batch_redescents -> 10
 
 let all_counters =
   [
@@ -134,6 +141,7 @@ let all_counters =
     C_net_bytes_out;
     C_net_requests;
     C_net_errors;
+    C_batch_redescents;
   ]
 
 let n_counters = List.length all_counters
@@ -149,6 +157,7 @@ let counter_name = function
   | C_net_bytes_out -> "net_bytes_out"
   | C_net_requests -> "net_requests"
   | C_net_errors -> "net_errors"
+  | C_batch_redescents -> "batch_redescents"
 
 type gauge =
   | G_epoch_pending

@@ -33,6 +33,7 @@ type series =
   | Val_op_restarts  (** root-restarts taken by one point operation *)
   | Val_chain_depth  (** delta-chain depth met by a lookup *)
   | Val_reclaim_batch  (** objects freed by one collection batch *)
+  | Val_batch_size  (** operations in one [execute_batch] call *)
 
 val series_name : series -> string
 val series_unit : series -> string
@@ -50,6 +51,7 @@ type counter =
   | C_net_bytes_out  (** wire bytes written to client sockets *)
   | C_net_requests  (** wire requests decoded (BATCH counts as one) *)
   | C_net_errors  (** ERR replies sent (malformed frames, bad ops) *)
+  | C_batch_redescents  (** batch ops that could not reuse the cached leaf *)
 
 val counter_name : counter -> string
 

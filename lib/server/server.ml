@@ -117,17 +117,8 @@ let rec eval_into t ~tid body (req : Wire.req) : unit =
   | Wire.Scan (k, n) ->
       Wire.encode_scanned_into body (fun visit -> b.scan ~tid k ~n visit)
   | Wire.Batch reqs ->
-      (* sub-request failures are isolated to their slot *)
       Wire.encode_batched_header body (List.length reqs);
-      List.iter
-        (fun r ->
-          let slot = Buffer.create 64 in
-          match eval_into t ~tid slot r with
-          | () -> Buffer.add_buffer body slot
-          | exception Wire.Malformed m -> Wire.encode_resp body (Wire.Err m)
-          | exception Bad_key _ ->
-              Wire.encode_resp body (Wire.Err "undecodable key"))
-        reqs
+      eval_batch t ~tid body reqs
   | Wire.Stats ->
       let json =
         match t.cfg.stats_json with
@@ -139,6 +130,59 @@ let rec eval_into t ~tid body (req : Wire.req) : unit =
                 Bw_obs.snapshot_to_string (Bw_obs.snapshot reg))
       in
       Wire.encode_resp body (Wire.Stats_payload json)
+
+(* A decoded BATCH frame: point ops run through the backend's amortized
+   batch path in one call (undecodable keys answer ERR in their slot via
+   [Bres_bad_key]); scans still evaluate per slot, with the pre-batch
+   isolation. Responses are emitted in wire order either way. The point
+   ops linearize before the batch's scans — sub-requests of one BATCH
+   carry no ordering promise across kinds (they never did: slots are
+   independent operations that happen to share a frame). Backends
+   without a batch path keep the per-slot evaluation unchanged. *)
+and eval_batch t ~tid body (reqs : Wire.req list) : unit =
+  let b = t.backend in
+  let per_slot r =
+    (* sub-request failures are isolated to their slot *)
+    let slot = Buffer.create 64 in
+    match eval_into t ~tid slot r with
+    | () -> Buffer.add_buffer body slot
+    | exception Wire.Malformed m -> Wire.encode_resp body (Wire.Err m)
+    | exception Bad_key _ -> Wire.encode_resp body (Wire.Err "undecodable key")
+  in
+  match b.batch with
+  | None -> List.iter per_slot reqs
+  | Some _ ->
+      let op_of = function
+        | Wire.Get k -> Some (Index_iface.Bop_read k)
+        | Wire.Put (Wire.Insert, k, v) -> Some (Index_iface.Bop_insert (k, v))
+        | Wire.Put (Wire.Update, k, v) -> Some (Index_iface.Bop_update (k, v))
+        | Wire.Put (Wire.Upsert, k, v) -> Some (Index_iface.Bop_upsert (k, v))
+        | Wire.Delete k -> Some (Index_iface.Bop_remove k)
+        | Wire.Scan _ | Wire.Batch _ | Wire.Stats -> None
+      in
+      (* Bw_util.Arr: batch frames carry up to [Wire.max_batch] slots,
+         and a stdlib of_list that size forces a minor GC per frame. *)
+      let point = Bw_util.Arr.of_list (List.filter_map op_of reqs) in
+      let results =
+        if Array.length point = 0 then [||]
+        else Index_iface.exec_batch b ~tid point
+      in
+      let next = ref 0 in
+      List.iter
+        (fun r ->
+          match op_of r with
+          | Some _ ->
+              let res = results.(!next) in
+              incr next;
+              (match res with
+              | Index_iface.Bres_applied ok ->
+                  Wire.encode_resp body (Wire.Applied ok)
+              | Index_iface.Bres_value v ->
+                  Wire.encode_resp body (Wire.Value v)
+              | Index_iface.Bres_bad_key ->
+                  Wire.encode_resp body (Wire.Err "undecodable key"))
+          | None -> per_slot r)
+        reqs
 
 (* Decode + evaluate one frame, appending the framed reply to [out];
    never raises. Returns whether the connection must be put into

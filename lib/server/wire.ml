@@ -298,9 +298,17 @@ let frame_resp r =
 module Decoder = struct
   type t = { mutable data : Bytes.t; mutable len : int; mutable off : int }
 
-  let create () = { data = Bytes.create 4096; len = 0; off = 0 }
+  let initial_capacity = 4096
+
+  (* shrink the grown buffer back once the connection has drained this
+     far — otherwise one large frame pins its doubled buffer for the
+     connection's whole lifetime *)
+  let shrink_threshold = initial_capacity / 4
+
+  let create () = { data = Bytes.create initial_capacity; len = 0; off = 0 }
 
   let buffered t = t.len - t.off
+  let capacity t = Bytes.length t.data
 
   (* slide remaining bytes down and make room for [n] more *)
   let reserve t n =
@@ -337,6 +345,16 @@ module Decoder = struct
       else begin
         let payload = Bytes.sub_string t.data (t.off + 4) n in
         t.off <- t.off + 4 + n;
+        if
+          Bytes.length t.data > initial_capacity
+          && buffered t <= shrink_threshold
+        then begin
+          let data = Bytes.create initial_capacity in
+          Bytes.blit t.data t.off data 0 (buffered t);
+          t.len <- buffered t;
+          t.off <- 0;
+          t.data <- data
+        end;
         `Frame payload
       end
 end

@@ -122,6 +122,52 @@ let route ?name ~(shard_of : 'k -> int) ~(floor_of : int -> 'k)
           done;
           !got
         end);
+    batch =
+      Some
+        (fun ~tid ops ->
+          let n_ops = Array.length ops in
+          if n_shards = 1 then exec_batch shards.(0) ~tid ops
+          else begin
+            (* one routing pass records each op's shard and per-shard
+               position, then the gathered sub-batches execute through
+               each shard's own batch path (or per-op fallback) and the
+               results scatter back to submission order — within one
+               shard the sub-batch keeps submission order, so per-key
+               semantics match the unsharded tree. Sub-batches and the
+               scatter array are batch-sized, so they are built through
+               [Bw_util.Arr] (stdlib constructors force a minor
+               collection per >256-element array seeded with a young
+               block). *)
+            let shard = Array.make n_ops 0 in
+            let count = Array.make n_shards 0 in
+            for i = 0 to n_ops - 1 do
+              let s = shard_of (batch_op_key ops.(i)) in
+              shard.(i) <- s;
+              count.(s) <- count.(s) + 1
+            done;
+            let subs =
+              Array.init n_shards (fun s ->
+                  if count.(s) = 0 then [||]
+                  else Bw_util.Arr.make count.(s) ops.(0))
+            in
+            let pos = Array.make n_ops 0 in
+            let fill = Array.make n_shards 0 in
+            for i = 0 to n_ops - 1 do
+              let s = shard.(i) in
+              subs.(s).(fill.(s)) <- ops.(i);
+              pos.(i) <- fill.(s);
+              fill.(s) <- fill.(s) + 1
+            done;
+            let sub_results =
+              Array.mapi
+                (fun s sub ->
+                  if Array.length sub = 0 then [||]
+                  else exec_batch shards.(s) ~tid sub)
+                subs
+            in
+            Bw_util.Arr.init n_ops (fun i ->
+                sub_results.(shard.(i)).(pos.(i)))
+          end);
     start_aux = (fun () -> each (fun d -> d.start_aux ()));
     stop_aux = (fun () -> each (fun d -> d.stop_aux ()));
     thread_done = (fun ~tid -> each (fun d -> d.thread_done ~tid));

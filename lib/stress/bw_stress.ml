@@ -38,6 +38,7 @@ type config = {
   churn_domains : int;
   churn_ops_per_phase : int;
   drive_advance : bool;
+  batch : int;
   verbose : bool;
 }
 
@@ -54,8 +55,20 @@ let short_config =
     churn_domains = 2;
     churn_ops_per_phase = 3_000;
     drive_advance = true;
+    batch = 1;
     verbose = false;
   }
+
+(* Point operations as data, so workers can either execute them directly
+   or buffer [config.batch] of them and hand the run to the subject's
+   batch path. Scans never batch: they flush and run per-op. *)
+type batch_op =
+  | Sb_insert of int * int
+  | Sb_lookup of int
+  | Sb_update of int * int
+  | Sb_remove of int * int
+
+type batch_res = Sb_applied of bool | Sb_values of int list
 
 type subject = {
   s_name : string;
@@ -65,6 +78,7 @@ type subject = {
   s_update : tid:int -> int -> int -> bool;
   s_remove : tid:int -> int -> int -> bool;
   s_scan : tid:int -> int -> int -> int;
+  s_batch : (tid:int -> batch_op array -> batch_res array) option;
   s_quiesce : tid:int -> unit;
   s_start_aux : unit -> unit;
   s_stop_aux : unit -> unit;
@@ -94,6 +108,23 @@ let bwtree_subject ?(config = Bwtree.default_config) ?(obs = Bw_obs.Null)
     s_update = (fun ~tid k v -> B.update t ~tid k v);
     s_remove = (fun ~tid k v -> B.delete t ~tid k v);
     s_scan = (fun ~tid k n -> List.length (B.scan t ~tid ~n k));
+    s_batch =
+      Some
+        (fun ~tid ops ->
+          let bops =
+            Bw_util.Arr.map
+              (function
+                | Sb_insert (k, v) -> (k, B.B_insert v)
+                | Sb_lookup k -> (k, B.B_get)
+                | Sb_update (k, v) -> (k, B.B_update v)
+                | Sb_remove (k, v) -> (k, B.B_delete v))
+              ops
+          in
+          Bw_util.Arr.map
+            (function
+              | B.R_applied b -> Sb_applied b
+              | B.R_values vs -> Sb_values vs)
+            (B.execute_batch t ~tid bops));
     s_quiesce = (fun ~tid -> B.quiesce t ~tid);
     s_start_aux = (fun () -> B.start_gc_thread t ());
     s_stop_aux = (fun () -> B.stop_gc_thread t);
@@ -123,6 +154,27 @@ let of_driver (d : int Runner.driver) =
     s_update = (fun ~tid k v -> d.Runner.update ~tid k v);
     s_remove = (fun ~tid k _v -> d.Runner.remove ~tid k);
     s_scan = (fun ~tid k n -> d.Runner.scan ~tid k ~n (fun _ _ -> ()));
+    (* Index_iface.exec_batch falls back to per-op application when the
+       driver has no native batch path, so every driver gets coverage.
+       The unique-key subject drops the remove value, same as s_remove. *)
+    s_batch =
+      Some
+        (fun ~tid ops ->
+          let bops =
+            Bw_util.Arr.map
+              (function
+                | Sb_insert (k, v) -> Index_iface.Bop_insert (k, v)
+                | Sb_lookup k -> Index_iface.Bop_read k
+                | Sb_update (k, v) -> Index_iface.Bop_update (k, v)
+                | Sb_remove (k, _v) -> Index_iface.Bop_remove k)
+              ops
+          in
+          Bw_util.Arr.map
+            (function
+              | Index_iface.Bres_applied b -> Sb_applied b
+              | Index_iface.Bres_value o -> Sb_values (Option.to_list o)
+              | Index_iface.Bres_bad_key -> Sb_applied false)
+            (Index_iface.exec_batch d ~tid bops));
     s_quiesce = (fun ~tid -> d.Runner.thread_done ~tid);
     s_start_aux = d.Runner.start_aux;
     s_stop_aux = d.Runner.stop_aux;
@@ -198,6 +250,7 @@ let rec remove_one v = function
 
 let run cfg s =
   if cfg.domains < 1 then invalid_arg "Bw_stress.run: domains < 1";
+  if cfg.batch < 1 then invalid_arg "Bw_stress.run: batch < 1";
   let mix =
     (* non-unique update semantics (replace the first visible duplicate)
        have no clean sequential model; fold that weight into inserts *)
@@ -259,8 +312,37 @@ let run cfg s =
 
   (* --- worker op generation --- *)
   let find_or_empty tbl k = try Hashtbl.find tbl k with Not_found -> [] in
-  let exec_one (st : worker_state) =
-    let tid = st.wid in
+  let use_batch = cfg.batch > 1 && s.s_batch <> None in
+  (* Journal an executed point op and update the worker's private view;
+     shared by the direct path and the batch flush, so batched results
+     land in the journal in submission order — exactly what the oracle
+     replay expects. *)
+  let note (st : worker_state) op res =
+    match (op, res) with
+    | Sb_insert (k, v), Sb_applied r ->
+        Growable.push st.journal (E_insert (k, v, r));
+        if r then
+          Hashtbl.replace st.mine k
+            (if s.s_unique then [ v ] else v :: find_or_empty st.mine k)
+    | Sb_lookup k, Sb_values vs -> Growable.push st.journal (E_lookup (k, vs))
+    | Sb_update (k, v), Sb_applied r ->
+        Growable.push st.journal (E_update (k, v, r));
+        if r then Hashtbl.replace st.mine k [ v ]
+    | Sb_remove (k, v), Sb_applied r ->
+        Growable.push st.journal (E_remove (k, v, r));
+        if r then
+          if s.s_unique then Hashtbl.remove st.mine k
+          else (
+            match remove_one v (find_or_empty st.mine k) with
+            | [] -> Hashtbl.remove st.mine k
+            | l -> Hashtbl.replace st.mine k l)
+    | (Sb_insert _ | Sb_update _ | Sb_remove _), Sb_values _
+    | Sb_lookup _, Sb_applied _ ->
+        record false (fun () ->
+            Printf.sprintf "[worker %d] batch result has the wrong shape"
+              st.wid)
+  in
+  let exec_one (st : worker_state) ~submit ~scan =
     let own_key () =
       (st.wid * cfg.keys_per_domain) + Rng.next_int st.rng cfg.keys_per_domain
     in
@@ -272,56 +354,83 @@ let run cfg s =
     let x = Rng.next_int st.rng total_weight in
     if x < mix.w_insert then begin
       let k = own_key () in
-      let v = fresh st k in
-      let r = s.s_insert ~tid k v in
-      Growable.push st.journal (E_insert (k, v, r));
-      if r then
-        Hashtbl.replace st.mine k
-          (if s.s_unique then [ v ] else v :: find_or_empty st.mine k)
+      submit (Sb_insert (k, fresh st k))
     end
-    else if x < mix.w_insert + mix.w_read then begin
-      let k = any_key () in
-      Growable.push st.journal (E_lookup (k, s.s_lookup ~tid k))
-    end
+    else if x < mix.w_insert + mix.w_read then submit (Sb_lookup (any_key ()))
     else if x < mix.w_insert + mix.w_read + mix.w_update then begin
       let k = own_key () in
-      let v = fresh st k in
-      let r = s.s_update ~tid k v in
-      Growable.push st.journal (E_update (k, v, r));
-      if r then Hashtbl.replace st.mine k [ v ]
+      submit (Sb_update (k, fresh st k))
     end
     else if x < mix.w_insert + mix.w_read + mix.w_update + mix.w_remove
     then begin
       let k = own_key () in
       (* in non-unique mode remove needs an exact live pair to have a
-         chance of succeeding; fall back to a never-inserted value *)
+         chance of succeeding; fall back to a never-inserted value.
+         [mine] may lag behind ops still buffered for the next batch
+         flush — that only lowers the hit rate, the oracle replays
+         whatever actually happened *)
       let v =
         match find_or_empty st.mine k with
         | v :: _ -> v
         | [] -> value_of k 0
       in
-      let r = s.s_remove ~tid k v in
-      Growable.push st.journal (E_remove (k, v, r));
-      if r then
-        if s.s_unique then Hashtbl.remove st.mine k
-        else
-          match remove_one v (find_or_empty st.mine k) with
-          | [] -> Hashtbl.remove st.mine k
-          | l -> Hashtbl.replace st.mine k l
+      submit (Sb_remove (k, v))
     end
-    else begin
-      let k = any_key () in
-      Growable.push st.journal (E_scan (k, cfg.scan_len, s.s_scan ~tid k cfg.scan_len))
-    end
+    else scan (any_key ())
   in
 
   let worker_loop wid =
     let st = workers.(wid) in
+    let tid = wid in
+    let direct op =
+      let res =
+        match op with
+        | Sb_insert (k, v) -> Sb_applied (s.s_insert ~tid k v)
+        | Sb_lookup k -> Sb_values (s.s_lookup ~tid k)
+        | Sb_update (k, v) -> Sb_applied (s.s_update ~tid k v)
+        | Sb_remove (k, v) -> Sb_applied (s.s_remove ~tid k v)
+      in
+      note st op res
+    in
+    let run_batch =
+      match s.s_batch with Some f -> f | None -> fun ~tid:_ _ -> [||]
+    in
+    let pend = Growable.create () in
+    let flush () =
+      let n = Growable.length pend in
+      if n > 0 then begin
+        let ops = Bw_util.Arr.init n (Growable.get pend) in
+        let res = run_batch ~tid ops in
+        if Array.length res = n then
+          Array.iteri (fun i op -> note st op res.(i)) ops
+        else
+          record false (fun () ->
+              Printf.sprintf
+                "[worker %d] batch of %d ops returned %d results" st.wid n
+                (Array.length res));
+        (* keep the backing storage across flushes *)
+        Growable.reset pend
+      end
+    in
+    let submit op =
+      if use_batch then begin
+        Growable.push pend op;
+        if Growable.length pend >= cfg.batch then flush ()
+      end
+      else direct op
+    in
+    let scan k =
+      (* scans have no batch form: order them after the pending ops *)
+      if use_batch then flush ();
+      Growable.push st.journal
+        (E_scan (k, cfg.scan_len, s.s_scan ~tid k cfg.scan_len))
+    in
     let continue = ref true in
     while !continue do
       for _ = 1 to cfg.ops_per_phase do
-        exec_one st
+        exec_one st ~submit ~scan
       done;
+      if use_batch then flush ();
       s.s_quiesce ~tid:wid;
       Runner.Phaser.await phaser;
       if Atomic.get stop_flag then continue := false

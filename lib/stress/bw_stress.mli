@@ -50,12 +50,26 @@ type config = {
   churn_domains : int;  (** extra domains churning a standalone mapping table *)
   churn_ops_per_phase : int;
   drive_advance : bool;  (** spawn a domain hammering [Epoch.advance] *)
+  batch : int;
+      (** > 1: workers buffer point ops and submit them through the
+          subject's [s_batch] path in groups of this size (scans flush
+          the pending group and run per-op) *)
   verbose : bool;  (** print a progress line per phase *)
 }
 
 val short_config : config
 (** The [dune runtest] / [--short] shape: 4 workers, 2 churn domains, 3
     phases, a few hundred ops per worker per phase. *)
+
+(** Point operations in batch-submission form; results mirror the point
+    entry points ([Sb_values] for lookups, [Sb_applied] otherwise). *)
+type batch_op =
+  | Sb_insert of int * int
+  | Sb_lookup of int
+  | Sb_update of int * int
+  | Sb_remove of int * int
+
+type batch_res = Sb_applied of bool | Sb_values of int list
 
 (** One index under stress. Probe fields may be [None] for indexes that
     do not expose them; the corresponding checks are skipped. *)
@@ -68,6 +82,9 @@ type subject = {
   s_remove : tid:int -> int -> int -> bool;
       (** removes the exact (key, value) pair in non-unique mode *)
   s_scan : tid:int -> int -> int -> int;
+  s_batch : (tid:int -> batch_op array -> batch_res array) option;
+      (** multi-op submission path, exercised when [config.batch] > 1;
+          results must be in submission order *)
   s_quiesce : tid:int -> unit;
   s_start_aux : unit -> unit;
   s_stop_aux : unit -> unit;

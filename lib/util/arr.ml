@@ -1,0 +1,57 @@
+(* Stdlib [Array.map], [Array.init], [Array.of_list] and [Array.make]
+   seed the result array with the first produced element. When that seed
+   is a young heap block and the array is larger than [Max_young_wosize]
+   (256 fields) the runtime's [caml_make_vect] forces a full minor
+   collection rather than create a major->minor reference per slot. One
+   stop-the-world minor GC per constructed array is invisible for small
+   arrays and a throughput cliff for batch-sized ones (OCaml 5 must also
+   handshake every other domain), so the batch paths build their arrays
+   through these variants: allocate seeded with an immediate, then
+   overwrite every slot through the normal write barrier.
+
+   The immediate seed means the result is always an ordinary tag-0
+   array, so these must not be used at float element type (flat float
+   arrays have a different layout); the batch paths only carry variants
+   and tuples. *)
+
+let alloc : int -> 'a array = fun n -> Obj.magic (Array.make n 0 : int array)
+
+let map f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let r = alloc n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set r i (f (Array.unsafe_get a i))
+    done;
+    r
+  end
+
+let init n f =
+  if n = 0 then [||]
+  else begin
+    let r = alloc n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set r i (f i)
+    done;
+    r
+  end
+
+let make n x =
+  if n = 0 then [||]
+  else begin
+    let r = alloc n in
+    for i = 0 to n - 1 do
+      Array.unsafe_set r i x
+    done;
+    r
+  end
+
+let of_list l =
+  match l with
+  | [] -> [||]
+  | l ->
+      let n = List.length l in
+      let r = alloc n in
+      List.iteri (fun i x -> Array.unsafe_set r i x) l;
+      r

@@ -1,0 +1,24 @@
+(** Array constructors that never force a minor collection.
+
+    The stdlib constructors seed the result with the first produced
+    element; [caml_make_vect] responds to a young-block seed in a
+    [> Max_young_wosize] (256-field) array by forcing a stop-the-world
+    minor collection — once per constructed array, which on the batch
+    execution path means once per batch per conversion layer. These
+    variants seed with an immediate and overwrite every slot instead.
+
+    Never instantiate at [float] element type: the results are ordinary
+    tag-0 arrays, not flat float arrays. *)
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** Same observable behaviour as {!Array.map} (applied in index order). *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** Same observable behaviour as {!Array.init} (applied in index
+    order); no negative-length check, callers pass real counts. *)
+
+val make : int -> 'a -> 'a array
+(** Same observable behaviour as {!Array.make}. *)
+
+val of_list : 'a list -> 'a array
+(** Same observable behaviour as {!Array.of_list}. *)

@@ -40,6 +40,8 @@ let clear t =
   t.data <- [||];
   t.len <- 0
 
+let reset t = t.len <- 0
+
 let to_array t = Array.sub t.data 0 t.len
 
 let of_array a = { data = Array.copy a; len = Array.length a }

@@ -13,6 +13,12 @@ val set : 'a t -> int -> 'a -> unit
 val clear : 'a t -> unit
 (** Drops all elements (and their references, so they can be collected). *)
 
+val reset : 'a t -> unit
+(** Empties the array but keeps the backing storage, so a steady-state
+    fill/drain cycle (batch scratch buffers) allocates nothing. The
+    retained slots still reference their old elements; use {!clear} when
+    those must become collectable. *)
+
 val to_array : 'a t -> 'a array
 val of_array : 'a array -> 'a t
 val iter : ('a -> unit) -> 'a t -> unit

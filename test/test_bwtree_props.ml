@@ -143,6 +143,108 @@ let prop_config_independence =
           { tiny with leaf_max = 4; inner_max = 4; leaf_min = 1; inner_min = 1 };
         ])
 
+(* execute_batch over arbitrary chunk sizes must be indistinguishable
+   from applying the same ops one by one: same per-op results, same
+   final contents. Keys are drawn from a small space so one batch
+   regularly carries duplicate keys (the per-key submission-order
+   guarantee) and ops of every kind. *)
+let batch_op_of op v =
+  match op with
+  | 0 -> T.B_insert v
+  | 1 -> T.B_delete v
+  | 2 -> T.B_update v
+  | 3 -> T.B_upsert v
+  | _ -> T.B_get
+
+let apply_point t (op, k, v) : T.batch_result =
+  match op with
+  | 0 -> T.R_applied (T.insert t k v)
+  | 1 -> T.R_applied (T.delete t k v)
+  | 2 -> T.R_applied (T.update t k v)
+  | 3 -> T.R_applied (if T.update t k v then true else T.insert t k v)
+  | _ -> T.R_values (T.lookup t k)
+
+(* duplicate-value order inside a lookup is physical (delta order until
+   a consolidation sorts the page), not part of the contract — compare
+   value multisets *)
+let norm_res = function
+  | T.R_values vs -> T.R_values (List.sort compare vs)
+  | r -> r
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take i acc = function
+        | x :: tl when i < n -> take (i + 1) (x :: acc) tl
+        | rest -> (List.rev acc, rest)
+      in
+      let c, rest = take 0 [] l in
+      c :: chunks n rest
+
+let prop_batch_equals_sequential =
+  QCheck.Test.make ~name:"execute_batch == sequential point ops" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 400)
+           (triple (int_bound 4) (int_bound 25) (int_bound 1000)))
+        (int_range 1 17))
+    (fun (ops, bsize) ->
+      let ts = T.create ~config:tiny () in
+      let tb = T.create ~config:tiny () in
+      let ok = ref true in
+      List.iter
+        (fun chunk ->
+          let arr =
+            Array.of_list
+              (List.map (fun (op, k, v) -> (k, batch_op_of op v)) chunk)
+          in
+          let rb = T.execute_batch tb arr in
+          List.iteri
+            (fun i trip ->
+              if norm_res (apply_point ts trip) <> norm_res rb.(i) then
+                ok := false)
+            chunk)
+        (chunks bsize ops);
+      T.verify_invariants tb;
+      !ok && T.scan_all tb () = T.scan_all ts ())
+
+(* Non-unique update/upsert replace "the first visible duplicate", which
+   is physical chain order — not sequentially modelable (the stress
+   harness folds update weight into inserts for the same reason). The
+   non-unique equivalence property therefore sticks to the exact-pair
+   ops: insert, delete, get. *)
+let prop_batch_equals_sequential_non_unique =
+  QCheck.Test.make ~name:"execute_batch == sequential (non-unique keys)"
+    ~count:60
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 300)
+           (triple (int_bound 2) (int_bound 20) (int_bound 6)))
+        (int_range 1 13))
+    (fun (ops, bsize) ->
+      let ops = List.map (fun (op, k, v) -> ((if op = 2 then 4 else op), k, v)) ops in
+      let config = { tiny with unique_keys = false } in
+      let ts = T.create ~config () in
+      let tb = T.create ~config () in
+      let ok = ref true in
+      List.iter
+        (fun chunk ->
+          let arr =
+            Array.of_list
+              (List.map (fun (op, k, v) -> (k, batch_op_of op v)) chunk)
+          in
+          let rb = T.execute_batch tb arr in
+          List.iteri
+            (fun i trip ->
+              if norm_res (apply_point ts trip) <> norm_res rb.(i) then
+                ok := false)
+            chunk)
+        (chunks bsize ops);
+      T.verify_invariants tb;
+      !ok
+      && List.sort compare (T.scan_all tb ())
+         = List.sort compare (T.scan_all ts ()))
+
 let prop_delete_is_inverse =
   QCheck.Test.make ~name:"insert then delete restores absence" ~count:150
     QCheck.(list_of_size (Gen.int_range 0 100) (int_bound 300))
@@ -196,6 +298,11 @@ let () =
           q prop_invariants_hold;
           q prop_delete_is_inverse;
           q prop_non_unique_multiset;
+        ] );
+      ( "batch",
+        [
+          q prop_batch_equals_sequential;
+          q prop_batch_equals_sequential_non_unique;
         ] );
       ( "iteration",
         [

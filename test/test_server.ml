@@ -142,6 +142,45 @@ let test_wire_decoder_reassembly () =
     assert (List.rev !got = reqs)
   done
 
+let test_wire_decoder_shrink () =
+  (* one large frame doubles the connection buffer; extracting it must
+     hand the doubled allocation back (steady state is 4 KiB again),
+     carrying any buffered partial frame across the swap intact *)
+  let dec = Wire.Decoder.create () in
+  let cap0 = Wire.Decoder.initial_capacity in
+  Alcotest.(check int) "starts at initial capacity" cap0
+    (Wire.Decoder.capacity dec);
+  let big = Wire.frame_req (Wire.Get (String.make 60_000 'x')) in
+  let tail = Wire.frame_req (Wire.Get "tail") in
+  for round = 1 to 3 do
+    let stream = big ^ String.sub tail 0 5 in
+    Wire.Decoder.feed dec (Bytes.of_string stream) (String.length stream);
+    Alcotest.(check bool)
+      (Printf.sprintf "grown past initial (round %d)" round)
+      true
+      (Wire.Decoder.capacity dec > cap0);
+    (match Wire.Decoder.next dec with
+    | `Frame p -> (
+        match Wire.decode_req p with
+        | Wire.Get k ->
+            Alcotest.(check int) "big key intact" 60_000 (String.length k)
+        | _ -> Alcotest.fail "wrong frame decoded")
+    | `Need_more | `Framing _ -> Alcotest.fail "big frame not extracted");
+    Alcotest.(check int)
+      (Printf.sprintf "shrunk back (round %d)" round)
+      cap0 (Wire.Decoder.capacity dec);
+    let rest = String.sub tail 5 (String.length tail - 5) in
+    Wire.Decoder.feed dec (Bytes.of_string rest) (String.length rest);
+    (match Wire.Decoder.next dec with
+    | `Frame p ->
+        if Wire.decode_req p <> Wire.Get "tail" then
+          Alcotest.fail "tail frame corrupted across the shrink"
+    | `Need_more | `Framing _ -> Alcotest.fail "tail frame lost across shrink");
+    match Wire.Decoder.next dec with
+    | `Need_more -> ()
+    | `Frame _ | `Framing _ -> Alcotest.fail "decoder should be drained"
+  done
+
 let test_wire_oversized_frame_flagged () =
   let dec = Wire.Decoder.create () in
   (* length prefix announcing max_frame + 1 *)
@@ -258,6 +297,87 @@ let test_forest_backend () =
             (Bw_client.Int_key.scan c 511 ~n:2);
           Alcotest.(check string) "stats served by the config hook"
             {|{"forest":4}|} (Bw_client.stats c)))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback: BATCH frames == per-op frames                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The same deterministic trace replayed twice against fresh servers:
+   once as individual frames, once packed into BATCH frames of varying
+   size. Replies must pair up slot for slot and the final contents must
+   agree. Within one BATCH the server linearizes point ops before scan
+   slots (slots carry no cross-kind ordering promise), so the batched
+   replay cuts a chunk whenever it reaches a scan and ships the scan as
+   a singleton BATCH — still the per-slot path, but comparable against
+   the per-op interleaving. *)
+let test_batch_over_wire () =
+  let trace seed =
+    let rng = Bw_util.Rng.create ~seed in
+    Array.init 600 (fun _ ->
+        let k = Key.of_int (Bw_util.Rng.next_int rng 120) in
+        match Bw_util.Rng.next_int rng 6 with
+        | 0 -> Wire.Put (Wire.Insert, k, Bw_util.Rng.next_int rng 1000)
+        | 1 -> Wire.Put (Wire.Update, k, Bw_util.Rng.next_int rng 1000)
+        | 2 -> Wire.Put (Wire.Upsert, k, Bw_util.Rng.next_int rng 1000)
+        | 3 -> Wire.Delete k
+        | 4 -> Wire.Scan (k, Bw_util.Rng.next_int rng 10)
+        | _ -> Wire.Get k)
+  in
+  let replay f =
+    with_server (fun srv ->
+        let c = Bw_client.connect ~port:(Server.port srv) () in
+        Fun.protect
+          ~finally:(fun () -> Bw_client.close c)
+          (fun () ->
+            let rs = f c in
+            (rs, Bw_client.Int_key.scan c 0 ~n:Wire.max_scan)))
+  in
+  let ops = trace 77L in
+  let per_op, contents_seq =
+    replay (fun c ->
+        Array.to_list ops
+        |> List.concat_map (fun op ->
+               match Bw_client.request c op with
+               | Wire.Err m -> Alcotest.fail ("per-op ERR: " ^ m)
+               | r -> [ r ]))
+  in
+  let batched, contents_batch =
+    replay (fun c ->
+        let rng = Bw_util.Rng.create ~seed:5L in
+        let out = ref [] in
+        let i = ref 0 in
+        let n = Array.length ops in
+        let ship chunk =
+          List.iter
+            (function
+              | Wire.Err m -> Alcotest.fail ("batched ERR: " ^ m)
+              | r -> out := r :: !out)
+            (Bw_client.batch c chunk)
+        in
+        while !i < n do
+          let want = min (1 + Bw_util.Rng.next_int rng 16) (n - !i) in
+          (* stop a chunk at the first scan so ordering stays per-op *)
+          let len = ref 0 in
+          while
+            !len < want
+            && (match ops.(!i + !len) with Wire.Scan _ -> false | _ -> true)
+          do
+            incr len
+          done;
+          if !len = 0 then len := 1;
+          ship (List.init !len (fun j -> ops.(!i + j)));
+          i := !i + !len
+        done;
+        List.rev !out)
+  in
+  Alcotest.(check int) "reply counts" (List.length per_op)
+    (List.length batched);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then Alcotest.fail (Printf.sprintf "reply %d differs" i))
+    (List.combine per_op batched);
+  Alcotest.(check (list (pair int int)))
+    "final contents agree" contents_seq contents_batch
 
 (* ------------------------------------------------------------------ *)
 (* Loopback: concurrent pipelined clients vs sequential oracle          *)
@@ -513,6 +633,8 @@ let () =
             test_wire_decoder_reassembly;
           Alcotest.test_case "oversized frame" `Quick
             test_wire_oversized_frame_flagged;
+          Alcotest.test_case "decoder shrinks after a large frame" `Quick
+            test_wire_decoder_shrink;
           q prop_wire_req_roundtrip;
           q prop_wire_req_prefix_rejected;
           q prop_wire_garbage_never_crashes;
@@ -521,6 +643,8 @@ let () =
         [
           Alcotest.test_case "sync ops" `Quick test_sync_ops;
           Alcotest.test_case "forest backend" `Quick test_forest_backend;
+          Alcotest.test_case "batch frames == per-op frames" `Quick
+            test_batch_over_wire;
           Alcotest.test_case "concurrent pipelined oracle" `Slow
             test_concurrent_oracle;
         ] );

@@ -193,6 +193,59 @@ let prop_forest_equiv n =
       let forest = D.bwtree_forest_int ~config:tiny ~lo:0 ~hi:127 ~shards:n () in
       observe single ops = observe forest ops)
 
+(* The router's batch path: one routing pass splits a batch into
+   per-shard sub-batches, the shards execute through their own batch
+   paths, and the results scatter back into submission order. Keys are
+   uniform over [0, 120] against a [0, 127] partition, so nearly every
+   batch spans shard boundaries and regularly repeats a key; results
+   must agree slot for slot with per-op application to a single tree. *)
+let bop_of (op, k, v) =
+  match op with
+  | 0 -> I.Bop_insert (k, v)
+  | 1 -> I.Bop_remove k
+  | 2 -> I.Bop_update (k, v)
+  | 3 -> I.Bop_upsert (k, v)
+  | _ -> I.Bop_read k
+
+let apply_one (d : int I.driver) trip =
+  let tid = 0 in
+  match bop_of trip with
+  | I.Bop_insert (k, v) -> I.Bres_applied (d.I.insert ~tid k v)
+  | I.Bop_update (k, v) -> I.Bres_applied (d.I.update ~tid k v)
+  | I.Bop_upsert (k, v) ->
+      I.Bres_applied
+        (if d.I.update ~tid k v then true else d.I.insert ~tid k v)
+  | I.Bop_remove k -> I.Bres_applied (d.I.remove ~tid k)
+  | I.Bop_read k -> I.Bres_value (d.I.read ~tid k)
+
+let dump (d : int I.driver) =
+  let out = ref [] in
+  ignore (d.I.scan ~tid:0 0 ~n:10_000 (fun k v -> out := (k, v) :: !out));
+  List.rev !out
+
+let prop_forest_batch_equiv n =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "forest of %d shards: batch == per-op" n)
+    ~count:60
+    QCheck.(pair ops_gen (int_range 1 24))
+    (fun (ops, bsize) ->
+      let single = D.bwtree_driver_int ~config:tiny () in
+      let forest = D.bwtree_forest_int ~config:tiny ~lo:0 ~hi:127 ~shards:n () in
+      let arr = Array.of_list ops in
+      let len = Array.length arr in
+      let ok = ref true in
+      let i = ref 0 in
+      while !i < len do
+        let sz = min bsize (len - !i) in
+        let chunk = Array.init sz (fun j -> bop_of arr.(!i + j)) in
+        let rs = I.exec_batch forest ~tid:0 chunk in
+        for j = 0 to sz - 1 do
+          if rs.(j) <> apply_one single arr.(!i + j) then ok := false
+        done;
+        i := !i + sz
+      done;
+      !ok && dump forest = dump single)
+
 (* the strict no-op claim: one shard behind the router replays a fixed
    mixed trace exactly like the bare driver *)
 let test_shard1_parity () =
@@ -262,6 +315,8 @@ let () =
           q (prop_forest_equiv 1);
           q (prop_forest_equiv 2);
           q (prop_forest_equiv 7);
+          q (prop_forest_batch_equiv 1);
+          q (prop_forest_batch_equiv 3);
           Alcotest.test_case "shard=1 parity" `Quick test_shard1_parity;
         ] );
       ( "stress",

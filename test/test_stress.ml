@@ -50,6 +50,42 @@ let driver_case mk () =
   let r = Bw_stress.run cfg (Bw_stress.of_driver (mk ())) in
   check_clean r
 
+(* Batch submission racing the same concurrent splitters/mergers: the
+   workers push point ops through [execute_batch] in chunks of 8 while
+   churn domains force structural change; the journal/oracle replay must
+   stay exact. Run once on a single tree and once through a 3-shard
+   router (batches spanning shard boundaries). *)
+let batch_case ~unique () =
+  let cfg = { Bw_stress.short_config with seed = 23; batch = 8 } in
+  let subject =
+    Bw_stress.bwtree_subject
+      ~config:(tree_config ~scheme:Epoch.Decentralized ~unique)
+      ~domains:cfg.Bw_stress.domains ()
+  in
+  check_clean (Bw_stress.run cfg subject)
+
+let batch_forest_case () =
+  let cfg =
+    {
+      Bw_stress.short_config with
+      seed = 29;
+      batch = 8;
+      phases = 2;
+      churn_domains = 1;
+      drive_advance = false;
+    }
+  in
+  let keyspace = cfg.Bw_stress.domains * cfg.Bw_stress.keys_per_domain in
+  let p = Bw_shard.Part.make_int ~lo:0 ~hi:(keyspace - 1) 3 in
+  let d =
+    Bw_shard.route_int p
+      (Array.init 3 (fun _ ->
+           Harness.Drivers.bwtree_driver_int
+             ~config:(tree_config ~scheme:Epoch.Decentralized ~unique:true)
+             ()))
+  in
+  check_clean (Bw_stress.run cfg (Bw_stress.of_driver d))
+
 let bwtree_cases =
   List.concat_map
     (fun scheme ->
@@ -67,6 +103,15 @@ let () =
   Alcotest.run "stress"
     [
       ("bwtree sweep", bwtree_cases);
+      ( "batch submission",
+        [
+          Alcotest.test_case "unique keys, batch 8" `Quick
+            (batch_case ~unique:true);
+          Alcotest.test_case "non-unique keys, batch 8" `Quick
+            (batch_case ~unique:false);
+          Alcotest.test_case "3-shard forest, batch 8" `Quick
+            batch_forest_case;
+        ] );
       ( "comparators",
         [
           Alcotest.test_case "skiplist" `Quick

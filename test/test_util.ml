@@ -147,6 +147,22 @@ let test_growable_truncate_pop () =
   check "cleared" 0 (Growable.length g);
   Alcotest.(check (option int)) "pop empty" None (Growable.pop g)
 
+let test_growable_reset () =
+  let g = Growable.create ~capacity:4 () in
+  for cycle = 1 to 5 do
+    (* steady-state fill/drain: every cycle refills from empty *)
+    for i = 0 to 99 do
+      Growable.push g (cycle * 1000 + i)
+    done;
+    check "filled" 100 (Growable.length g);
+    check "last" (cycle * 1000 + 99) (Growable.get g 99);
+    Growable.reset g;
+    check "reset empties" 0 (Growable.length g)
+  done;
+  Alcotest.check_raises "reset bounds"
+    (Invalid_argument "Growable: index out of bounds") (fun () ->
+      ignore (Growable.get g 0))
+
 let test_growable_sort_fold () =
   let g = Growable.of_array [| 3; 1; 2 |] in
   Growable.sort compare g;
@@ -191,6 +207,68 @@ let prop_growable_model =
               end)
         ops;
       Growable.to_array g = Array.of_list !model)
+
+(* --- Arr --- *)
+
+module Arr = Bw_util.Arr
+
+let test_arr_stdlib_equiv () =
+  (* equivalence with the stdlib constructors on both sides of the
+     Max_young_wosize boundary (256) that motivates the module *)
+  List.iter
+    (fun n ->
+      let src = Array.init n (fun i -> (i, string_of_int i)) in
+      Alcotest.(check (array (pair int string)))
+        "map" (Array.map Fun.id src) (Arr.map Fun.id src);
+      Alcotest.(check (array (pair int string)))
+        "init"
+        (Array.init n (fun i -> (i, string_of_int i)))
+        (Arr.init n (fun i -> (i, string_of_int i)));
+      Alcotest.(check (array (pair int string)))
+        "of_list" (Array.of_list (Array.to_list src))
+        (Arr.of_list (Array.to_list src));
+      Alcotest.(check (array (pair int string)))
+        "make"
+        (Array.make n (7, "x"))
+        (Arr.make n (7, "x")))
+    [ 0; 1; 17; 256; 257; 1000 ]
+
+let test_arr_order () =
+  (* map and init must visit indices left to right like the stdlib *)
+  let visits = ref [] in
+  ignore
+    (Arr.map
+       (fun i ->
+         visits := i :: !visits;
+         i)
+       [| 10; 20; 30 |]);
+  Alcotest.(check (list int)) "map order" [ 10; 20; 30 ] (List.rev !visits);
+  visits := [];
+  ignore
+    (Arr.init 3 (fun i ->
+         visits := i :: !visits;
+         i));
+  Alcotest.(check (list int)) "init order" [ 0; 1; 2 ] (List.rev !visits)
+
+let test_arr_no_forced_minor () =
+  (* the reason the module exists: constructing a >256-element array of
+     young blocks must not force a minor collection per array *)
+  let rounds = 100 in
+  let burn mk =
+    ignore (Sys.opaque_identity (mk ()));
+    let before = (Gc.quick_stat ()).minor_collections in
+    for _ = 1 to rounds do
+      ignore (Sys.opaque_identity (mk ()))
+    done;
+    (Gc.quick_stat ()).minor_collections - before
+  in
+  let stdlib = burn (fun () -> Array.init 300 (fun i -> (i, i))) in
+  let ours = burn (fun () -> Arr.init 300 (fun i -> (i, i))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stdlib forces ~1/array (%d), ours stays amortized (%d)"
+       stdlib ours)
+    true
+    (stdlib >= rounds && ours < rounds / 2)
 
 (* --- Key_codec --- *)
 
@@ -306,9 +384,17 @@ let () =
           Alcotest.test_case "push/get" `Quick test_growable_push_get;
           Alcotest.test_case "insert/remove" `Quick test_growable_insert_remove;
           Alcotest.test_case "truncate/pop" `Quick test_growable_truncate_pop;
+          Alcotest.test_case "reset" `Quick test_growable_reset;
           Alcotest.test_case "sort/fold" `Quick test_growable_sort_fold;
           Alcotest.test_case "bounds" `Quick test_growable_bounds;
           q prop_growable_model;
+        ] );
+      ( "arr",
+        [
+          Alcotest.test_case "stdlib equivalence" `Quick test_arr_stdlib_equiv;
+          Alcotest.test_case "traversal order" `Quick test_arr_order;
+          Alcotest.test_case "no forced minor GC" `Quick
+            test_arr_no_forced_minor;
         ] );
       ( "key_codec",
         [
