@@ -853,6 +853,49 @@ let batch_bench scale =
     [ W.Read_only; W.Read_update ]
 
 (* ------------------------------------------------------------------ *)
+(* Durable WAL overhead: group commit vs the in-memory tree            *)
+(* ------------------------------------------------------------------ *)
+
+(* The durability tax of the pagestore WAL (DESIGN.md "Durability &
+   recovery") on YCSB-A: every applied update appends a commit record,
+   and with [fsync] each commit also syncs — so batch size is the group
+   commit size and the knob that amortizes the tax. The in-memory row is
+   the same tree without the WAL wrapper; the acceptance bar is batched
+   (>= 256) durable throughput within 2x of it. *)
+let wal_bench scale =
+  print_header
+    "Durable WAL overhead: group-commit batch size vs in-memory (YCSB-A, \
+     rand int keys, multi-threaded)";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "bwt-bench-wal"
+  in
+  let opened = ref [] in
+  let durable ~fsync () =
+    Pagestore.Store.rm_rf dir;
+    let dur = Drivers.durable_bwtree_int ~fsync ~dir () in
+    opened := dur :: !opened;
+    dur.Drivers.dur_driver
+  in
+  let batches = [ 1; 64; 256 ] in
+  let row name mk =
+    let cells =
+      List.map
+        (fun b ->
+          ( Printf.sprintf "b=%d" b,
+            mops_of ~batch:b ~mkdriver:mk ~conv:(W.int_key_of W.Rand_int)
+              ~space:W.Rand_int ~mix:W.Read_update ~nthreads:scale.threads
+              scale ))
+        batches
+    in
+    print_row name cells
+  in
+  row "in-memory" (fun () -> Drivers.bwtree_driver_int ());
+  row "wal (no fsync)" (durable ~fsync:false);
+  row "wal (fsync)" (durable ~fsync:true);
+  List.iter (fun d -> d.Drivers.dur_close ()) !opened;
+  Pagestore.Store.rm_rf dir
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,7 +905,7 @@ let experiments =
     ("fig12", fig12); ("tab2", tab2); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("tab3", tab3); ("fig16", fig16); ("fig17", fig17);
     ("fig18", fig18); ("bech", bech); ("abl", abl); ("store", store);
-    ("shards", shards_bench); ("batch", batch_bench);
+    ("shards", shards_bench); ("batch", batch_bench); ("wal", wal_bench);
   ]
 
 let () =

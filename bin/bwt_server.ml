@@ -17,7 +17,10 @@ module Backend = Bw_server.Backend
    Harness.Drivers), each shard feeding its own registry; STATS and the
    shutdown snapshot report the merged forest-wide totals plus
    shard<i>_-prefixed per-shard series. *)
-let backend_of ~index ~key_type ~shards ~obs ~obs_of : Bw_server.Backend.t =
+(* Returns the backend plus, when --data-dir made it durable, the
+   shutdown hook that checkpoints the drained store and closes its WAL. *)
+let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
+    Bw_server.Backend.t * (unit -> unit) option =
   let config =
     match index with
     | "openbw" -> None
@@ -26,27 +29,57 @@ let backend_of ~index ~key_type ~shards ~obs ~obs_of : Bw_server.Backend.t =
         Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
         exit 2
   in
-  match key_type with
-  | "int" ->
-      if shards = 1 then
-        Backend.of_int_driver (Harness.Drivers.bwtree_driver_int ?config ~obs ())
-      else
-        (* partition the non-negative ints: that is where realistic
-           client key sets live (negative keys still route, to shard 0) *)
-        Backend.of_int_driver
-          (Harness.Drivers.bwtree_forest_int ?config ~obs_of ~lo:0 ~shards ())
-  | "str" ->
-      if shards = 1 then
-        Backend.of_str_driver (Harness.Drivers.bwtree_driver_str ?config ~obs ())
-      else
-        Backend.of_str_driver
-          (Harness.Drivers.bwtree_forest_str ?config ~obs_of ~shards ())
-  | s ->
+  let durable (dur : _ Harness.Drivers.durable) =
+    Format.printf "bwt_server: recovered %a@."
+      Pagestore.Store.pp_stats dur.Harness.Drivers.dur_stats;
+    let shutdown () =
+      dur.Harness.Drivers.dur_checkpoint ();
+      dur.Harness.Drivers.dur_close ()
+    in
+    (dur.Harness.Drivers.dur_driver, Some shutdown)
+  in
+  match (key_type, data_dir) with
+  | "int", None ->
+      let d =
+        if shards = 1 then Harness.Drivers.bwtree_driver_int ?config ~obs ()
+        else
+          (* partition the non-negative ints: that is where realistic
+             client key sets live (negative keys still route, to shard 0) *)
+          Harness.Drivers.bwtree_forest_int ?config ~obs_of ~lo:0 ~shards ()
+      in
+      (Backend.of_int_driver d, None)
+  | "int", Some dir ->
+      let dur =
+        if shards = 1 then
+          Harness.Drivers.durable_bwtree_int ?config ~obs ~fsync ~dir ()
+        else
+          Harness.Drivers.durable_bwtree_forest_int ?config ~obs_of ~lo:0
+            ~fsync ~shards ~dir ()
+      in
+      let d, shutdown = durable dur in
+      (Backend.of_int_driver d, shutdown)
+  | "str", None ->
+      let d =
+        if shards = 1 then Harness.Drivers.bwtree_driver_str ?config ~obs ()
+        else Harness.Drivers.bwtree_forest_str ?config ~obs_of ~shards ()
+      in
+      (Backend.of_str_driver d, None)
+  | "str", Some dir ->
+      let dur =
+        if shards = 1 then
+          Harness.Drivers.durable_bwtree_str ?config ~obs ~fsync ~dir ()
+        else
+          Harness.Drivers.durable_bwtree_forest_str ?config ~obs_of ~fsync
+            ~shards ~dir ()
+      in
+      let d, shutdown = durable dur in
+      (Backend.of_str_driver d, shutdown)
+  | s, _ ->
       Printf.eprintf "bwt_server: unknown key type %S (try: int, str)\n" s;
       exit 2
 
-let main host port workers shards index key_type close_on_malformed metrics
-    metrics_json =
+let main host port workers shards index key_type data_dir no_fsync
+    close_on_malformed metrics metrics_json =
   if workers < 1 then begin
     Printf.eprintf "bwt_server: --workers must be >= 1\n";
     exit 2
@@ -62,7 +95,10 @@ let main host port workers shards index key_type close_on_malformed metrics
         Bw_obs.create ~stripes:(workers + 1) ())
   in
   let obs_of i = Bw_obs.To shard_regs.(i) in
-  let backend = backend_of ~index ~key_type ~shards ~obs ~obs_of in
+  let backend, on_shutdown =
+    backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir
+      ~fsync:(not no_fsync)
+  in
   let snapshot_merged () =
     Bw_obs.snapshot_all (reg :: Array.to_list shard_regs)
   in
@@ -100,6 +136,13 @@ let main host port workers shards index key_type close_on_malformed metrics
   done;
   Printf.printf "bwt_server: draining...\n%!";
   Server.stop server;
+  Option.iter
+    (fun shutdown ->
+      (* drained: every acknowledged op is in the tree, so the snapshot
+         is consistent and the next boot replays an empty WAL *)
+      Printf.printf "bwt_server: checkpointing...\n%!";
+      shutdown ())
+    on_shutdown;
   if metrics then Format.printf "%a@." Bw_obs.pp_snapshot (snapshot_merged ());
   Option.iter
     (fun file ->
@@ -144,6 +187,23 @@ let cmd =
          & info [ "key-type" ] ~docv:"T"
              ~doc:"Key type behind the binary wire keys: int, str.")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Serve durably out of $(docv): recover the tree from the \
+                   newest checkpoint generation plus WAL replay on boot, \
+                   group-commit every applied write to the WAL while \
+                   serving, and cut a fresh checkpoint after the shutdown \
+                   drain. With --shards N each shard keeps its own \
+                   generations and WAL under $(docv)/shard-<i>.")
+  in
+  let no_fsync =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"With --data-dir: skip the per-commit fsync (contents \
+                   still recover after a clean process exit, but an OS \
+                   crash may lose acknowledged writes).")
+  in
   let close_on_malformed =
     Arg.(value & flag
          & info [ "close-on-malformed" ]
@@ -162,7 +222,7 @@ let cmd =
   let term =
     Term.(
       const main $ host $ port $ workers $ shards $ index $ key_type
-      $ close_on_malformed $ metrics $ metrics_json)
+      $ data_dir $ no_fsync $ close_on_malformed $ metrics $ metrics_json)
   in
   Cmd.v
     (Cmd.info "bwt_server"

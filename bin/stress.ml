@@ -23,6 +23,10 @@ let unique = ref true
 let quiet = ref false
 let metrics = ref false
 let metrics_json = ref ""
+let crash = ref false
+let crash_rounds = ref 3
+let crash_dir = ref ""
+let fsync = ref false
 
 let speclist =
   [
@@ -52,6 +56,21 @@ let speclist =
       "N submit point ops through the subject's batch path in groups of N \
        (default 1 = per-op)" );
     ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
+    ( "--crash",
+      Arg.Set crash,
+      " crash-recovery mode: checkpoint a durable pagestore, crash it \
+       mid-load, corrupt the WAL tail, recover, and check prefix \
+       consistency (uses --domains/--keys/--ops/--shards/--batch/--seed)" );
+    ( "--crash-rounds",
+      Arg.Set_int crash_rounds,
+      "N independent crash/recover cycles in --crash mode (default 3)" );
+    ( "--crash-dir",
+      Arg.Set_string crash_dir,
+      "DIR scratch data dir for --crash (default: fresh dir under TMPDIR)" );
+    ( "--fsync",
+      Arg.Set fsync,
+      " in --crash mode, fsync every group commit (slower, exercises the \
+       durable ack path)" );
     ("--quiet", Arg.Set quiet, " suppress per-phase progress lines");
     ( "--metrics",
       Arg.Set metrics,
@@ -75,6 +94,37 @@ let () =
     | s -> raise (Arg.Bad ("unknown scheme " ^ s))
   in
   if !batch < 1 then raise (Arg.Bad "--batch must be >= 1");
+  if !crash then begin
+    let dir =
+      if !crash_dir <> "" then !crash_dir
+      else Filename.concat (Filename.get_temp_dir_name ()) "bwt-stress-crash"
+    in
+    let base = Bw_stress.short_crash_config ~dir in
+    let cfg =
+      if !short then { base with cc_verbose = not !quiet }
+      else
+        {
+          base with
+          Bw_stress.cc_domains = !domains;
+          cc_keys_per_domain = !keys;
+          cc_ops_per_phase = !ops;
+          cc_batch = !batch;
+          cc_shards = !shards;
+          cc_fsync = !fsync;
+          cc_rounds = !crash_rounds;
+          cc_seed = !seed;
+          cc_verbose = not !quiet;
+        }
+    in
+    Printf.printf
+      "stress --crash: %d domains | %d shards | batch %d | %d rounds | %s\n%!"
+      cfg.Bw_stress.cc_domains cfg.Bw_stress.cc_shards cfg.Bw_stress.cc_batch
+      cfg.Bw_stress.cc_rounds
+      (if cfg.Bw_stress.cc_fsync then "fsync" else "no fsync");
+    let r = Bw_stress.run_crash_recovery cfg in
+    Format.printf "%a@." Bw_stress.pp_crash_report r;
+    exit (if r.Bw_stress.cr_violations <> [] then 1 else 0)
+  end;
   let cfg =
     if !short then
       { Bw_stress.short_config with batch = !batch; verbose = not !quiet }

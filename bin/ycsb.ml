@@ -100,7 +100,7 @@ let run_generic (type k) (driver : k Runner.driver) ~(conv : int -> k) ~space
       (float_of_int (driver.memory_words () * 8) /. 1024.0 /. 1024.0)
 
 let main index workload keyspace keys ops threads shards batch theta
-    show_memory metrics metrics_json list_ =
+    data_dir no_fsync show_memory metrics metrics_json list_ =
   if list_ then begin
     Printf.printf "indexes: %s\nworkloads: insert | c | a | e\nkeyspaces: \
                    mono | rand | email | hc\n"
@@ -172,33 +172,73 @@ let main index workload keyspace keys ops threads shards batch theta
   let obs_of i =
     if Array.length regs = 0 then Bw_obs.Null else Bw_obs.To regs.(i)
   in
+  (* --data-dir runs a durable Bw-Tree (recovery on open, group-commit
+     WAL while running) so the WAL overhead is measurable against the
+     in-memory build at the same --batch; the other indexes have no
+     pagestore to write to. *)
+  if data_dir <> None && not (List.mem index [ "bw"; "openbw" ]) then begin
+    Printf.eprintf "ycsb: --data-dir requires a Bw-Tree index (bw, openbw)\n";
+    usage ()
+  end;
+  let bw_config =
+    if index = "bw" then Some Bwtree.microsoft_config else None
+  in
+  let fsync = not no_fsync in
+  let durable_close = ref (fun () -> ()) in
   (* --shards 1 builds exactly the single driver of previous releases;
      N > 1 routes N instances of the same index through lib/shard *)
   (match space with
   | W.Email ->
       let driver =
-        if shards = 1 then mk_str_driver index (obs_of 0)
-        else
-          (* email keys all start with a lowercase name, so partition
-             the ["a", "z") slice range rather than the full space *)
-          let part = Bw_shard.Part.make ~lo:"a" ~hi:"z" shards in
-          Bw_shard.route_binary part
-            (Array.init shards (fun i -> mk_str_driver index (obs_of i)))
+        match data_dir with
+        | Some dir ->
+            let dur =
+              if shards = 1 then
+                Drivers.durable_bwtree_str ?config:bw_config ~obs:(obs_of 0)
+                  ~fsync ~dir ()
+              else
+                Drivers.durable_bwtree_forest_str ?config:bw_config ~obs_of
+                  ~lo:"a" ~hi:"z" ~fsync ~shards ~dir ()
+            in
+            durable_close := dur.Drivers.dur_close;
+            dur.Drivers.dur_driver
+        | None ->
+            if shards = 1 then mk_str_driver index (obs_of 0)
+            else
+              (* email keys all start with a lowercase name, so partition
+                 the ["a", "z") slice range rather than the full space *)
+              let part = Bw_shard.Part.make ~lo:"a" ~hi:"z" shards in
+              Bw_shard.route_binary part
+                (Array.init shards (fun i -> mk_str_driver index (obs_of i)))
       in
       run_generic driver ~conv:W.email_key_of ~space ~mix ~threads ~batch
         ~cfg ~show_memory
   | _ ->
       let driver =
-        if shards = 1 then mk_int_driver index (obs_of 0)
-        else
-          (* every ycsb keyspace generates non-negative keys, so
-             partition [0, max_int] — rand keys spread evenly *)
-          let part = Bw_shard.Part.make_int ~lo:0 shards in
-          Bw_shard.route_int part
-            (Array.init shards (fun i -> mk_int_driver index (obs_of i)))
+        match data_dir with
+        | Some dir ->
+            let dur =
+              if shards = 1 then
+                Drivers.durable_bwtree_int ?config:bw_config ~obs:(obs_of 0)
+                  ~fsync ~dir ()
+              else
+                Drivers.durable_bwtree_forest_int ?config:bw_config ~obs_of
+                  ~lo:0 ~fsync ~shards ~dir ()
+            in
+            durable_close := dur.Drivers.dur_close;
+            dur.Drivers.dur_driver
+        | None ->
+            if shards = 1 then mk_int_driver index (obs_of 0)
+            else
+              (* every ycsb keyspace generates non-negative keys, so
+                 partition [0, max_int] — rand keys spread evenly *)
+              let part = Bw_shard.Part.make_int ~lo:0 shards in
+              Bw_shard.route_int part
+                (Array.init shards (fun i -> mk_int_driver index (obs_of i)))
       in
       run_generic driver ~conv:(W.int_key_of space) ~space ~mix ~threads
         ~batch ~cfg ~show_memory);
+  !durable_close ();
   emit_metrics ~regs ~text:metrics ~json_file:metrics_json
 
 let cmd =
@@ -245,6 +285,20 @@ let cmd =
     Arg.(value & opt float 0.99
          & info [ "theta" ] ~docv:"F" ~doc:"Zipfian skew in (0,1).")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None
+         & info [ "data-dir" ] ~docv:"DIR"
+             ~doc:"Run a durable Bw-Tree out of $(docv) (bw/openbw only): \
+                   recovery on open, group-commit WAL per batch while \
+                   running. Compare against the same run without \
+                   $(docv) to measure the WAL overhead.")
+  in
+  let no_fsync =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"With --data-dir: append to the WAL but skip the \
+                   per-commit fsync.")
+  in
   let memory =
     Arg.(value & flag
          & info [ "m"; "memory" ] ~doc:"Report live-heap memory afterwards.")
@@ -265,7 +319,8 @@ let cmd =
   let term =
     Term.(
       const main $ index $ workload $ keyspace $ keys $ ops $ threads
-      $ shards $ batch $ theta $ memory $ metrics $ metrics_json $ list_)
+      $ shards $ batch $ theta $ data_dir $ no_fsync $ memory $ metrics
+      $ metrics_json $ list_)
   in
   Cmd.v
     (Cmd.info "ycsb" ~doc:"YCSB-style microbenchmarks for in-memory indexes"

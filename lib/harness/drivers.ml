@@ -56,10 +56,10 @@ let bw_str_batch tree ~tid ops =
       | Bw_str.R_values vs -> Bres_value (hd_opt vs))
     (Bw_str.execute_batch tree ~tid bops)
 
-let bwtree_driver_int ?(name = "OpenBw-Tree") ?config ?obs () :
-    int Runner.driver =
-  let t = Bw_int.create ?config ?obs () in
-  let tree = t in
+(* The driver view of an existing tree instance — the common core of the
+   create-and-wrap constructors below and the durable (recovered-tree)
+   constructors further down. *)
+let bw_int_driver_of_tree ?(name = "OpenBw-Tree") tree : int Runner.driver =
   {
     Runner.name;
     insert = (fun ~tid k v -> Bw_int.insert tree ~tid k v);
@@ -80,35 +80,7 @@ let bwtree_driver_int ?(name = "OpenBw-Tree") ?config ?obs () :
     memory_words = (fun () -> Bw_int.memory_words tree);
   }
 
-(* exposes the underlying tree for experiments that need statistics *)
-let bwtree_instance_int ?config ?obs () =
-  let tree = Bw_int.create ?config ?obs () in
-  let driver name : int Runner.driver =
-    {
-      Runner.name;
-      insert = (fun ~tid k v -> Bw_int.insert tree ~tid k v);
-      read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
-      update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
-      remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
-      scan =
-      (fun ~tid k ~n visit ->
-        List.fold_left
-          (fun m (k, v) ->
-            visit k v;
-            m + 1)
-          0 (Bw_int.scan tree ~tid ~n k));
-      batch = Some (bw_int_batch tree);
-      start_aux = (fun () -> Bw_int.start_gc_thread tree ());
-      stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
-      thread_done = (fun ~tid -> Bw_int.quiesce tree ~tid);
-      memory_words = (fun () -> Bw_int.memory_words tree);
-    }
-  in
-  (tree, driver)
-
-let bwtree_driver_str ?(name = "OpenBw-Tree") ?config ?obs () :
-    string Runner.driver =
-  let tree = Bw_str.create ?config ?obs () in
+let bw_str_driver_of_tree ?(name = "OpenBw-Tree") tree : string Runner.driver =
   {
     Runner.name;
     insert = (fun ~tid k v -> Bw_str.insert tree ~tid k v);
@@ -128,6 +100,17 @@ let bwtree_driver_str ?(name = "OpenBw-Tree") ?config ?obs () :
     thread_done = (fun ~tid -> Bw_str.quiesce tree ~tid);
     memory_words = (fun () -> Bw_str.memory_words tree);
   }
+
+let bwtree_driver_int ?name ?config ?obs () : int Runner.driver =
+  bw_int_driver_of_tree ?name (Bw_int.create ?config ?obs ())
+
+(* exposes the underlying tree for experiments that need statistics *)
+let bwtree_instance_int ?config ?obs () =
+  let tree = Bw_int.create ?config ?obs () in
+  (tree, fun name -> bw_int_driver_of_tree ~name tree)
+
+let bwtree_driver_str ?name ?config ?obs () : string Runner.driver =
+  bw_str_driver_of_tree ?name (Bw_str.create ?config ?obs ())
 
 (* --- lock-based / lock-free comparators --- *)
 
@@ -280,6 +263,130 @@ let bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null) ?lo ?hi
   let part = Bw_shard.Part.make ?lo ?hi shards in
   Bw_shard.route_binary ?name part
     (Array.init shards (fun i -> bwtree_driver_str ?config ~obs:(obs_of i) ()))
+
+(* --- durable Bw-Trees: pagestore-backed recovery + group-commit WAL --- *)
+
+module Durable_int = Pagestore.Store.Make (Pagestore.Codec.Int) (Bw_int)
+module Durable_str = Pagestore.Store.Make (Pagestore.Codec.String) (Bw_str)
+
+(* A durable driver plus its lifecycle: [dur_checkpoint] cuts a new
+   generation (call it quiesced — drained server, phase barrier),
+   [dur_close] fsyncs and releases the WAL without checkpointing (a
+   clean close still recovers through WAL replay), [dur_stats] reports
+   what boot-time recovery found. *)
+type 'k durable = {
+  dur_driver : 'k Runner.driver;
+  dur_checkpoint : ?tid:int -> unit -> unit;
+  dur_close : unit -> unit;
+  dur_stats : Pagestore.Store.recovery_stats;
+}
+
+let durable_bwtree_int ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
+    ?page_items ?(fsync = true) ?on_replay ~dir () : int durable =
+  let st, stats =
+    Durable_int.open_dir ?config ~obs ?segment_bytes ?page_items ~fsync
+      ?on_replay ~dir ()
+  in
+  {
+    dur_driver =
+      Durable_int.wrap_driver st
+        (bw_int_driver_of_tree ?name (Durable_int.tree st));
+    dur_checkpoint = (fun ?tid () -> Durable_int.checkpoint ?tid st);
+    dur_close = (fun () -> Durable_int.close st);
+    dur_stats = stats;
+  }
+
+let durable_bwtree_str ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
+    ?page_items ?(fsync = true) ?on_replay ~dir () : string durable =
+  let st, stats =
+    Durable_str.open_dir ?config ~obs ?segment_bytes ?page_items ~fsync
+      ?on_replay ~dir ()
+  in
+  {
+    dur_driver =
+      Durable_str.wrap_driver st
+        (bw_str_driver_of_tree ?name (Durable_str.tree st));
+    dur_checkpoint = (fun ?tid () -> Durable_str.checkpoint ?tid st);
+    dur_close = (fun () -> Durable_str.close st);
+    dur_stats = stats;
+  }
+
+(* Durable forest: shard [i] keeps its own generations and WAL under
+   [dir/shard-<i>], so group commits never serialize across shards and a
+   crash tears each shard's WAL independently (recovery is then
+   per-(thread, shard) prefix-consistent). [on_replay] receives the
+   shard index so a checker can attribute replayed ops. *)
+let durable_bwtree_forest_int ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
+    ?lo ?hi ?segment_bytes ?page_items ?(fsync = true) ?on_replay ~shards ~dir
+    () : int durable =
+  let part = Bw_shard.Part.make_int ?lo ?hi shards in
+  let shard_dir i = Filename.concat dir (Printf.sprintf "shard-%02d" i) in
+  let stores =
+    Array.init shards (fun i ->
+        Durable_int.open_dir ?config ~obs:(obs_of i) ?segment_bytes ?page_items
+          ~fsync
+          ?on_replay:(Option.map (fun f -> f i) on_replay)
+          ~dir:(shard_dir i) ())
+  in
+  let drivers =
+    Array.map
+      (fun (st, _) ->
+        Durable_int.wrap_driver st
+          (bw_int_driver_of_tree (Durable_int.tree st)))
+      stores
+  in
+  {
+    dur_driver = Bw_shard.route_int ?name part drivers;
+    dur_checkpoint =
+      (fun ?tid () ->
+        Array.iter (fun (st, _) -> Durable_int.checkpoint ?tid st) stores);
+    dur_close =
+      (fun () -> Array.iter (fun (st, _) -> Durable_int.close st) stores);
+    dur_stats =
+      Array.fold_left
+        (fun acc (_, s) ->
+          match acc with
+          | None -> Some s
+          | Some a -> Some (Pagestore.Store.merge_stats a s))
+        None stores
+      |> Option.get;
+  }
+
+let durable_bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
+    ?lo ?hi ?segment_bytes ?page_items ?(fsync = true) ?on_replay ~shards ~dir
+    () : string durable =
+  let part = Bw_shard.Part.make ?lo ?hi shards in
+  let shard_dir i = Filename.concat dir (Printf.sprintf "shard-%02d" i) in
+  let stores =
+    Array.init shards (fun i ->
+        Durable_str.open_dir ?config ~obs:(obs_of i) ?segment_bytes ?page_items
+          ~fsync
+          ?on_replay:(Option.map (fun f -> f i) on_replay)
+          ~dir:(shard_dir i) ())
+  in
+  let drivers =
+    Array.map
+      (fun (st, _) ->
+        Durable_str.wrap_driver st
+          (bw_str_driver_of_tree (Durable_str.tree st)))
+      stores
+  in
+  {
+    dur_driver = Bw_shard.route_binary ?name part drivers;
+    dur_checkpoint =
+      (fun ?tid () ->
+        Array.iter (fun (st, _) -> Durable_str.checkpoint ?tid st) stores);
+    dur_close =
+      (fun () -> Array.iter (fun (st, _) -> Durable_str.close st) stores);
+    dur_stats =
+      Array.fold_left
+        (fun acc (_, s) ->
+          match acc with
+          | None -> Some s
+          | Some a -> Some (Pagestore.Store.merge_stats a s))
+        None stores
+      |> Option.get;
+  }
 
 (* --- the six-index lineup used by §6 experiments --- *)
 

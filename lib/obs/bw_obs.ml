@@ -115,6 +115,11 @@ type counter =
   | C_net_requests
   | C_net_errors
   | C_batch_redescents
+  | C_wal_appends
+  | C_wal_fsyncs
+  | C_wal_bytes
+  | C_recovered_pages
+  | C_recovered_wal_records
 
 let counter_index = function
   | C_splits -> 0
@@ -128,6 +133,11 @@ let counter_index = function
   | C_net_requests -> 8
   | C_net_errors -> 9
   | C_batch_redescents -> 10
+  | C_wal_appends -> 11
+  | C_wal_fsyncs -> 12
+  | C_wal_bytes -> 13
+  | C_recovered_pages -> 14
+  | C_recovered_wal_records -> 15
 
 let all_counters =
   [
@@ -142,6 +152,11 @@ let all_counters =
     C_net_requests;
     C_net_errors;
     C_batch_redescents;
+    C_wal_appends;
+    C_wal_fsyncs;
+    C_wal_bytes;
+    C_recovered_pages;
+    C_recovered_wal_records;
   ]
 
 let n_counters = List.length all_counters
@@ -158,6 +173,11 @@ let counter_name = function
   | C_net_requests -> "net_requests"
   | C_net_errors -> "net_errors"
   | C_batch_redescents -> "batch_redescents"
+  | C_wal_appends -> "wal_appends"
+  | C_wal_fsyncs -> "wal_fsyncs"
+  | C_wal_bytes -> "wal_bytes"
+  | C_recovered_pages -> "recovered_pages"
+  | C_recovered_wal_records -> "recovered_wal_records"
 
 type gauge =
   | G_epoch_pending

@@ -52,6 +52,11 @@ type counter =
   | C_net_requests  (** wire requests decoded (BATCH counts as one) *)
   | C_net_errors  (** ERR replies sent (malformed frames, bad ops) *)
   | C_batch_redescents  (** batch ops that could not reuse the cached leaf *)
+  | C_wal_appends  (** WAL commit records written (one per group commit) *)
+  | C_wal_fsyncs  (** fsyncs issued by WAL group commits *)
+  | C_wal_bytes  (** payload bytes appended to the WAL *)
+  | C_recovered_pages  (** checkpoint pages loaded during recovery *)
+  | C_recovered_wal_records  (** WAL records replayed during recovery *)
 
 val counter_name : counter -> string
 

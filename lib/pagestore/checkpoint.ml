@@ -18,6 +18,11 @@ struct
   type manifest = {
     pages : Log.offset array;
     item_count : int;
+    wal_gen : int;
+        (* the WAL generation whose records continue this checkpoint *)
+    wal_pos : int;
+        (* ops of that WAL already folded into the pages; recovery
+           replays the suffix from here *)
   }
 
   let page_tag = 'P'
@@ -44,12 +49,14 @@ struct
         let v = VC.decode payload ~pos in
         (k, v))
 
-  let encode_manifest ~pages ~item_count =
+  let encode_manifest ~wal_gen ~wal_pos ~pages ~item_count =
     let buf = Buffer.create 256 in
     Buffer.add_char buf manifest_tag;
     Codec.encode_int buf (Array.length pages);
     Array.iter (fun off -> Codec.encode_int buf off) pages;
     Codec.encode_int buf item_count;
+    Codec.encode_int buf wal_gen;
+    Codec.encode_int buf wal_pos;
     Buffer.contents buf
 
   let decode_manifest payload =
@@ -59,12 +66,20 @@ struct
     let n = Codec.decode_int payload ~pos in
     let pages = Array.init n (fun _ -> Codec.decode_int payload ~pos) in
     let item_count = Codec.decode_int payload ~pos in
-    { pages; item_count }
+    let wal_gen = Codec.decode_int payload ~pos in
+    let wal_pos = Codec.decode_int payload ~pos in
+    { pages; item_count; wal_gen; wal_pos }
 
   (* Write a checkpoint of [tree] into [log]; returns the manifest's
      address — the single value a recovery needs (the "root pointer" a
-     real system would store in a well-known location). *)
-  let save ?(page_items = 128) tree log =
+     real system would store in a well-known location).
+
+     The snapshot is [T.scan_all] on the live tree, so it is only
+     point-in-time if the caller quiesces writers first — [Store] cuts
+     its checkpoints at epoch barriers for exactly this reason. [wal_gen]
+     and [wal_pos] name the delta-WAL suffix that continues this
+     snapshot; a standalone checkpoint leaves them zero. *)
+  let save ?(page_items = 128) ?(wal_gen = 0) ?(wal_pos = 0) tree log =
     if page_items <= 0 then invalid_arg "Checkpoint.save: page_items";
     let items = T.scan_all tree () in
     let total = List.length items in
@@ -83,7 +98,7 @@ struct
     in
     chunk items;
     let pages = Array.of_list (List.rev !pages) in
-    Log.append log (encode_manifest ~pages ~item_count:total)
+    Log.append log (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:total)
 
   let manifest log off = decode_manifest (Log.read log off)
 
@@ -92,9 +107,9 @@ struct
      non-unique index contains duplicate keys, and restoring it into a
      unique-keys tree would silently drop them (the count check below
      catches that mistake loudly instead). *)
-  let load ?config log off =
+  let load ?config ?obs log off =
     let m = manifest log off in
-    let tree = T.create ?config () in
+    let tree = T.create ?config ?obs () in
     let loaded = ref 0 in
     Array.iter
       (fun page_off ->
@@ -106,43 +121,50 @@ struct
       failwith "Checkpoint.load: manifest item count mismatch";
     tree
 
-  (* Liveness oracle for {!Log.compact}: only the records reachable from
-     the given manifest addresses survive. Returns (live, relocate) where
-     [relocate] keeps a mutable table of moved manifests so callers can
-     translate their root pointers after compaction. *)
+  (* Liveness oracle for {!Log.compact}: only the *pages* reachable from
+     the given manifests survive. The manifest records themselves are
+     deliberately dead — they hold page addresses by value, so after
+     relocation their payloads would dangle into pre-compaction space;
+     {!compact_keeping} re-appends fresh manifests instead. (Marking the
+     old manifests live, as an earlier version did, left both copies in
+     the compacted log: readers that landed on a stale one chased
+     pre-compaction offsets, and the reported reclamation was overstated
+     by the pages those stale roots appeared to retain.)
+
+     The manifests are decoded *before* compaction destroys them; the
+     captured contents, a liveness predicate, the relocation callback and
+     the old->new address translation are returned together. *)
   let gc_roots log manifest_offs =
+    let captured =
+      List.map (fun moff -> (moff, manifest log moff)) manifest_offs
+    in
     let live = Hashtbl.create 64 in
     List.iter
-      (fun moff ->
-        Hashtbl.replace live moff ();
-        Array.iter
-          (fun p -> Hashtbl.replace live p ())
-          (manifest log moff).pages)
-      manifest_offs;
+      (fun (_, m) -> Array.iter (fun p -> Hashtbl.replace live p ()) m.pages)
+      captured;
     let moved = Hashtbl.create 64 in
     let is_live off = Hashtbl.mem live off in
     let relocate old_off new_off = Hashtbl.replace moved old_off new_off in
     let translate off = Option.value ~default:off (Hashtbl.find_opt moved off) in
-    (is_live, relocate, translate)
+    (captured, is_live, relocate, translate)
 
   (* Compact the log keeping only the given checkpoints; returns the bytes
-     reclaimed and the translated manifest addresses. Page offsets inside
-     surviving manifests are rewritten by re-saving the manifest records.
-
-     Note: manifests hold page addresses *by value*, so after relocation
-     the old manifest payloads are stale. The straightforward fix used
-     here (and by LLAMA's incremental flush) is to re-append fresh
-     manifests pointing at the relocated pages. *)
+     reclaimed and the fresh manifest addresses (in the same order as
+     [manifest_offs] — the old addresses are gone). Page offsets inside
+     each re-appended manifest are translated to their post-compaction
+     homes, the same fix-up LLAMA's incremental flush applies to its
+     mapping table. *)
   let compact_keeping log manifest_offs =
-    let is_live, relocate, translate = gc_roots log manifest_offs in
+    let captured, is_live, relocate, translate = gc_roots log manifest_offs in
     let reclaimed = Log.compact log ~live:is_live ~relocate in
     let fresh =
       List.map
-        (fun moff ->
-          let m = manifest log (translate moff) in
+        (fun (_, m) ->
           let pages = Array.map translate m.pages in
-          Log.append log (encode_manifest ~pages ~item_count:m.item_count))
-        manifest_offs
+          Log.append log
+            (encode_manifest ~wal_gen:m.wal_gen ~wal_pos:m.wal_pos ~pages
+               ~item_count:m.item_count))
+        captured
     in
     (reclaimed, fresh)
 end

@@ -724,3 +724,466 @@ let run cfg s =
     r_seconds = Unix.gettimeofday () -. t0;
     r_epoch = Option.map Epoch.stats s.s_epoch;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery stress: kill a durable pagestore mid-flight,        *)
+(* corrupt its WAL tail, recover, and check prefix consistency.       *)
+(* ------------------------------------------------------------------ *)
+
+type crash_config = {
+  cc_domains : int;
+  cc_keys_per_domain : int;
+  cc_ops_per_phase : int;
+  cc_batch : int;
+  cc_shards : int;
+  cc_fsync : bool;
+  cc_segment_bytes : int;
+  cc_rounds : int;
+  cc_seed : int;
+  cc_dir : string;
+  cc_verbose : bool;
+}
+
+let short_crash_config ~dir =
+  {
+    cc_domains = 3;
+    cc_keys_per_domain = 128;
+    cc_ops_per_phase = 300;
+    cc_batch = 1;
+    cc_shards = 1;
+    cc_fsync = false;
+    cc_segment_bytes = 4096;
+    cc_rounds = 3;
+    cc_seed = 42;
+    cc_dir = dir;
+    cc_verbose = false;
+  }
+
+type crash_report = {
+  cr_rounds : int;
+  cr_ops : int;  (** applied writes journaled across all rounds *)
+  cr_replayed : int;  (** WAL ops replayed over all recoveries *)
+  cr_torn_bytes : int;
+  cr_dropped_segments : int;
+  cr_checks : int;
+  cr_violations : string list;
+}
+
+let pp_crash_report ppf r =
+  Format.fprintf ppf
+    "crash-recovery: %d rounds | %d writes, %d replayed | torn %dB, %d \
+     segments dropped | %d checks"
+    r.cr_rounds r.cr_ops r.cr_replayed r.cr_torn_bytes r.cr_dropped_segments
+    r.cr_checks;
+  if r.cr_violations = [] then Format.fprintf ppf " | all invariants held"
+  else begin
+    Format.fprintf ppf " | %d VIOLATIONS:" (List.length r.cr_violations);
+    List.iter (fun v -> Format.fprintf ppf "@.  %s" v) r.cr_violations
+  end
+
+(* Replayed-op view: what the recovery's [on_replay] callback saw, in a
+   shape comparable against the worker journals. *)
+type cw_op =
+  | Cw_insert of int * int
+  | Cw_update of int * int
+  | Cw_upsert of int * int
+  | Cw_remove of int
+
+let cw_key = function
+  | Cw_insert (k, _) | Cw_update (k, _) | Cw_upsert (k, _) | Cw_remove k -> k
+
+let cw_to_string = function
+  | Cw_insert (k, v) -> Printf.sprintf "insert(%d,%#x)" k v
+  | Cw_update (k, v) -> Printf.sprintf "update(%d,%#x)" k v
+  | Cw_upsert (k, v) -> Printf.sprintf "upsert(%d,%#x)" k v
+  | Cw_remove k -> Printf.sprintf "remove(%d)" k
+
+(* Per-worker crash-round state: [cj1]/[cj2] journal the applied writes
+   of the two phases as [(shard, op)] in submission order; [c_mine] is
+   the worker's private view used to pick plausible targets. *)
+type cworker = {
+  c_wid : int;
+  c_rng : Rng.t;
+  c_mine : (int, int) Hashtbl.t;
+  mutable c_seq : int;
+  cj1 : (int * cw_op) Growable.t;
+  cj2 : (int * cw_op) Growable.t;
+}
+
+let rec cw_is_prefix got expected =
+  match (got, expected) with
+  | [], _ -> true
+  | g :: gt, e :: et -> g = e && cw_is_prefix gt et
+  | _ :: _, [] -> false
+
+(* Flip one random bit of [path] at a random offset, through a plain fd
+   (write-through, like the log's own appends). *)
+let flip_random_bit rng path size =
+  let off = Rng.next_int rng size in
+  let bit = Rng.next_int rng 8 in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      if Unix.read fd b 0 1 = 1 then begin
+        Bytes.set b 0
+          (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl bit)));
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        ignore (Unix.write fd b 0 1)
+      end)
+
+(* One load → checkpoint → load → crash → corrupt → recover → verify
+   cycle against a fresh data dir. *)
+let run_crash_round (cfg : crash_config) ~seed ~record =
+  let module D = Harness.Drivers in
+  let module W = D.Durable_int.W in
+  let shards = max 1 cfg.cc_shards in
+  let keyspace = cfg.cc_domains * cfg.cc_keys_per_domain in
+  let checker_tid = cfg.cc_domains in
+  let part = Bw_shard.Part.make_int ~lo:0 ~hi:(keyspace - 1) shards in
+  let shard_of k = if shards = 1 then 0 else Bw_shard.Part.shard_of_int part k in
+  Pagestore.Store.rm_rf cfg.cc_dir;
+  let open_durable ?on_replay () : int D.durable =
+    if shards = 1 then
+      D.durable_bwtree_int ~segment_bytes:cfg.cc_segment_bytes
+        ~fsync:cfg.cc_fsync
+        ?on_replay:(Option.map (fun f -> f 0) on_replay)
+        ~dir:cfg.cc_dir ()
+    else
+      D.durable_bwtree_forest_int ~segment_bytes:cfg.cc_segment_bytes
+        ~fsync:cfg.cc_fsync ~lo:0 ~hi:(keyspace - 1) ?on_replay ~shards
+        ~dir:cfg.cc_dir ()
+  in
+  let workers =
+    Array.init cfg.cc_domains (fun wid ->
+        {
+          c_wid = wid;
+          c_rng = Rng.create ~seed:(Int64.of_int (seed + (wid * 7919)));
+          c_mine = Hashtbl.create 256;
+          c_seq = 0;
+          cj1 = Growable.create ();
+          cj2 = Growable.create ();
+        })
+  in
+  (* --- one worker phase: random writes on the worker's own stripe --- *)
+  let worker_phase (d : int Runner.driver) (st : cworker) journal =
+    let tid = st.c_wid in
+    let own_key () =
+      (st.c_wid * cfg.cc_keys_per_domain)
+      + Rng.next_int st.c_rng cfg.cc_keys_per_domain
+    in
+    let fresh_value k =
+      st.c_seq <- st.c_seq + 1;
+      value_of k st.c_seq
+    in
+    (* generate one op as batch-op data; results are folded back below *)
+    let gen () =
+      let k = own_key () in
+      let r = Rng.next_int st.c_rng 100 in
+      if r < 40 then Index_iface.Bop_insert (k, fresh_value k)
+      else if r < 65 then Index_iface.Bop_update (k, fresh_value k)
+      else if r < 85 then Index_iface.Bop_remove k
+      else Index_iface.Bop_read k
+    in
+    let note op res =
+      match (op, res) with
+      | Index_iface.Bop_insert (k, v), Index_iface.Bres_applied true ->
+          Hashtbl.replace st.c_mine k v;
+          Growable.push journal (shard_of k, Cw_insert (k, v))
+      | Index_iface.Bop_update (k, v), Index_iface.Bres_applied true ->
+          Hashtbl.replace st.c_mine k v;
+          Growable.push journal (shard_of k, Cw_update (k, v))
+      | Index_iface.Bop_remove k, Index_iface.Bres_applied true ->
+          Hashtbl.remove st.c_mine k;
+          Growable.push journal (shard_of k, Cw_remove k)
+      | _ -> ()
+    in
+    if cfg.cc_batch <= 1 then
+      for _ = 1 to cfg.cc_ops_per_phase do
+        let op = gen () in
+        let res =
+          match op with
+          | Index_iface.Bop_insert (k, v) ->
+              Index_iface.Bres_applied (d.Runner.insert ~tid k v)
+          | Index_iface.Bop_update (k, v) ->
+              Index_iface.Bres_applied (d.Runner.update ~tid k v)
+          | Index_iface.Bop_upsert _ -> assert false (* never generated *)
+          | Index_iface.Bop_remove k ->
+              Index_iface.Bres_applied (d.Runner.remove ~tid k)
+          | Index_iface.Bop_read k ->
+              Index_iface.Bres_value (d.Runner.read ~tid k)
+        in
+        note op res
+      done
+    else begin
+      let left = ref cfg.cc_ops_per_phase in
+      while !left > 0 do
+        let n = min cfg.cc_batch !left in
+        left := !left - n;
+        let ops = Array.init n (fun _ -> gen ()) in
+        let res = Index_iface.exec_batch d ~tid ops in
+        Array.iteri (fun i op -> note op res.(i)) ops
+      done
+    end;
+    d.Runner.thread_done ~tid
+  in
+  let run_phase d journal_of =
+    let doms =
+      Array.map
+        (fun st -> Domain.spawn (fun () -> worker_phase d st (journal_of st)))
+        workers
+    in
+    Array.iter Domain.join doms
+  in
+
+  (* phase 1 → quiesced checkpoint → phase 2 → crash (no checkpoint) *)
+  let dur1 = open_durable () in
+  record dur1.D.dur_stats.Pagestore.Store.rs_fresh (fun () ->
+      "crash: round opened a wiped dir but recovery was not fresh");
+  run_phase dur1.D.dur_driver (fun st -> st.cj1);
+  dur1.D.dur_checkpoint ~tid:checker_tid ();
+  run_phase dur1.D.dur_driver (fun st -> st.cj2);
+  (* Simulate the kill: drop the handles without checkpointing.  The
+     WAL appends are write-through, so the on-disk bytes are exactly
+     what a SIGKILL at this point would leave; closing fds here only
+     releases resources. *)
+  dur1.D.dur_close ();
+
+  (* --- corrupt the WAL tail, one independent decision per shard --- *)
+  let shard_dirs =
+    if shards = 1 then [| cfg.cc_dir |]
+    else
+      Array.init shards (fun i ->
+          Filename.concat cfg.cc_dir (Printf.sprintf "shard-%02d" i))
+  in
+  let crng = Rng.create ~seed:(Int64.of_int (seed + 604171)) in
+  Array.iter
+    (fun dirp ->
+      match Pagestore.Store.read_current dirp with
+      | None ->
+          record false (fun () ->
+              Printf.sprintf "crash: no CURRENT under %s after shutdown" dirp)
+      | Some gen -> (
+          let wdir = Pagestore.Store.wal_dir dirp gen in
+          let files = ref [] in
+          let i = ref 0 in
+          let continue = ref true in
+          while !continue do
+            let p = Pagestore.Log.segment_path ~dir:wdir !i in
+            if Sys.file_exists p then begin
+              files := (p, (Unix.stat p).Unix.st_size) :: !files;
+              incr i
+            end
+            else continue := false
+          done;
+          let files = List.rev !files in
+          let sized = List.filter (fun (_, s) -> s > 0) files in
+          match Rng.next_int crng 3 with
+          | 0 -> () (* clean-close recovery: full WAL must replay *)
+          | 1 -> (
+              (* tear the tail: truncate the last segment mid-record *)
+              match List.rev sized with
+              | (path, size) :: _ ->
+                  Unix.truncate path (Rng.next_int crng size)
+              | [] -> ())
+          | _ -> (
+              (* flip one bit anywhere: recovery must drop everything
+                 from the damaged record on, in every later segment *)
+              match sized with
+              | [] -> ()
+              | l ->
+                  let path, size = List.nth l (Rng.next_int crng (List.length l)) in
+                  flip_random_bit crng path size)))
+    shard_dirs;
+
+  (* --- recover, collecting the replayed ops per shard --- *)
+  let replayed = Array.init shards (fun _ -> Growable.create ()) in
+  let cw_of_wop = function
+    | W.W_insert (k, v) -> Cw_insert (k, v)
+    | W.W_update (k, v) -> Cw_update (k, v)
+    | W.W_upsert (k, v) -> Cw_upsert (k, v)
+    | W.W_remove k -> Cw_remove k
+  in
+  let dur2 =
+    open_durable
+      ~on_replay:(fun s op -> Growable.push replayed.(s) (cw_of_wop op))
+      ()
+  in
+  let stats2 = dur2.D.dur_stats in
+  let total_replayed =
+    Array.fold_left (fun acc g -> acc + Growable.length g) 0 replayed
+  in
+  record (not stats2.Pagestore.Store.rs_fresh) (fun () ->
+      "crash: recovery after a checkpoint came up fresh (lost the store)");
+  record
+    (stats2.Pagestore.Store.rs_wal_ops = total_replayed)
+    (fun () ->
+      Printf.sprintf
+        "crash: rs_wal_ops=%d but on_replay delivered %d ops"
+        stats2.Pagestore.Store.rs_wal_ops total_replayed);
+
+  (* --- per-(worker, shard): replayed ops are a journal prefix --- *)
+  let expected = Array.make_matrix cfg.cc_domains shards [] in
+  Array.iter
+    (fun st ->
+      Growable.iter
+        (fun (s, op) -> expected.(st.c_wid).(s) <- op :: expected.(st.c_wid).(s))
+        st.cj2)
+    workers;
+  let got = Array.make_matrix cfg.cc_domains shards [] in
+  Array.iteri
+    (fun s g ->
+      Growable.iter
+        (fun op ->
+          let wid = cw_key op / cfg.cc_keys_per_domain in
+          if wid < 0 || wid >= cfg.cc_domains then
+            record false (fun () ->
+                Printf.sprintf "crash: replayed op %s outside any stripe"
+                  (cw_to_string op))
+          else got.(wid).(s) <- op :: got.(wid).(s))
+        g)
+    replayed;
+  let n_replayed = Array.make_matrix cfg.cc_domains shards 0 in
+  for wid = 0 to cfg.cc_domains - 1 do
+    for s = 0 to shards - 1 do
+      let exp = List.rev expected.(wid).(s) in
+      let g = List.rev got.(wid).(s) in
+      n_replayed.(wid).(s) <- List.length g;
+      record (cw_is_prefix g exp) (fun () ->
+          Printf.sprintf
+            "crash: worker %d shard %d: %d replayed ops are not a prefix of \
+             its %d journaled writes"
+            wid s (List.length g) (List.length exp))
+    done
+  done;
+
+  (* --- oracle: phase-1 journals in full, phase-2 up to the replayed
+     prefix of each (worker, shard) --- *)
+  let oracle = Hashtbl.create (keyspace * 2) in
+  let apply = function
+    | Cw_insert (k, v) | Cw_update (k, v) | Cw_upsert (k, v) ->
+        Hashtbl.replace oracle k v
+    | Cw_remove k -> Hashtbl.remove oracle k
+  in
+  Array.iter (fun st -> Growable.iter (fun (_, op) -> apply op) st.cj1) workers;
+  Array.iter
+    (fun st ->
+      let remaining = Array.copy n_replayed.(st.c_wid) in
+      Growable.iter
+        (fun (s, op) ->
+          if remaining.(s) > 0 then begin
+            apply op;
+            remaining.(s) <- remaining.(s) - 1
+          end)
+        st.cj2)
+    workers;
+  let d2 = dur2.D.dur_driver in
+  let str_of = function None -> "absent" | Some v -> Printf.sprintf "%#x" v in
+  for k = 0 to keyspace - 1 do
+    let want = Hashtbl.find_opt oracle k in
+    let have = d2.Runner.read ~tid:checker_tid k in
+    record (want = have) (fun () ->
+        Printf.sprintf "crash: recovered state diverges at key %d: index %s, \
+                        oracle %s" k (str_of have) (str_of want))
+  done;
+
+  (* --- the recovered store must accept and persist new writes --- *)
+  Array.iter
+    (fun st ->
+      let k = st.c_wid * cfg.cc_keys_per_domain in
+      if Hashtbl.mem oracle k then begin
+        record (d2.Runner.remove ~tid:checker_tid k) (fun () ->
+            Printf.sprintf "crash: post-recovery remove of key %d refused" k);
+        Hashtbl.remove oracle k
+      end;
+      let v = value_of k 0xBEEF in
+      record (d2.Runner.insert ~tid:checker_tid k v) (fun () ->
+          Printf.sprintf "crash: post-recovery insert of key %d refused" k);
+      Hashtbl.replace oracle k v)
+    workers;
+  d2.Runner.thread_done ~tid:checker_tid;
+
+  (* --- checkpoint, clean reopen: same state, empty WAL --- *)
+  dur2.D.dur_checkpoint ~tid:checker_tid ();
+  dur2.D.dur_close ();
+  let dur3 = open_durable () in
+  let stats3 = dur3.D.dur_stats in
+  record
+    (stats3.Pagestore.Store.rs_wal_ops = 0)
+    (fun () ->
+      Printf.sprintf "crash: WAL not empty after checkpoint (replayed %d ops)"
+        stats3.Pagestore.Store.rs_wal_ops);
+  record
+    (stats3.Pagestore.Store.rs_snapshot_items = Hashtbl.length oracle)
+    (fun () ->
+      Printf.sprintf
+        "crash: clean reopen loaded %d items, oracle holds %d"
+        stats3.Pagestore.Store.rs_snapshot_items (Hashtbl.length oracle));
+  let d3 = dur3.D.dur_driver in
+  for k = 0 to keyspace - 1 do
+    let want = Hashtbl.find_opt oracle k in
+    let have = d3.Runner.read ~tid:checker_tid k in
+    record (want = have) (fun () ->
+        Printf.sprintf "crash: clean reopen diverges at key %d: index %s, \
+                        oracle %s" k (str_of have) (str_of want))
+  done;
+  d3.Runner.thread_done ~tid:checker_tid;
+  dur3.D.dur_close ();
+
+  let journaled =
+    Array.fold_left
+      (fun acc st -> acc + Growable.length st.cj1 + Growable.length st.cj2)
+      0 workers
+  in
+  ( journaled,
+    total_replayed,
+    stats2.Pagestore.Store.rs_truncated_bytes,
+    stats2.Pagestore.Store.rs_dropped_segments )
+
+let run_crash_recovery (cfg : crash_config) : crash_report =
+  if cfg.cc_domains < 1 then
+    invalid_arg "Bw_stress.run_crash_recovery: domains < 1";
+  if cfg.cc_rounds < 1 then
+    invalid_arg "Bw_stress.run_crash_recovery: rounds < 1";
+  if cfg.cc_dir = "" || cfg.cc_dir = "/" then
+    invalid_arg "Bw_stress.run_crash_recovery: refusing dir";
+  let violations = ref [] in
+  let n_violations = ref 0 in
+  let checks = ref 0 in
+  let record cond msg =
+    incr checks;
+    if not cond then begin
+      incr n_violations;
+      if !n_violations <= max_reported_violations then
+        violations := msg () :: !violations
+    end
+  in
+  let ops = ref 0
+  and replayed = ref 0
+  and torn = ref 0
+  and dropped = ref 0 in
+  for round = 0 to cfg.cc_rounds - 1 do
+    let j, r, t, d =
+      run_crash_round cfg ~seed:(cfg.cc_seed + (round * 1009)) ~record
+    in
+    ops := !ops + j;
+    replayed := !replayed + r;
+    torn := !torn + t;
+    dropped := !dropped + d;
+    if cfg.cc_verbose then
+      Printf.printf
+        "crash round %d/%d: %d writes, %d replayed, torn %dB, %d dropped\n%!"
+        (round + 1) cfg.cc_rounds j r t d
+  done;
+  Pagestore.Store.rm_rf cfg.cc_dir;
+  {
+    cr_rounds = cfg.cc_rounds;
+    cr_ops = !ops;
+    cr_replayed = !replayed;
+    cr_torn_bytes = !torn;
+    cr_dropped_segments = !dropped;
+    cr_checks = !checks;
+    cr_violations = List.rev !violations;
+  }

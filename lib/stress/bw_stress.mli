@@ -127,3 +127,53 @@ val run : config -> subject -> report
     returns the aggregated report. A clean run has [r_violations = []]. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Crash-recovery stress}
+
+    Drives a durable (pagestore-backed) Bw-Tree — single tree or
+    range-partitioned forest — through load → quiesced checkpoint →
+    more load → simulated crash, then corrupts the WAL tail (torn
+    truncation or a random bit flip, chosen per shard), recovers, and
+    checks:
+
+    - the replayed WAL ops form a prefix of each (worker, shard)
+      applied-write journal — the durability contract of the
+      group-commit WAL;
+    - the recovered contents equal the checkpoint state plus exactly
+      those replayed prefixes (full keyspace sweep);
+    - the recovered store accepts new writes, and a checkpoint + clean
+      reopen reproduces the same contents with an empty WAL.
+
+    Each round wipes and reuses [cc_dir]; the dir is removed at the
+    end. *)
+
+type crash_config = {
+  cc_domains : int;  (** writer domains (disjoint key stripes) *)
+  cc_keys_per_domain : int;
+  cc_ops_per_phase : int;  (** ops per worker, per phase (two phases) *)
+  cc_batch : int;  (** > 1: submit through the batch/group-commit path *)
+  cc_shards : int;  (** > 1: durable forest, one WAL per shard *)
+  cc_fsync : bool;  (** fsync per commit (slow; off for tests) *)
+  cc_segment_bytes : int;  (** small segments force multi-segment WALs *)
+  cc_rounds : int;  (** independent crash/recover cycles *)
+  cc_seed : int;
+  cc_dir : string;  (** scratch data dir; wiped per round, removed at end *)
+  cc_verbose : bool;
+}
+
+val short_crash_config : dir:string -> crash_config
+(** A dune-runtest-sized configuration (3 domains, 3 rounds). *)
+
+type crash_report = {
+  cr_rounds : int;
+  cr_ops : int;  (** applied writes journaled across all rounds *)
+  cr_replayed : int;  (** WAL ops replayed over all recoveries *)
+  cr_torn_bytes : int;
+  cr_dropped_segments : int;
+  cr_checks : int;
+  cr_violations : string list;
+}
+
+val run_crash_recovery : crash_config -> crash_report
+
+val pp_crash_report : Format.formatter -> crash_report -> unit

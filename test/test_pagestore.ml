@@ -303,6 +303,374 @@ let prop_checkpoint_roundtrip =
       let t' = CP.load log root in
       T.scan_all t () = T.scan_all t' ())
 
+
+(* --- file-backed log --- *)
+
+let tmp_counter = ref 0
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bwt-test-pagestore-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  Pagestore.Store.rm_rf dir;
+  Fun.protect ~finally:(fun () -> Pagestore.Store.rm_rf dir) (fun () -> f dir)
+
+let test_file_log_reopen () =
+  with_tmp_dir (fun dir ->
+      let payloads = List.init 100 (fun i -> Printf.sprintf "record %d" i) in
+      let offs =
+        let log, st = Log.open_dir ~dir () in
+        Alcotest.(check int) "fresh open is empty" 0 st.os_records;
+        let offs = List.map (Log.append log) payloads in
+        Log.close log;
+        offs
+      in
+      let log, st = Log.open_dir ~dir () in
+      Alcotest.(check int) "all records recovered" 100 st.os_records;
+      Alcotest.(check int) "no torn bytes" 0 st.os_truncated_bytes;
+      Alcotest.(check int) "no dropped segments" 0 st.os_dropped_segments;
+      List.iter2
+        (fun p off -> Alcotest.(check string) "reopen read" p (Log.read log off))
+        payloads offs;
+      Log.close log)
+
+let test_file_log_multi_segment_reopen () =
+  with_tmp_dir (fun dir ->
+      let payloads = List.init 60 (fun i -> Printf.sprintf "r%04d" i) in
+      let log, _ = Log.open_dir ~segment_bytes:128 ~dir () in
+      List.iter (fun p -> ignore (Log.append log p)) payloads;
+      Alcotest.(check bool) "spans segments" true (Log.segment_count log > 3);
+      Log.close log;
+      let log, st = Log.open_dir ~segment_bytes:128 ~dir () in
+      Alcotest.(check int) "records" 60 st.os_records;
+      let seen = ref [] in
+      Log.iter log (fun _ p -> seen := p :: !seen);
+      Alcotest.(check (list string)) "order preserved across sealed segments"
+        payloads (List.rev !seen);
+      Log.close log)
+
+let test_file_log_torn_tail () =
+  with_tmp_dir (fun dir ->
+      let log, _ = Log.open_dir ~dir () in
+      for i = 0 to 9 do
+        ignore (Log.append log (Printf.sprintf "record-%d" i))
+      done;
+      Log.close log;
+      (* tear mid-way through the last record's payload *)
+      let path = Log.segment_path ~dir 0 in
+      let size = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (size - 3);
+      let log, st = Log.open_dir ~dir () in
+      Alcotest.(check int) "last record dropped" 9 st.os_records;
+      Alcotest.(check bool) "torn bytes reported" true
+        (st.os_truncated_bytes > 0);
+      (* the log must stay appendable after the repair *)
+      let off = Log.append log "after-recovery" in
+      Alcotest.(check string) "append after tear" "after-recovery"
+        (Log.read log off);
+      Log.close log;
+      let log, st = Log.open_dir ~dir () in
+      Alcotest.(check int) "clean after repair" 0 st.os_truncated_bytes;
+      Alcotest.(check int) "prefix plus repair append" 10 st.os_records;
+      Log.close log)
+
+let test_file_log_flip_drops_later_segments () =
+  with_tmp_dir (fun dir ->
+      let log, _ = Log.open_dir ~segment_bytes:128 ~dir () in
+      let offs = Array.init 40 (fun i -> Log.append log (Printf.sprintf "%05d" i)) in
+      let nsegs = Log.segment_count log in
+      Alcotest.(check bool) "several segments" true (nsegs >= 4);
+      Log.close log;
+      (* flip a byte of the first record in segment 1: everything from
+         that record on — including all later segments — must go *)
+      let path = Log.segment_path ~dir 1 in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      ignore (Unix.lseek fd 2 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\xFF') 0 1);
+      Unix.close fd;
+      let log, st = Log.open_dir ~segment_bytes:128 ~dir () in
+      Alcotest.(check bool) "later segments dropped" true
+        (st.os_dropped_segments >= 1);
+      let survivors = Log.records log in
+      Alcotest.(check bool) "only segment-0 records survive" true
+        (survivors > 0 && survivors < 40);
+      (* every surviving record is the exact prefix *)
+      for i = 0 to survivors - 1 do
+        Alcotest.(check string) "prefix content" (Printf.sprintf "%05d" i)
+          (Log.read log offs.(i))
+      done;
+      Log.close log)
+
+let test_file_log_compact_persists () =
+  with_tmp_dir (fun dir ->
+      let log, _ = Log.open_dir ~segment_bytes:256 ~dir () in
+      let offs = Array.init 50 (fun i -> Log.append log (Printf.sprintf "%03d" i)) in
+      let keep = Hashtbl.create 32 in
+      Array.iteri (fun i off -> if i mod 3 = 0 then Hashtbl.replace keep off i) offs;
+      let moves = Hashtbl.create 32 in
+      ignore
+        (Log.compact log
+           ~live:(fun off -> Hashtbl.mem keep off)
+           ~relocate:(fun o n -> Hashtbl.replace moves o n));
+      Log.close log;
+      let log, st = Log.open_dir ~segment_bytes:256 ~dir () in
+      Alcotest.(check int) "survivors persisted" (Hashtbl.length keep)
+        st.os_records;
+      Hashtbl.iter
+        (fun old i ->
+          Alcotest.(check string) "moved record readable after reopen"
+            (Printf.sprintf "%03d" i)
+            (Log.read log (Hashtbl.find moves old)))
+        keep;
+      Log.close log)
+
+(* regression: corrupting a zero-length record must damage that record,
+   not its successor (the old code flipped the byte at [pos + header],
+   which for an empty payload is the next record's magic) *)
+let test_corrupt_empty_payload () =
+  let log = Log.create () in
+  let off_empty = Log.append log "" in
+  let off_next = Log.append log "untouched" in
+  Log.corrupt_for_testing log off_empty;
+  Alcotest.check_raises "empty record is the one damaged"
+    (Failure "Log.read: corrupted record (crc mismatch)") (fun () ->
+      ignore (Log.read log off_empty));
+  Alcotest.(check string) "successor record intact" "untouched"
+    (Log.read log off_next)
+
+let test_file_log_corrupt_for_testing () =
+  with_tmp_dir (fun dir ->
+      let log, _ = Log.open_dir ~dir () in
+      let off = Log.append log "precious" in
+      Log.corrupt_for_testing log off;
+      Log.close log;
+      (* the damage must be write-through: a fresh open sees it *)
+      let _, st = Log.open_dir ~dir () in
+      Alcotest.(check int) "record rejected on reopen" 0 st.os_records;
+      Alcotest.(check bool) "torn bytes" true (st.os_truncated_bytes > 0))
+
+(* qcheck: whatever byte of the file a tear or flip lands on, reopening
+   recovers exactly the longest valid record prefix *)
+
+let gen_payloads = QCheck.(list_of_size (Gen.int_range 1 40) (string_of_size (Gen.int_range 0 60)))
+
+(* append [payloads] into a fresh single-segment file log, close it, and
+   return the cumulative end offset of each record in the file *)
+let write_file_log dir payloads =
+  let log, _ = Log.open_dir ~segment_bytes:(1 lsl 20) ~dir () in
+  let ends =
+    List.map
+      (fun p ->
+        ignore (Log.append log p);
+        Log.bytes_used log)
+      payloads
+  in
+  Log.close log;
+  ends
+
+let prop_torn_tail_recovers_prefix =
+  QCheck.Test.make ~count:60 ~name:"file log: torn tail recovers longest prefix"
+    QCheck.(pair gen_payloads (int_bound 10_000))
+    (fun (payloads, cut_seed) ->
+      with_tmp_dir (fun dir ->
+          let ends = write_file_log dir payloads in
+          let total = List.fold_left max 0 ends in
+          let cut = cut_seed mod (total + 1) in
+          Unix.truncate (Log.segment_path ~dir 0) cut;
+          let expected = List.length (List.filter (fun e -> e <= cut) ends) in
+          let log, st = Log.open_dir ~segment_bytes:(1 lsl 20) ~dir () in
+          let seen = ref [] in
+          Log.iter log (fun _ p -> seen := p :: !seen);
+          Log.close log;
+          st.os_records = expected
+          && List.rev !seen = List.filteri (fun i _ -> i < expected) payloads))
+
+let prop_bit_flip_recovers_prefix =
+  QCheck.Test.make ~count:60 ~name:"file log: bit flip recovers longest prefix"
+    QCheck.(triple gen_payloads (int_bound 10_000) (int_bound 7))
+    (fun (payloads, off_seed, bit) ->
+      with_tmp_dir (fun dir ->
+          let ends = write_file_log dir payloads in
+          let total = List.fold_left max 0 ends in
+          QCheck.assume (total > 0);
+          let off = off_seed mod total in
+          let path = Log.segment_path ~dir 0 in
+          let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          ignore (Unix.read fd b 0 1);
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor (1 lsl bit)));
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          ignore (Unix.write fd b 0 1);
+          Unix.close fd;
+          (* the record containing [off] and everything after it is gone *)
+          let expected = List.length (List.filter (fun e -> e <= off) ends) in
+          let log, st = Log.open_dir ~segment_bytes:(1 lsl 20) ~dir () in
+          let seen = ref [] in
+          Log.iter log (fun _ p -> seen := p :: !seen);
+          Log.close log;
+          st.os_records = expected
+          && List.rev !seen = List.filteri (fun i _ -> i < expected) payloads))
+
+(* --- durable store: WAL replay, checkpoint rotation --- *)
+
+module Store_int = Pagestore.Store.Make (Pagestore.Codec.Int) (T)
+
+let test_store_wal_replay () =
+  with_tmp_dir (fun dir ->
+      let st, stats = Store_int.open_dir ~fsync:false ~dir () in
+      Alcotest.(check bool) "fresh" true stats.rs_fresh;
+      let t = Store_int.tree st in
+      let w = Store_int.wal st in
+      for k = 0 to 199 do
+        ignore (T.insert t k (k * 7));
+        Store_int.W.commit w ~tid:0 [ Store_int.W.W_insert (k, k * 7) ]
+      done;
+      for k = 0 to 49 do
+        ignore (T.delete t k (k * 7));
+        Store_int.W.commit w ~tid:0 [ Store_int.W.W_remove k ]
+      done;
+      Store_int.close st;
+      (* no checkpoint was cut: recovery is pure WAL replay *)
+      let st, stats = Store_int.open_dir ~fsync:false ~dir () in
+      Alcotest.(check bool) "not fresh" false stats.rs_fresh;
+      Alcotest.(check int) "all ops replayed" 250 stats.rs_wal_ops;
+      Alcotest.(check int) "snapshot was empty" 0 stats.rs_snapshot_items;
+      let t = Store_int.tree st in
+      Alcotest.(check int) "cardinality" 150 (T.cardinal t);
+      Alcotest.(check (list int)) "survivor lookup" [ 350 ] (T.lookup t 50);
+      Alcotest.(check (list int)) "deleted key gone" [] (T.lookup t 10);
+      Store_int.close st)
+
+let test_store_checkpoint_rotation () =
+  with_tmp_dir (fun dir ->
+      let st, _ = Store_int.open_dir ~fsync:false ~page_items:32 ~dir () in
+      let t = Store_int.tree st in
+      for k = 0 to 499 do
+        ignore (T.insert t k k);
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, k) ]
+      done;
+      Store_int.checkpoint st;
+      Alcotest.(check int) "generation rotated" 1 (Store_int.gen st);
+      for k = 500 to 599 do
+        ignore (T.insert t k k);
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, k) ]
+      done;
+      Store_int.close st;
+      let st, stats = Store_int.open_dir ~fsync:false ~page_items:32 ~dir () in
+      Alcotest.(check int) "recovered into gen 1" 1 stats.rs_gen;
+      Alcotest.(check int) "snapshot items" 500 stats.rs_snapshot_items;
+      Alcotest.(check int) "wal suffix only" 100 stats.rs_wal_ops;
+      Alcotest.(check int) "full state" 600 (T.cardinal (Store_int.tree st));
+      Store_int.close st;
+      (* exactly one generation's directories remain on disk *)
+      let entries = Array.to_list (Sys.readdir dir) in
+      let gens =
+        List.filter
+          (fun e ->
+            String.length e > 6
+            && (String.sub e 0 6 = "pages-" || String.sub e 0 4 = "wal-"))
+          entries
+      in
+      Alcotest.(check int) "old generations swept" 2 (List.length gens))
+
+(* regression: [compact_keeping log [newest]] must drop the retired
+   manifests themselves — the old gc_roots marked every manifest record
+   live, so stale manifests with pre-compaction page offsets survived
+   forever *)
+let test_compact_keeping_drops_old_manifests () =
+  let t = T.create () in
+  let log = Log.create ~segment_bytes:4096 () in
+  let roots = ref [] in
+  for round = 1 to 4 do
+    for k = (round - 1) * 500 to (round * 500) - 1 do
+      ignore (T.insert t k k)
+    done;
+    roots := CP.save ~page_items:64 t log :: !roots
+  done;
+  let newest = List.hd !roots in
+  let _, fresh_roots = CP.compact_keeping log [ newest ] in
+  let root' = List.hd fresh_roots in
+  let m = CP.manifest log root' in
+  (* survivors: the kept manifest's pages plus the manifest record itself *)
+  Alcotest.(check int) "only live pages and one manifest remain"
+    (Array.length m.pages + 1)
+    (Log.records log);
+  let t' = CP.load log root' in
+  Alcotest.(check bool) "kept checkpoint still loads" true
+    (T.scan_all t () = T.scan_all t' ())
+
+(* qcheck: random ops with a checkpoint cut at a random point, then a
+   clean close/reopen — recovery (snapshot + WAL replay) must match a
+   sequential oracle, on a single store and on a 3-shard forest *)
+
+let gen_ops =
+  QCheck.(
+    list_of_size (Gen.int_range 0 120)
+      (triple (int_bound 2) (int_bound 60) (int_bound 1000)))
+
+let apply_oracle oracle (op, k, v) =
+  match op with
+  | 0 -> if not (Hashtbl.mem oracle k) then Hashtbl.replace oracle k v
+  | 1 -> if Hashtbl.mem oracle k then Hashtbl.replace oracle k v
+  | _ -> Hashtbl.remove oracle k
+
+let scan_driver (d : int Index_iface.driver) keyspace =
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (d.Index_iface.read ~tid:0 k))
+    (List.init keyspace Fun.id)
+
+let oracle_bindings oracle keyspace =
+  List.filter_map
+    (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt oracle k))
+    (List.init keyspace Fun.id)
+
+let run_store_oracle ~shards (ops, cut) =
+  with_tmp_dir (fun dir ->
+      let open_durable () =
+        if shards = 1 then
+          Harness.Drivers.durable_bwtree_int ~fsync:false ~dir ()
+        else
+          Harness.Drivers.durable_bwtree_forest_int ~fsync:false ~lo:0 ~hi:63
+            ~shards ~dir ()
+      in
+      let oracle = Hashtbl.create 64 in
+      let dur = open_durable () in
+      let d = dur.Harness.Drivers.dur_driver in
+      let cut = cut mod (List.length ops + 1) in
+      List.iteri
+        (fun i (op, k, v) ->
+          (match op with
+          | 0 -> ignore (d.Index_iface.insert ~tid:0 k v)
+          | 1 -> ignore (d.Index_iface.update ~tid:0 k v)
+          | _ -> ignore (d.Index_iface.remove ~tid:0 k));
+          apply_oracle oracle (op, k, v);
+          if i + 1 = cut then dur.Harness.Drivers.dur_checkpoint ~tid:0 ())
+        ops;
+      d.Index_iface.thread_done ~tid:0;
+      dur.Harness.Drivers.dur_close ();
+      let dur = open_durable () in
+      let got = scan_driver dur.Harness.Drivers.dur_driver 64 in
+      dur.Harness.Drivers.dur_close ();
+      got = oracle_bindings oracle 64)
+
+let prop_store_recovery_oracle =
+  QCheck.Test.make ~count:40
+    ~name:"store: checkpoint + WAL replay matches sequential oracle"
+    QCheck.(pair gen_ops (int_bound 200))
+    (run_store_oracle ~shards:1)
+
+let prop_forest_recovery_oracle =
+  QCheck.Test.make ~count:25
+    ~name:"3-shard forest: per-shard recovery matches sequential oracle"
+    QCheck.(pair gen_ops (int_bound 200))
+    (run_store_oracle ~shards:3)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "pagestore"
@@ -333,6 +701,35 @@ let () =
           q prop_codec_mixed_stream_roundtrip;
           q prop_codec_int_truncated;
           q prop_codec_string_truncated;
+        ] );
+      ( "file log",
+        [
+          Alcotest.test_case "reopen roundtrip" `Quick test_file_log_reopen;
+          Alcotest.test_case "multi-segment reopen" `Quick
+            test_file_log_multi_segment_reopen;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_file_log_torn_tail;
+          Alcotest.test_case "bit flip drops later segments" `Quick
+            test_file_log_flip_drops_later_segments;
+          Alcotest.test_case "compaction persists" `Quick
+            test_file_log_compact_persists;
+          Alcotest.test_case "corrupt empty payload (regression)" `Quick
+            test_corrupt_empty_payload;
+          Alcotest.test_case "corruption is write-through" `Quick
+            test_file_log_corrupt_for_testing;
+          q prop_torn_tail_recovers_prefix;
+          q prop_bit_flip_recovers_prefix;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "WAL replay" `Quick test_store_wal_replay;
+          Alcotest.test_case "checkpoint rotation" `Quick
+            test_store_checkpoint_rotation;
+          Alcotest.test_case "compact_keeping drops old manifests \
+                              (regression)" `Quick
+            test_compact_keeping_drops_old_manifests;
+          q prop_store_recovery_oracle;
+          q prop_forest_recovery_oracle;
         ] );
       ( "checkpoint",
         [

@@ -86,6 +86,34 @@ let batch_forest_case () =
   in
   check_clean (Bw_stress.run cfg (Bw_stress.of_driver d))
 
+(* Crash-recovery sweep: durable pagestore subjects killed mid-load with
+   a corrupted WAL tail; the harness checks per-(worker, shard) prefix
+   consistency of the replayed WAL against the journals, a full keyspace
+   sweep against the oracle, and a clean checkpoint/reopen cycle. *)
+let crash_case ~shards ~batch () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bwt-test-crash-%d-%d-%d" (Unix.getpid ()) shards batch)
+  in
+  let cfg =
+    {
+      (Bw_stress.short_crash_config ~dir) with
+      cc_domains = 2;
+      cc_keys_per_domain = 96;
+      cc_ops_per_phase = 200;
+      cc_rounds = 2;
+      cc_shards = shards;
+      cc_batch = batch;
+      cc_seed = 31 + (shards * 7) + batch;
+    }
+  in
+  let r = Bw_stress.run_crash_recovery cfg in
+  Alcotest.(check (list string)) "no crash-recovery violations" []
+    r.Bw_stress.cr_violations;
+  Alcotest.(check bool) "evaluated checks" true (r.Bw_stress.cr_checks > 0);
+  Alcotest.(check bool) "journaled writes" true (r.Bw_stress.cr_ops > 0)
+
 let bwtree_cases =
   List.concat_map
     (fun scheme ->
@@ -111,6 +139,17 @@ let () =
             (batch_case ~unique:false);
           Alcotest.test_case "3-shard forest, batch 8" `Quick
             batch_forest_case;
+        ] );
+      ( "crash recovery",
+        [
+          Alcotest.test_case "single tree" `Quick
+            (crash_case ~shards:1 ~batch:1);
+          Alcotest.test_case "single tree, batch 16" `Quick
+            (crash_case ~shards:1 ~batch:16);
+          Alcotest.test_case "3-shard forest" `Quick
+            (crash_case ~shards:3 ~batch:1);
+          Alcotest.test_case "3-shard forest, batch 16" `Quick
+            (crash_case ~shards:3 ~batch:16);
         ] );
       ( "comparators",
         [
