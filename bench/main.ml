@@ -748,9 +748,7 @@ let abl scale =
 (* Page-store substrate: checkpoint / recovery / compaction rates      *)
 (* ------------------------------------------------------------------ *)
 
-module Cp =
-  Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Pagestore.Codec.Int)
-    (Drivers.Bw_int)
+module Cp = Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Drivers.Bw_int)
 
 let store scale =
   print_header
@@ -853,6 +851,52 @@ let batch_bench scale =
     [ W.Read_only; W.Read_update ]
 
 (* ------------------------------------------------------------------ *)
+(* Packed leaf pages: boxed vs packed representation                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The packed-leaf representation (DESIGN.md "Packed leaf pages"):
+   contiguous binary-key arenas with a branchless lower bound and
+   gap-reusing consolidation, against the boxed (decoded-key-array)
+   baseline — the [packed_leaves] config bit is the only difference.
+   YCSB C is the point-read case the in-node search dominates; YCSB E
+   exercises the scan cursor and consolidation paths; batch 256 is the
+   epoch-amortized path where leaf probes are the remaining cost. *)
+let packed_bench scale =
+  print_header
+    "Packed leaf pages: boxed vs packed (YCSB C/E, rand int keys, \
+     OpenBw-Tree, multi-threaded)";
+  let configs =
+    [
+      ("boxed", Bwtree.Config.make ~packed_leaves:false ());
+      ("packed", Bwtree.Config.make ~packed_leaves:true ());
+    ]
+  in
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun b ->
+          let cells =
+            List.map
+              (fun (name, config) ->
+                ( name,
+                  mops_of ~batch:b
+                    ~mkdriver:(fun () -> Drivers.bwtree_driver_int ~config ())
+                    ~conv:(W.int_key_of W.Rand_int) ~space:W.Rand_int ~mix
+                    ~nthreads:scale.threads scale ))
+              configs
+          in
+          let ratio =
+            match cells with
+            | [ (_, boxed); (_, packed) ] -> packed /. boxed
+            | _ -> nan
+          in
+          print_row
+            (Format.asprintf "%a b=%d" W.pp_mix mix b)
+            (cells @ [ ("ratio", ratio) ]))
+        [ 1; 256 ])
+    [ W.Read_only; W.Scan_insert ]
+
+(* ------------------------------------------------------------------ *)
 (* Durable WAL overhead: group commit vs the in-memory tree            *)
 (* ------------------------------------------------------------------ *)
 
@@ -905,7 +949,8 @@ let experiments =
     ("fig12", fig12); ("tab2", tab2); ("fig13", fig13); ("fig14", fig14);
     ("fig15", fig15); ("tab3", tab3); ("fig16", fig16); ("fig17", fig17);
     ("fig18", fig18); ("bech", bech); ("abl", abl); ("store", store);
-    ("shards", shards_bench); ("batch", batch_bench); ("wal", wal_bench);
+    ("shards", shards_bench); ("batch", batch_bench); ("packed", packed_bench);
+    ("wal", wal_bench);
   ]
 
 let () =

@@ -76,7 +76,8 @@ let () =
       if not (List.mem_assoc k counters) then fail "counter %S missing" k)
     [
       "splits"; "consolidations"; "reclaim_batches"; "mt_growths";
-      "batch_redescents";
+      "batch_redescents"; "leaf_pack_builds"; "leaf_gap_reuses";
+      "leaf_probe_cmps";
     ];
   let gauges = as_obj "gauges" (get "gauges" v) in
   List.iter

@@ -16,8 +16,7 @@
    Run with: dune exec examples/order_engine.exe *)
 
 module Idx = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
-module Cp =
-  Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Pagestore.Codec.Int) (Idx)
+module Cp = Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Idx)
 
 type order = {
   id : int;

@@ -7,8 +7,7 @@
    Run with: dune exec examples/persistence.exe *)
 
 module Tree = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
-module Cp =
-  Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Pagestore.Codec.Int) (Tree)
+module Cp = Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (Tree)
 module Log = Pagestore.Log
 
 let mb bytes = float_of_int bytes /. 1024.0 /. 1024.0

@@ -12,6 +12,9 @@
     the paper is an independent switch. *)
 
 include Bwtree_intf
+module Leaf_page = Leaf_page
+(** Re-exported so tests and tools can instantiate the full page
+    interface (build/merge) without going through a tree. *)
 
 module Counters = Bw_util.Counters
 module Growable = Bw_util.Growable
@@ -25,6 +28,13 @@ module Make (K : KEY) (V : VALUE) :
   S with type key = K.t and type value = V.t = struct
   type key = K.t
   type value = V.t
+
+  (* The one leaf-materialization representation (ROADMAP item 2): every
+     consumer of leaf contents goes through this module. [P] is the full
+     internal interface; the public [Page] alias below is narrowed to
+     [Leaf_page.S] by the signature constraint. *)
+  module P = Leaf_page.Make (K) (V)
+  module Page = P
 
   (* ---------------------------------------------------------------- *)
   (* Bounds                                                            *)
@@ -74,8 +84,7 @@ module Make (K : KEY) (V : VALUE) :
     | ID of inner_delta
 
   and leaf_base = {
-    lb_keys : key array;
-    lb_vals : value array;
+    lb_page : P.t;
     lb_meta : meta;
     lb_pre : prealloc option;
   }
@@ -176,8 +185,7 @@ module Make (K : KEY) (V : VALUE) :
   let empty_leaf cfg =
     Leaf
       {
-        lb_keys = [||];
-        lb_vals = [||];
+        lb_page = P.empty;
         lb_meta =
           {
             size = 0;
@@ -248,25 +256,10 @@ module Make (K : KEY) (V : VALUE) :
   (* Sorted-array helpers                                              *)
   (* ---------------------------------------------------------------- *)
 
-  (* first index whose key is >= k, over [keys] *)
-  let lower_bound ~tid keys n k =
-    let lo = ref 0 and hi = ref n in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      cnt tid Counters.Key_compare;
-      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
-    done;
-    !lo
-
-  (* like lower_bound but restricted to [\[lo0, hi0)] — §4.4 shortcut *)
-  let lower_bound_range ~tid keys k ~lo0 ~hi0 =
-    let lo = ref lo0 and hi = ref hi0 in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      cnt tid Counters.Key_compare;
-      if K.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
-    done;
-    !lo
+  (* In-leaf key search lives in {!Leaf_page} ([P.lower_bound] and
+     friends) — one implementation for descent, batch probes, iterators
+     and the frozen tree. Only the separator search below stays here:
+     it is bound-typed, not key-typed. *)
 
   (* largest index i with seps.(i) <= k; seps.(0) <= k always holds for a
      correctly-routed traversal *)
@@ -290,8 +283,8 @@ module Make (K : KEY) (V : VALUE) :
   let rec gather_leaf ~tid (e : elem) : (key * value) Growable.t =
     match e with
     | Leaf b ->
-        let g = Growable.create ~capacity:(Array.length b.lb_keys + 8) () in
-        Array.iteri (fun i k -> Growable.push g (k, b.lb_vals.(i))) b.lb_keys;
+        let g = Growable.create ~capacity:(P.length b.lb_page + 8) () in
+        P.iter_from b.lb_page 0 (fun k v -> Growable.push g (k, v));
         g
     | LD d -> (
         cnt tid Counters.Pointer_deref;
@@ -412,134 +405,47 @@ module Make (K : KEY) (V : VALUE) :
   (* Fast consolidation (§4.3)                                         *)
   (* ---------------------------------------------------------------- *)
 
-  (* Applicable when the chain is only data deltas with valid offsets over
-     a leaf base. Gathers present/deleted sets walking new-to-old (the
-     §3.1 visibility rule), resolves offsets into base segments, and emits
-     the new item array with a single two-way merge — no full sort. *)
-  let fast_consolidate_leaf ~tid (head : elem) : (key * value) array option =
-    (* collect deltas; bail on anything the fast path cannot handle *)
+  (* Applicable when the chain is only data deltas over a leaf base:
+     convert the chain (newest first) into {!P.delta} records and let
+     the page module resolve visibility and emit the new page with a
+     single two-way merge — no full sort, and with packed pages the
+     surviving keys keep their byte slices (gap reuse). [None] on
+     SMO-bearing chains; the caller falls back to the general replay. *)
+  let consolidate_leaf_chain ~tid ?packed ?reuse (head : elem) :
+      P.merged option =
     let exception Fallback in
     try
-      (* Walking new-to-old with multiset semantics: a delete becomes
-         *pending* and is consumed by the next-older insert of the same
-         pair, or failing that by a base occurrence. (The paper's §3.1
-         set formulation assumes (key, value) pairs never repeat across
-         chain and base; an update delta whose old and new values are
-         equal violates that, so we count occurrences instead.) *)
-      let pres : (key * value * int) Growable.t = Growable.create () in
-      let dels : (key * value * int) Growable.t = Growable.create () in
-      let take_pending k v =
-        (* consume one pending delete of (k, v); false if none *)
-        let n = Growable.length dels in
-        let rec go i =
-          if i >= n then false
-          else
-            let k', v', _ = Growable.get dels i in
-            if K.compare k' k = 0 && V.equal v' v then begin
-              Growable.remove_at dels i;
-              true
-            end
-            else go (i + 1)
-        in
-        go 0
-      in
-      let do_ins k v off =
-        if off < 0 then raise Fallback;
-        if not (take_pending k v) then Growable.push pres (k, v, off)
-      in
-      let do_del k v off =
-        if off < 0 then raise Fallback;
-        Growable.push dels (k, v, off)
-      in
       let rec walk e =
         match e with
-        | Leaf b -> b
-        | LD d -> (
+        | Leaf b -> (b, [])
+        | LD d ->
             cnt tid Counters.Pointer_deref;
-            match d.l_op with
-            | L_ins (k, v) ->
-                do_ins k v d.l_meta.offset;
-                walk d.l_next
-            | L_del (k, v) ->
-                do_del k v d.l_meta.offset;
-                walk d.l_next
-            | L_upd (k, vold, vnew) ->
-                (* update = insert of the new value (newer) + delete of
-                   the old (older), processed in that order *)
-                do_ins k vnew d.l_meta.offset;
-                do_del k vold d.l_meta.offset;
-                walk d.l_next
-            | L_split _ | L_merge _ | L_remove -> raise Fallback)
+            let dd =
+              match d.l_op with
+              | L_ins (k, v) -> P.Ins (k, v)
+              | L_del (k, v) -> P.Del (k, v)
+              | L_upd (k, vold, vnew) -> P.Upd (k, vold, vnew)
+              | L_split _ | L_merge _ | L_remove -> raise Fallback
+            in
+            let b, ds = walk d.l_next in
+            (b, dd :: ds)
         | Inner _ | ID _ -> raise Fallback
       in
-      let base = walk head in
-      let bk = base.lb_keys and bv = base.lb_vals in
-      let nb = Array.length bk in
-      (* events over base positions: an insert goes before its offset
-         position; a delete kills one resolved base position (Rule #3:
-         unresolvable deletes were already absorbed by the present set or
-         refer to delta-only items and are ignored). *)
-      let events : (int * int * key * value) Growable.t = Growable.create () in
-      (* (position, kind 0=ins 1=del, key, value) *)
-      Growable.iter (fun (k, v, off) -> Growable.push events (off, 0, k, v)) pres;
-      let consumed = Array.make nb false in
-      Growable.iter
-        (fun (k, v, off) ->
-          (* resolve: scan forward from the recorded offset for the exact
-             pair (non-unique keys share the smallest offset, §4.3);
-             unresolvable deletes refer to delta-only items already
-             absorbed above (Rule #3) *)
-          let rec resolve i =
-            if i >= nb then -1
-            else if K.compare bk.(i) k > 0 then -1
-            else if
-              (not consumed.(i))
-              && K.compare bk.(i) k = 0
-              && V.equal bv.(i) v
-            then i
-            else resolve (i + 1)
-          in
-          let p = resolve (max 0 off) in
-          if p >= 0 then begin
-            consumed.(p) <- true;
-            Growable.push events (p, 1, k, v)
-          end)
-        dels;
-      Growable.sort
-        (fun (p1, kind1, k1, _) (p2, kind2, k2, _) ->
-          if p1 <> p2 then compare p1 p2
-          else if kind1 <> kind2 then compare kind1 kind2 (* ins before del *)
-          else K.compare k1 k2)
-        events;
-      let out = Growable.create ~capacity:(nb + Growable.length pres) () in
-      let pos = ref 0 in
-      Growable.iter
-        (fun (p, kind, k, v) ->
-          while !pos < p do
-            Growable.push out (bk.(!pos), bv.(!pos));
-            incr pos
-          done;
-          if kind = 0 then Growable.push out (k, v)
-          else (* delete: skip the base item at p *) pos := p + 1)
-        events;
-      while !pos < nb do
-        Growable.push out (bk.(!pos), bv.(!pos));
-        incr pos
-      done;
-      Some (Growable.to_array out)
+      let b, deltas = walk head in
+      Some (P.merge_with_deltas ~tid ?packed ?reuse b.lb_page deltas)
     with Fallback -> None
 
   (* ---------------------------------------------------------------- *)
   (* Building base nodes                                               *)
   (* ---------------------------------------------------------------- *)
 
-  let leaf_base_of_items t items ~lo ~hi ~right =
-    let n = Array.length items in
+  let leaf_base_of_page t ~tid page ~lo ~hi ~right =
+    if Bw_obs.enabled t.o && P.is_packed page then
+      Bw_obs.incr t.o ~tid Bw_obs.C_leaf_pack_builds;
     Leaf
       {
-        lb_keys = Array.map fst items;
-        lb_vals = Array.map snd items;
-        lb_meta = { size = n; depth = 0; lo; hi; right; offset = -1 };
+        lb_page = page;
+        lb_meta = { size = P.length page; depth = 0; lo; hi; right; offset = -1 };
         lb_pre = new_prealloc t.cfg ~leaf:true;
       }
 
@@ -617,12 +523,9 @@ module Make (K : KEY) (V : VALUE) :
         | Inner _ | ID _ -> raise Fallback
       in
       let base = walk head in
-      let out = Growable.create ~capacity:(Array.length base.lb_keys + 8) () in
-      Array.iteri
-        (fun i k ->
-          let v = base.lb_vals.(i) in
-          if not (take_pending k v) then Growable.push out (k, v))
-        base.lb_keys;
+      let out = Growable.create ~capacity:(P.length base.lb_page + 8) () in
+      P.iter_from base.lb_page 0 (fun k v ->
+          if not (take_pending k v) then Growable.push out (k, v));
       Growable.iter (fun kv -> Growable.push out kv) pres;
       let items = Growable.to_array out in
       (* the paper's baseline pays a full sort here *)
@@ -645,16 +548,31 @@ module Make (K : KEY) (V : VALUE) :
           let t0 = if Bw_obs.enabled t.o then Bw_obs.now_ns () else 0 in
           let repl =
             if is_leaf_elem head then begin
-              let items =
-                match
-                  if t.cfg.fast_consolidation then
-                    fast_consolidate_leaf ~tid head
-                  else sort_consolidate_leaf ~tid head
-                with
-                | Some items -> items
-                | None -> Growable.to_array (gather_leaf ~tid head)
+              let page =
+                if t.cfg.fast_consolidation then
+                  match
+                    consolidate_leaf_chain ~tid
+                      ~packed:t.cfg.packed_leaves head
+                  with
+                  | Some merged ->
+                      if merged.P.m_gap_reused && Bw_obs.enabled t.o then
+                        Bw_obs.incr t.o ~tid Bw_obs.C_leaf_gap_reuses;
+                      Some merged.P.m_page
+                  | None -> None
+                else
+                  (* the paper's baseline pays the full sort *)
+                  Option.map
+                    (P.build ~packed:t.cfg.packed_leaves)
+                    (sort_consolidate_leaf ~tid head)
               in
-              leaf_base_of_items t items ~lo:m.lo ~hi:m.hi ~right:m.right
+              let page =
+                match page with
+                | Some p -> p
+                | None ->
+                    P.build ~packed:t.cfg.packed_leaves
+                      (Growable.to_array (gather_leaf ~tid head))
+              in
+              leaf_base_of_page t ~tid page ~lo:m.lo ~hi:m.hi ~right:m.right
             end
             else
               let items = Growable.to_array (gather_inner ~tid head) in
@@ -889,9 +807,11 @@ module Make (K : KEY) (V : VALUE) :
         if !pos >= n then ()
         else begin
           let ks = fst items.(!pos) in
-          let right_items = Array.sub items !pos (n - !pos) in
           let right =
-            leaf_base_of_items t right_items ~lo:(B ks) ~hi:m.hi ~right:m.right
+            leaf_base_of_page t ~tid
+              (P.build_sub ~packed:t.cfg.packed_leaves items ~pos:!pos
+                 ~len:(n - !pos))
+              ~lo:(B ks) ~hi:m.hi ~right:m.right
           in
           let rid = Mapping_table.allocate t.table right in
           cnt tid Counters.Allocation;
@@ -1241,27 +1161,24 @@ module Make (K : KEY) (V : VALUE) :
     p_offset : int;  (* base position for the new delta, -1 if unknown *)
   }
 
-  (* Scan a leaf logical node for [k]. [stop_on_key]: unique-key mode stops
-     at the first delta with the key (§3.1: incompatible with non-unique
-     support). Tracks the §4.4 shortcut range and the §4.3 offset. *)
-  let probe_leaf t ~tid (head : elem) k : probe =
-    let use_sets = not t.cfg.unique_keys in
-    let pres : value Growable.t = Growable.create () in
-    let dels : value Growable.t = Growable.create () in
-    (* consume one pending delete of [v]; false if none (multiset variant
-       of the §3.1 rule, see fast_consolidate_leaf) *)
-    let take_pending v =
-      let n = Growable.length dels in
-      let rec go i =
-        if i >= n then false
-        else if V.equal (Growable.get dels i) v then begin
-          Growable.remove_at dels i;
-          true
-        end
-        else go (i + 1)
-      in
-      go 0
-    in
+  (* Shared base-node search: clamp the §4.4 shortcut range to the page
+     and run the one {!Leaf_page} lower bound. [leaf_probe_cmps] charges
+     the search's deterministic comparison bound. *)
+  let base_search t ~tid pg k ~smin ~smax =
+    let n = P.length pg in
+    let lo0 = if t.cfg.search_shortcuts then min smin n else 0 in
+    let hi0 = if t.cfg.search_shortcuts then min smax n else n in
+    let lo0, hi0 = if lo0 > hi0 then (0, n) else (lo0, hi0) in
+    if Bw_obs.enabled t.o then
+      Bw_obs.add t.o ~tid Bw_obs.C_leaf_probe_cmps
+        (P.search_cost_n (hi0 - lo0));
+    P.lower_bound_in ~tid pg k ~lo:lo0 ~hi:hi0
+
+  (* Unique-key probe (§3.1: short-circuits at the first delta carrying
+     the key). The hot read path: no scratch buffers, at most one result
+     value, base search through the packed page. Tracks the §4.4
+     shortcut range and the §4.3 offset like the non-unique walker. *)
+  let probe_leaf_unique t ~tid (head : elem) k : probe =
     (* §4.4 search shortcut range over the base node *)
     let smin = ref 0 and smax = ref max_int in
     let narrow d k' =
@@ -1277,12 +1194,9 @@ module Make (K : KEY) (V : VALUE) :
         else if d.l_meta.offset < !smax then smax := d.l_meta.offset
       end
     in
-    let delta_offset = ref (-1) in
     (* -1 = not yet known; -2 = poisoned: the walk crossed a merge delta,
        so recorded offsets no longer describe the base we will search *)
-    let note_offset d =
-      if !delta_offset = -1 then delta_offset := d.l_meta.offset
-    in
+    let delta_offset = ref (-1) in
     (* offset to report when short-circuiting at delta [d]: its recorded
        offset, unless the walk already crossed a merge (poisoned) *)
     let eff_offset d = if !delta_offset = -2 then -1 else d.l_meta.offset in
@@ -1295,42 +1209,23 @@ module Make (K : KEY) (V : VALUE) :
               let c = K.compare k k' in
               cnt tid Counters.Key_compare;
               narrow d k';
-              if c = 0 then begin
-                note_offset d;
-                if use_sets then begin
-                  if not (take_pending v) then Growable.push pres v;
-                  walk d.l_next
-                end
-                else { p_found = true; p_values = [ v ]; p_offset = eff_offset d }
-              end
+              if c = 0 then
+                { p_found = true; p_values = [ v ]; p_offset = eff_offset d }
               else walk d.l_next
           | L_del (k', v) ->
+              ignore v;
               let c = K.compare k k' in
               cnt tid Counters.Key_compare;
               narrow d k';
-              if c = 0 then begin
-                note_offset d;
-                if use_sets then begin
-                  Growable.push dels v;
-                  walk d.l_next
-                end
-                else { p_found = false; p_values = []; p_offset = eff_offset d }
-              end
+              if c = 0 then
+                { p_found = false; p_values = []; p_offset = eff_offset d }
               else walk d.l_next
-          | L_upd (k', vold, vnew) ->
+          | L_upd (k', _, vnew) ->
               let c = K.compare k k' in
               cnt tid Counters.Key_compare;
               narrow d k';
-              if c = 0 then begin
-                note_offset d;
-                if use_sets then begin
-                  if not (take_pending vnew) then Growable.push pres vnew;
-                  Growable.push dels vold;
-                  walk d.l_next
-                end
-                else
-                  { p_found = true; p_values = [ vnew ]; p_offset = eff_offset d }
-              end
+              if c = 0 then
+                { p_found = true; p_values = [ vnew ]; p_offset = eff_offset d }
               else walk d.l_next
           | L_split (ks, _) ->
               (* keys >= ks moved right; the caller's entry check already
@@ -1339,27 +1234,113 @@ module Make (K : KEY) (V : VALUE) :
               walk d.l_next
           | L_merge (km, right, _) ->
               cnt tid Counters.Key_compare;
-              if K.compare k km >= 0 then begin
-                (* the key lives in the absorbed right branch; offsets into
-                   the left base are meaningless from here on *)
-                delta_offset := -2;
-                walk right
-              end
-              else begin
-                delta_offset := -2;
-                walk d.l_next
-              end
+              (* offsets into the left base are meaningless from here on *)
+              delta_offset := -2;
+              if K.compare k km >= 0 then walk right else walk d.l_next
           | L_remove -> walk d.l_next)
       | Leaf b ->
-          let n = Array.length b.lb_keys in
-          let lo0 = if t.cfg.search_shortcuts then min !smin n else 0 in
-          let hi0 = if t.cfg.search_shortcuts then min !smax n else n in
-          let lo0, hi0 = if lo0 > hi0 then (0, n) else (lo0, hi0) in
-          let pos = lower_bound_range ~tid b.lb_keys k ~lo0 ~hi0 in
+          let pg = b.lb_page in
+          let pos = base_search t ~tid pg k ~smin:!smin ~smax:!smax in
+          let offset = if !delta_offset = -2 then -1 else pos in
+          let kc = P.keys pg in
+          if pos < Array.length kc && K.compare (Array.unsafe_get kc pos) k = 0
+          then
+            {
+              p_found = true;
+              p_values = [ Array.unsafe_get (P.values pg) pos ];
+              p_offset = offset;
+            }
+          else { p_found = false; p_values = []; p_offset = offset }
+      | Inner _ | ID _ -> assert false
+    in
+    walk head
+
+  (* Non-unique probe: gather the S_present/S_deleted multisets walking
+     new-to-old (the §3.1 visibility rule; multiset variant, see
+     consolidate_leaf_chain). *)
+  let probe_leaf_sets t ~tid (head : elem) k : probe =
+    let pres : value Growable.t = Growable.create () in
+    let dels : value Growable.t = Growable.create () in
+    (* consume one pending delete of [v]; false if none *)
+    let take_pending v =
+      let n = Growable.length dels in
+      let rec go i =
+        if i >= n then false
+        else if V.equal (Growable.get dels i) v then begin
+          Growable.remove_at dels i;
+          true
+        end
+        else go (i + 1)
+      in
+      go 0
+    in
+    let smin = ref 0 and smax = ref max_int in
+    let narrow d k' =
+      if t.cfg.search_shortcuts && d.l_meta.offset >= 0 then begin
+        let c = K.compare k k' in
+        if c = 0 then begin
+          smin := d.l_meta.offset;
+          smax := d.l_meta.offset
+        end
+        else if c > 0 then begin
+          if d.l_meta.offset > !smin then smin := d.l_meta.offset
+        end
+        else if d.l_meta.offset < !smax then smax := d.l_meta.offset
+      end
+    in
+    let delta_offset = ref (-1) in
+    let note_offset d =
+      if !delta_offset = -1 then delta_offset := d.l_meta.offset
+    in
+    let rec walk e =
+      match e with
+      | LD d -> (
+          cnt tid Counters.Pointer_deref;
+          match d.l_op with
+          | L_ins (k', v) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                if not (take_pending v) then Growable.push pres v
+              end;
+              walk d.l_next
+          | L_del (k', v) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                Growable.push dels v
+              end;
+              walk d.l_next
+          | L_upd (k', vold, vnew) ->
+              let c = K.compare k k' in
+              cnt tid Counters.Key_compare;
+              narrow d k';
+              if c = 0 then begin
+                note_offset d;
+                if not (take_pending vnew) then Growable.push pres vnew;
+                Growable.push dels vold
+              end;
+              walk d.l_next
+          | L_split (ks, _) ->
+              ignore ks;
+              walk d.l_next
+          | L_merge (km, right, _) ->
+              cnt tid Counters.Key_compare;
+              delta_offset := -2;
+              if K.compare k km >= 0 then walk right else walk d.l_next
+          | L_remove -> walk d.l_next)
+      | Leaf b ->
+          let pg = b.lb_page in
+          let n = P.length pg in
+          let pos = base_search t ~tid pg k ~smin:!smin ~smax:!smax in
           let base_vals = ref [] in
           let i = ref pos in
-          while !i < n && K.compare b.lb_keys.(!i) k = 0 do
-            base_vals := b.lb_vals.(!i) :: !base_vals;
+          while !i < n && K.compare (P.key pg !i) k = 0 do
+            base_vals := P.value pg !i :: !base_vals;
             incr i
           done;
           let offset =
@@ -1367,24 +1348,20 @@ module Make (K : KEY) (V : VALUE) :
             else if !delta_offset >= 0 then !delta_offset
             else pos
           in
-          if use_sets then begin
-            let surviving_base =
-              List.filter (fun v -> not (take_pending v)) !base_vals
-            in
-            let visible =
-              (Growable.to_array pres |> Array.to_list) @ surviving_base
-            in
-            { p_found = visible <> []; p_values = visible; p_offset = offset }
-          end
-          else
-            {
-              p_found = !base_vals <> [];
-              p_values = !base_vals;
-              p_offset = offset;
-            }
+          let surviving_base =
+            List.filter (fun v -> not (take_pending v)) !base_vals
+          in
+          let visible =
+            (Growable.to_array pres |> Array.to_list) @ surviving_base
+          in
+          { p_found = visible <> []; p_values = visible; p_offset = offset }
       | Inner _ | ID _ -> assert false
     in
     walk head
+
+  let probe_leaf t ~tid (head : elem) k : probe =
+    if t.cfg.unique_keys then probe_leaf_unique t ~tid head k
+    else probe_leaf_sets t ~tid head k
 
   (* ---------------------------------------------------------------- *)
   (* Epoch wrapper and retry loop                                      *)
@@ -1442,21 +1419,14 @@ module Make (K : KEY) (V : VALUE) :
   let try_inplace_insert t ~tid id (head : elem) parent_path k v =
     match head with
     | Leaf b ->
-        let n = Array.length b.lb_keys in
-        let pos = lower_bound ~tid b.lb_keys n k in
-        let keys = Array.make (n + 1) k in
-        let vals = Array.make (n + 1) v in
-        Array.blit b.lb_keys 0 keys 0 pos;
-        Array.blit b.lb_vals 0 vals 0 pos;
-        Array.blit b.lb_keys pos keys (pos + 1) (n - pos);
-        Array.blit b.lb_vals pos vals (pos + 1) (n - pos);
+        let pg = b.lb_page in
+        let pos = P.lower_bound ~tid pg k in
         let repl =
           Leaf
             {
               b with
-              lb_keys = keys;
-              lb_vals = vals;
-              lb_meta = { b.lb_meta with size = n + 1 };
+              lb_page = P.with_inserted pg pos k v;
+              lb_meta = { b.lb_meta with size = P.length pg + 1 };
             }
         in
         if not (mt_cas t ~tid id ~expect:head ~repl) then begin
@@ -1820,6 +1790,25 @@ module Make (K : KEY) (V : VALUE) :
   (* Iterators (§3.2, Appendix C)                                      *)
   (* ---------------------------------------------------------------- *)
 
+  (* Materialize a leaf head as one page, without touching the tree.
+     Fully consolidated leaves are handed out zero-copy (pages are
+     immutable); chains go through the single-merge path with a *boxed*
+     result — snapshots are transient, so they must not claim shared
+     arena gap space or pay key re-encoding. *)
+  let snapshot_leaf_page t ~tid (head : elem) =
+    match head with
+    | Leaf b -> b.lb_page
+    | _ -> (
+        match
+          (* the §4.3 segment merge is much cheaper than the general
+             replay and applies to any chain of plain data deltas *)
+          if t.cfg.fast_consolidation then
+            consolidate_leaf_chain ~tid ~packed:false head
+          else None
+        with
+        | Some merged -> merged.P.m_page
+        | None -> P.build ~packed:false (Growable.to_array (gather_leaf ~tid head)))
+
   module Iterator = struct
     (* An iterator owns a private consolidated copy of one logical leaf
        node; no locks are held between moves. Exhausting the copy
@@ -1828,7 +1817,7 @@ module Make (K : KEY) (V : VALUE) :
     type iter = {
       tree : t;
       tid : int;
-      mutable items : (key * value) array;
+      mutable items : P.t;
       mutable lo : bound;
       mutable hi : bound;
       (* cursor into [items]. pos = -1 with lo = -inf means "before the
@@ -1838,31 +1827,11 @@ module Make (K : KEY) (V : VALUE) :
       mutable pos : int;
     }
 
-    (* first index whose key is >= k over a (key, value) array *)
-    let lower_bound_kv ~tid (items : (key * value) array) k =
-      let lo = ref 0 and hi = ref (Array.length items) in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        cnt tid Counters.Key_compare;
-        if K.compare (fst items.(mid)) k < 0 then lo := mid + 1 else hi := mid
-      done;
-      !lo
-
     let snapshot_node t ~tid k =
       retry_loop t ~tid @@ fun () ->
       let _, _, head = locate t ~tid k in
       let m = meta_of head in
-      (* the §4.3 segment merge is much cheaper than the general replay
-         and applies to any chain of plain data deltas *)
-      let items =
-        match
-          if t.cfg.fast_consolidation then fast_consolidate_leaf ~tid head
-          else None
-        with
-        | Some items -> items
-        | None -> Growable.to_array (gather_leaf ~tid head)
-      in
-      (items, m.lo, m.hi)
+      (snapshot_leaf_page t ~tid head, m.lo, m.hi)
 
     (* first item >= k, possibly skipping empty nodes to the right *)
     let rec position_forward it k =
@@ -1870,8 +1839,8 @@ module Make (K : KEY) (V : VALUE) :
       it.items <- items;
       it.lo <- lo;
       it.hi <- hi;
-      let n = Array.length items in
-      let pos = lower_bound_kv ~tid:it.tid items k in
+      let n = P.length items in
+      let pos = P.lower_bound ~tid:it.tid items k in
       if pos < n then it.pos <- pos
       else
         match hi with
@@ -1882,7 +1851,7 @@ module Make (K : KEY) (V : VALUE) :
     let seek t ?(tid = 0) k =
       with_epoch t ~tid @@ fun () ->
       let it =
-        { tree = t; tid; items = [||]; lo = Neg_inf; hi = Pos_inf; pos = 0 }
+        { tree = t; tid; items = P.empty; lo = Neg_inf; hi = Pos_inf; pos = 0 }
       in
       position_forward it k;
       it
@@ -1936,13 +1905,12 @@ module Make (K : KEY) (V : VALUE) :
           in
           let _, head = rightmost id head in
           let m = meta_of head in
-          let items = Growable.to_array (gather_leaf ~tid head) in
+          let items = snapshot_leaf_page t ~tid head in
           it.items <- items;
           it.lo <- m.lo;
           it.hi <- m.hi;
-          ignore (Array.length items);
           (* last index with key < klow *)
-          let pos = lower_bound_kv ~tid items klow - 1 in
+          let pos = P.lower_bound ~tid items klow - 1 in
           if pos >= 0 then it.pos <- pos
           else
             match m.lo with
@@ -1951,20 +1919,20 @@ module Make (K : KEY) (V : VALUE) :
             | Pos_inf -> assert false)
 
     let current it =
-      if it.pos >= 0 && it.pos < Array.length it.items then
-        Some it.items.(it.pos)
+      if it.pos >= 0 && it.pos < P.length it.items then
+        Some (P.get it.items it.pos)
       else None
 
-    let at_end it = it.pos >= Array.length it.items && it.hi = Pos_inf
+    let at_end it = it.pos >= P.length it.items && it.hi = Pos_inf
     let at_begin it = it.pos < 0 && it.lo = Neg_inf
 
     let next it =
       with_epoch it.tree ~tid:it.tid @@ fun () ->
       if not (at_end it) then begin
         it.pos <- it.pos + 1;
-        if it.pos >= Array.length it.items then
+        if it.pos >= P.length it.items then
           match it.hi with
-          | Pos_inf -> it.pos <- Array.length it.items
+          | Pos_inf -> it.pos <- P.length it.items
           | B k -> position_forward it k
           | Neg_inf -> assert false
       end
@@ -1983,7 +1951,7 @@ module Make (K : KEY) (V : VALUE) :
     let seek_first t ?(tid = 0) () =
       (* position before everything, then step to the first item *)
       let it =
-        { tree = t; tid; items = [||]; lo = Neg_inf; hi = Pos_inf; pos = 0 }
+        { tree = t; tid; items = P.empty; lo = Neg_inf; hi = Pos_inf; pos = 0 }
       in
       (with_epoch t ~tid @@ fun () ->
        retry_loop t ~tid @@ fun () ->
@@ -2001,11 +1969,11 @@ module Make (K : KEY) (V : VALUE) :
        in
        let head = down (Atomic.get t.root) in
        let m = meta_of head in
-       it.items <- Growable.to_array (gather_leaf ~tid head);
+       it.items <- snapshot_leaf_page t ~tid head;
        it.lo <- m.lo;
        it.hi <- m.hi;
        it.pos <- 0);
-      if Array.length it.items = 0 then begin
+      if P.length it.items = 0 then begin
         (match it.hi with
         | Pos_inf -> ()
         | B k -> with_epoch t ~tid (fun () -> position_forward it k)
@@ -2015,17 +1983,18 @@ module Make (K : KEY) (V : VALUE) :
   end
 
   (* Bulk range scan: like the iterator, but consumes each per-node
-     private copy in one go instead of stepping item by item. *)
-  let scan_body t ~tid ~n k =
-    let out = ref [] and count = ref 0 in
+     private copy in one go instead of stepping item by item. The
+     visitor form materializes nothing; [scan] builds its list on top. *)
+  let scan_iter_body t ~tid ~n k visit =
+    let count = ref 0 in
     let rec from_key k =
       let items, _, hi =
         with_epoch t ~tid @@ fun () -> Iterator.snapshot_node t ~tid k
       in
-      let len = Array.length items in
-      let pos = ref (Iterator.lower_bound_kv ~tid items k) in
+      let len = P.length items in
+      let pos = ref (P.lower_bound ~tid items k) in
       while !pos < len && !count < n do
-        out := items.(!pos) :: !out;
+        visit (P.key items !pos) (P.value items !pos);
         incr count;
         incr pos
       done;
@@ -2036,6 +2005,17 @@ module Make (K : KEY) (V : VALUE) :
         | Neg_inf -> assert false
     in
     from_key k;
+    !count
+
+  let scan_iter t ?(tid = 0) ?(n = max_int) k visit =
+    match t.o with
+    | Bw_obs.Null -> scan_iter_body t ~tid ~n k visit
+    | Bw_obs.To _ ->
+        timed t ~tid Bw_obs.Lat_scan (fun () -> scan_iter_body t ~tid ~n k visit)
+
+  let scan_body t ~tid ~n k =
+    let out = ref [] in
+    ignore (scan_iter_body t ~tid ~n k (fun k v -> out := (k, v) :: !out));
     List.rev !out
 
   let scan t ?(tid = 0) ?(n = max_int) k =
@@ -2059,6 +2039,55 @@ module Make (K : KEY) (V : VALUE) :
     List.rev !out
 
   let cardinal t = List.length (scan_all t ())
+
+  (* Checkpoint traversal: every non-empty logical leaf as one page, in
+     key order (leftmost spine down, then the sibling high keys).
+     Depth-0 leaves are handed out zero-copy — with packed pages the
+     checkpoint then serializes their key bytes without re-encoding.
+     Chained leaves materialize through the single-merge path with
+     [~reuse:false]: a fresh arena, so a checkpoint never consumes the
+     live pages' shared gap space. *)
+  let iter_leaf_pages t ?(tid = 0) f =
+    let materialize head =
+      match head with
+      | Leaf b -> b.lb_page
+      | _ -> (
+          match consolidate_leaf_chain ~tid ~reuse:false head with
+          | Some merged -> merged.P.m_page
+          | None ->
+              P.build ~packed:t.cfg.packed_leaves
+                (Growable.to_array (gather_leaf ~tid head)))
+    in
+    let first =
+      with_epoch t ~tid @@ fun () ->
+      retry_loop t ~tid @@ fun () ->
+      let rec down id =
+        let head = mt_get t ~tid id in
+        (match head with
+        | LD { l_op = L_remove; _ } | ID { i_op = I_remove; _ } ->
+            raise Restart
+        | _ -> ());
+        if is_leaf_elem head then head
+        else
+          let items = gather_inner ~tid head in
+          down (snd (Growable.get items 0))
+      in
+      let head = down (Atomic.get t.root) in
+      (materialize head, (meta_of head).hi)
+    in
+    let rec go (page, hi) =
+      if P.length page > 0 then f page;
+      match hi with
+      | Pos_inf -> ()
+      | B k ->
+          go
+            (with_epoch t ~tid @@ fun () ->
+             retry_loop t ~tid @@ fun () ->
+             let _, _, head = locate t ~tid k in
+             (materialize head, (meta_of head).hi))
+      | Neg_inf -> assert false
+    in
+    go first
 
   (* ---------------------------------------------------------------- *)
   (* GC control                                                        *)
@@ -2285,7 +2314,8 @@ module Make (K : KEY) (V : VALUE) :
     let rec pp_chain ppf e =
       match e with
       | Leaf b ->
-          Format.fprintf ppf "base[%d items]" (Array.length b.lb_keys)
+          Format.fprintf ppf "base[%d items%s]" (P.length b.lb_page)
+            (if P.is_packed b.lb_page then ", packed" else "")
       | Inner b ->
           Format.fprintf ppf "base{";
           Array.iteri
@@ -2318,16 +2348,14 @@ module Make (K : KEY) (V : VALUE) :
   (* §6.3: frozen direct-pointer tree (mapping table disabled)         *)
   (* ---------------------------------------------------------------- *)
 
-  type frozen =
-    | F_leaf of key array * value array
-    | F_inner of bound array * frozen array
+  type frozen = F_leaf of P.t | F_inner of bound array * frozen array
 
   let freeze t =
     consolidate_all t;
     let tid = 0 in
     let rec conv id =
       match mt_get t ~tid id with
-      | Leaf b -> F_leaf (b.lb_keys, b.lb_vals)
+      | Leaf b -> F_leaf b.lb_page
       | Inner b -> F_inner (b.ib_seps, Array.map conv b.ib_ids)
       | LD _ | ID _ ->
           (* consolidate_all left a delta behind (concurrent writer):
@@ -2343,13 +2371,13 @@ module Make (K : KEY) (V : VALUE) :
           cnt tid Counters.Pointer_deref;
           let i = sep_index ~tid seps (Array.length seps) k in
           go children.(i)
-      | F_leaf (keys, vals) ->
-          let n = Array.length keys in
-          let pos = lower_bound ~tid keys n k in
+      | F_leaf pg ->
+          let n = P.length pg in
+          let pos = P.lower_bound ~tid pg k in
           let out = ref [] in
           let i = ref pos in
-          while !i < n && K.compare keys.(!i) k = 0 do
-            out := vals.(!i) :: !out;
+          while !i < n && K.compare (P.key pg !i) k = 0 do
+            out := P.value pg !i :: !out;
             incr i
           done;
           !out

@@ -50,6 +50,11 @@ type config = {
   inplace_leaf_update : bool;
       (** [true] rewrites leaf bases copy-on-write instead of appending
           deltas (§6.3 "disable delta updates"); single-threaded only *)
+  packed_leaves : bool;
+      (** [true] builds leaf base pages with the packed binary-comparable
+          key arena and branchless in-node search ({!Leaf_page});
+          [false] keeps the boxed layout (decoded keys searched through
+          [KEY.compare]) — the ablation baseline *)
   gc_scheme : Epoch.scheme;  (** §4.2; paper default for OpenBw is
       decentralized, for baseline Bw-Tree centralized *)
   gc_threshold : int;  (** local garbage list trigger (1024) *)
@@ -70,6 +75,7 @@ let default_config =
     search_shortcuts = true;
     use_atomic_cas = true;
     inplace_leaf_update = false;
+    packed_leaves = true;
     gc_scheme = Epoch.Decentralized;
     gc_threshold = 1024;
     max_threads = 64;
@@ -86,6 +92,7 @@ let microsoft_config =
     preallocate = false;
     fast_consolidation = false;
     search_shortcuts = false;
+    packed_leaves = false;
     gc_scheme = Epoch.Centralized;
   }
 
@@ -117,7 +124,8 @@ module Config = struct
   let make ?(base = default_config) ?leaf_max ?inner_max ?leaf_chain_max
       ?inner_chain_max ?leaf_min ?inner_min ?unique_keys ?preallocate
       ?fast_consolidation ?search_shortcuts ?use_atomic_cas
-      ?inplace_leaf_update ?gc_scheme ?gc_threshold ?max_threads () =
+      ?inplace_leaf_update ?packed_leaves ?gc_scheme ?gc_threshold
+      ?max_threads () =
     let field v = function Some x -> x | None -> v in
     let c =
       {
@@ -133,6 +141,7 @@ module Config = struct
         search_shortcuts = field base.search_shortcuts search_shortcuts;
         use_atomic_cas = field base.use_atomic_cas use_atomic_cas;
         inplace_leaf_update = field base.inplace_leaf_update inplace_leaf_update;
+        packed_leaves = field base.packed_leaves packed_leaves;
         gc_scheme = field base.gc_scheme gc_scheme;
         gc_threshold = field base.gc_threshold gc_threshold;
         max_threads = field base.max_threads max_threads;
@@ -297,6 +306,12 @@ module type S = sig
   (** Up to [n] items starting at the first key >= the argument — the
       YCSB-E operation. *)
 
+  val scan_iter : t -> ?tid:int -> ?n:int -> key -> (key -> value -> unit) -> int
+  (** Visitor form of {!scan}: calls the function on up to [n] items in
+      key order and returns the count, materializing nothing. The
+      harness drivers use it so a range query allocates no result
+      list. *)
+
   val scan_all : t -> ?tid:int -> unit -> (key * value) list
   val cardinal : t -> int
 
@@ -321,6 +336,21 @@ module type S = sig
       published epoch stops holding back reclamation. *)
 
   val epoch : t -> Epoch.t
+
+  (** {1 Leaf pages} *)
+
+  module Page : Leaf_page.S with type key := key and type value := value
+  (** The one leaf-materialization representation: every consumer of
+      leaf contents — descent, consolidation, iterators, freeze/inspect,
+      checkpointing — goes through this API (ROADMAP item 2). *)
+
+  val iter_leaf_pages : t -> ?tid:int -> (Page.t -> unit) -> unit
+  (** Visits every non-empty logical leaf as one consolidated page, in
+      key order. Fully consolidated leaves are handed out zero-copy;
+      leaves with pending deltas are materialized on the side (the tree
+      is not modified). Quiescent callers only — this is the checkpoint
+      writer's traversal, and {!Page.encode} serializes packed pages by
+      blit, so a checkpoint never re-encodes keys. *)
 
   (** {1 Introspection} *)
 

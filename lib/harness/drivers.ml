@@ -66,13 +66,7 @@ let bw_int_driver_of_tree ?(name = "OpenBw-Tree") tree : int Runner.driver =
     read = (fun ~tid k -> hd_opt (Bw_int.lookup tree ~tid k));
     update = (fun ~tid k v -> Bw_int.update tree ~tid k v);
     remove = (fun ~tid k -> Bw_int.delete tree ~tid k 0);
-    scan =
-      (fun ~tid k ~n visit ->
-        List.fold_left
-          (fun m (k, v) ->
-            visit k v;
-            m + 1)
-          0 (Bw_int.scan tree ~tid ~n k));
+    scan = (fun ~tid k ~n visit -> Bw_int.scan_iter tree ~tid ~n k visit);
     batch = Some (bw_int_batch tree);
     start_aux = (fun () -> Bw_int.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_int.stop_gc_thread tree);
@@ -87,13 +81,7 @@ let bw_str_driver_of_tree ?(name = "OpenBw-Tree") tree : string Runner.driver =
     read = (fun ~tid k -> hd_opt (Bw_str.lookup tree ~tid k));
     update = (fun ~tid k v -> Bw_str.update tree ~tid k v);
     remove = (fun ~tid k -> Bw_str.delete tree ~tid k 0);
-    scan =
-      (fun ~tid k ~n visit ->
-        List.fold_left
-          (fun m (k, v) ->
-            visit k v;
-            m + 1)
-          0 (Bw_str.scan tree ~tid ~n k));
+    scan = (fun ~tid k ~n visit -> Bw_str.scan_iter tree ~tid ~n k visit);
     batch = Some (bw_str_batch tree);
     start_aux = (fun () -> Bw_str.start_gc_thread tree ());
     stop_aux = (fun () -> Bw_str.stop_gc_thread tree);

@@ -120,6 +120,9 @@ type counter =
   | C_wal_bytes
   | C_recovered_pages
   | C_recovered_wal_records
+  | C_leaf_pack_builds
+  | C_leaf_gap_reuses
+  | C_leaf_probe_cmps
 
 let counter_index = function
   | C_splits -> 0
@@ -138,6 +141,9 @@ let counter_index = function
   | C_wal_bytes -> 13
   | C_recovered_pages -> 14
   | C_recovered_wal_records -> 15
+  | C_leaf_pack_builds -> 16
+  | C_leaf_gap_reuses -> 17
+  | C_leaf_probe_cmps -> 18
 
 let all_counters =
   [
@@ -157,6 +163,9 @@ let all_counters =
     C_wal_bytes;
     C_recovered_pages;
     C_recovered_wal_records;
+    C_leaf_pack_builds;
+    C_leaf_gap_reuses;
+    C_leaf_probe_cmps;
   ]
 
 let n_counters = List.length all_counters
@@ -178,6 +187,9 @@ let counter_name = function
   | C_wal_bytes -> "wal_bytes"
   | C_recovered_pages -> "recovered_pages"
   | C_recovered_wal_records -> "recovered_wal_records"
+  | C_leaf_pack_builds -> "leaf_pack_builds"
+  | C_leaf_gap_reuses -> "leaf_gap_reuses"
+  | C_leaf_probe_cmps -> "leaf_probe_cmps"
 
 type gauge =
   | G_epoch_pending

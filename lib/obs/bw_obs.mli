@@ -57,6 +57,9 @@ type counter =
   | C_wal_bytes  (** payload bytes appended to the WAL *)
   | C_recovered_pages  (** checkpoint pages loaded during recovery *)
   | C_recovered_wal_records  (** WAL records replayed during recovery *)
+  | C_leaf_pack_builds  (** packed leaf pages constructed *)
+  | C_leaf_gap_reuses  (** consolidations that reused the base page's arena *)
+  | C_leaf_probe_cmps  (** key comparisons charged to in-leaf base searches *)
 
 val counter_name : counter -> string
 

@@ -2,19 +2,18 @@
     recovering it.
 
     Real LLAMA [23] writes physical delta/base pages out-of-place and keeps
-    flash addresses in the mapping table. Here the checkpoint is logical:
-    the tree's contents are consolidated into fixed-size page records (one
-    per would-be leaf), a manifest record indexes them, and recovery
-    rebuilds a fresh tree by bulk-loading the pages. The substitution
-    preserves the behaviours the substrate exists for — out-of-place page
-    writes, address indirection through a manifest, CRC-validated reads,
-    and segment garbage collection reclaiming superseded checkpoints. *)
+    flash addresses in the mapping table. Here the checkpoint writes the
+    tree's own leaf pages: {!Bwtree.S.iter_leaf_pages} consolidates each
+    leaf and hands over its packed page, whose binary key region is
+    serialized verbatim by {!Leaf_page.S.encode} — no per-key re-encoding
+    on the save path, which is why this functor takes no key codec. A
+    manifest record indexes the page records, and recovery rebuilds a
+    fresh tree from the decoded pages. The substitution preserves the
+    behaviours the substrate exists for — out-of-place page writes,
+    address indirection through a manifest, CRC-validated reads, and
+    segment garbage collection reclaiming superseded checkpoints. *)
 
-module Make
-    (KC : Codec.CODEC)
-    (VC : Codec.CODEC)
-    (T : Bwtree.S with type key = KC.t and type value = VC.t) =
-struct
+module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
   type manifest = {
     pages : Log.offset array;
     item_count : int;
@@ -28,26 +27,17 @@ struct
   let page_tag = 'P'
   let manifest_tag = 'C'
 
-  let encode_page items =
+  let encode_page page =
     let buf = Buffer.create 1024 in
     Buffer.add_char buf page_tag;
-    Codec.encode_int buf (List.length items);
-    List.iter
-      (fun (k, v) ->
-        KC.encode buf k;
-        VC.encode buf v)
-      items;
+    T.Page.encode buf VC.encode page;
     Buffer.contents buf
 
   let decode_page payload =
     if String.length payload = 0 || payload.[0] <> page_tag then
       failwith "Checkpoint: not a page record";
     let pos = ref 1 in
-    let n = Codec.decode_int payload ~pos in
-    List.init n (fun _ ->
-        let k = KC.decode payload ~pos in
-        let v = VC.decode payload ~pos in
-        (k, v))
+    T.Page.decode payload ~pos ~value:(fun () -> VC.decode payload ~pos)
 
   let encode_manifest ~wal_gen ~wal_pos ~pages ~item_count =
     let buf = Buffer.create 256 in
@@ -74,31 +64,24 @@ struct
      address — the single value a recovery needs (the "root pointer" a
      real system would store in a well-known location).
 
-     The snapshot is [T.scan_all] on the live tree, so it is only
-     point-in-time if the caller quiesces writers first — [Store] cuts
-     its checkpoints at epoch barriers for exactly this reason. [wal_gen]
-     and [wal_pos] name the delta-WAL suffix that continues this
-     snapshot; a standalone checkpoint leaves them zero. *)
-  let save ?(page_items = 128) ?(wal_gen = 0) ?(wal_pos = 0) tree log =
-    if page_items <= 0 then invalid_arg "Checkpoint.save: page_items";
-    let items = T.scan_all tree () in
-    let total = List.length items in
+     One page record per non-empty leaf, in key order, each written by
+     [T.iter_leaf_pages] — so record granularity follows the tree's own
+     leaf size, not a caller knob. [page_items] is accepted for
+     compatibility and ignored. The snapshot walks the live tree, so it
+     is only point-in-time if the caller quiesces writers first —
+     [Store] cuts its checkpoints at epoch barriers for exactly this
+     reason. [wal_gen] and [wal_pos] name the delta-WAL suffix that
+     continues this snapshot; a standalone checkpoint leaves them
+     zero. *)
+  let save ?page_items:_ ?(wal_gen = 0) ?(wal_pos = 0) tree log =
     let pages = ref [] in
-    let rec chunk = function
-      | [] -> ()
-      | items ->
-          let rec take n acc = function
-            | rest when n = 0 -> (List.rev acc, rest)
-            | [] -> (List.rev acc, [])
-            | x :: rest -> take (n - 1) (x :: acc) rest
-          in
-          let page, rest = take page_items [] items in
-          pages := Log.append log (encode_page page) :: !pages;
-          chunk rest
-    in
-    chunk items;
+    let total = ref 0 in
+    T.iter_leaf_pages tree (fun page ->
+        total := !total + T.Page.length page;
+        pages := Log.append log (encode_page page) :: !pages);
     let pages = Array.of_list (List.rev !pages) in
-    Log.append log (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:total)
+    Log.append log
+      (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:!total)
 
   let manifest log off = decode_manifest (Log.read log off)
 
@@ -113,9 +96,9 @@ struct
     let loaded = ref 0 in
     Array.iter
       (fun page_off ->
-        List.iter
-          (fun (k, v) -> if T.insert tree k v then incr loaded)
-          (decode_page (Log.read log page_off)))
+        let page = decode_page (Log.read log page_off) in
+        T.Page.iter_from page 0 (fun k v ->
+            if T.insert tree k v then incr loaded))
       m.pages;
     if !loaded <> m.item_count then
       failwith "Checkpoint.load: manifest item count mismatch";

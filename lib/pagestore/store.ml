@@ -155,7 +155,7 @@ module Make
     (KC : Codec.CODEC)
     (T : Bwtree.S with type key = KC.t and type value = int) =
 struct
-  module CP = Checkpoint.Make (KC) (Codec.Int) (T)
+  module CP = Checkpoint.Make (Codec.Int) (T)
   module W = Wal.Make (KC) (Codec.Int)
 
   type t = {

@@ -10,6 +10,14 @@
     Never instantiate at [float] element type: the results are ordinary
     tag-0 arrays, not flat float arrays. *)
 
+val alloc : int -> 'a array
+(** An [n]-slot array seeded with the immediate [0]. GC-safe as is
+    (every slot is an immediate), but reading a slot before writing it
+    is unsound at any non-int element type — callers must overwrite (or
+    provably never read) every slot. The building block of the
+    constructors below; exposed for fill-then-publish builders
+    ({!Growable} growth, leaf-page construction). *)
+
 val map : ('a -> 'b) -> 'a array -> 'b array
 (** Same observable behaviour as {!Array.map} (applied in index order). *)
 

@@ -13,15 +13,23 @@ let create ?(capacity = 8) () =
 
 let length t = t.len
 
-let grow t elt =
+(* Capacity growth and [to_array] go through [Arr.alloc]'s
+   immediate-seeded allocation: [Array.make new_cap elt] with a young
+   [elt] and more than 256 slots forces a stop-the-world minor GC per
+   growth step (see arr.ml), and batch-sized gathers — leaf replays,
+   iterator snapshots — hit exactly that range. The immediate seed means
+   Growable must never be used at float element type (flat float arrays
+   have a different layout); every instantiation in the tree carries
+   variants or tuples. *)
+let grow t =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 8 else cap * 2 in
-  let data = Array.make new_cap elt in
+  let data = Arr.alloc new_cap in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
 
 let push t x =
-  if t.len >= Array.length t.data then grow t x;
+  if t.len >= Array.length t.data then grow t;
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
@@ -42,7 +50,13 @@ let clear t =
 
 let reset t = t.len <- 0
 
-let to_array t = Array.sub t.data 0 t.len
+let to_array t =
+  if t.len = 0 then [||]
+  else begin
+    let a = Arr.alloc t.len in
+    Array.blit t.data 0 a 0 t.len;
+    a
+  end
 
 let of_array a = { data = Array.copy a; len = Array.length a }
 
@@ -72,7 +86,7 @@ let pop t =
 
 let insert_at t i x =
   if i < 0 || i > t.len then invalid_arg "Growable.insert_at";
-  if t.len >= Array.length t.data then grow t x;
+  if t.len >= Array.length t.data then grow t;
   Array.blit t.data i t.data (i + 1) (t.len - i);
   t.data.(i) <- x;
   t.len <- t.len + 1

@@ -1,7 +1,12 @@
 (** Growable arrays (OCaml 5.1 predates [Dynarray]).
 
     Amortized O(1) push; not thread-safe. Used for thread-local garbage
-    lists, iterator buffers and consolidation scratch space. *)
+    lists, iterator buffers and consolidation scratch space.
+
+    Storage growth and {!to_array} use {!Arr}'s immediate-seeded
+    allocation so that batch-sized gathers never force a minor
+    collection; consequently a Growable must never hold [float] elements
+    (see arr.ml — flat float arrays have a different layout). *)
 
 type 'a t
 

@@ -3,10 +3,8 @@
 
 module T = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
 module TS = Bwtree.Make (Index_iface.String_key) (Index_iface.Int_value)
-module CP = Pagestore.Checkpoint.Make (Pagestore.Codec.Int)
-    (Pagestore.Codec.Int) (T)
-module CPS = Pagestore.Checkpoint.Make (Pagestore.Codec.String)
-    (Pagestore.Codec.Int) (TS)
+module CP = Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (T)
+module CPS = Pagestore.Checkpoint.Make (Pagestore.Codec.Int) (TS)
 module Log = Pagestore.Log
 
 (* --- crc32 --- *)
@@ -219,9 +217,14 @@ let test_checkpoint_page_granularity () =
     ignore (T.insert t k k)
   done;
   let log = Log.create () in
-  let root = CP.save ~page_items:100 t log in
+  let root = CP.save t log in
   let m = CP.manifest log root in
-  Alcotest.(check int) "10 pages" 10 (Array.length m.pages);
+  (* record granularity follows the tree's own leaves: one page record
+     per non-empty leaf, in key order *)
+  let leaves = ref 0 in
+  T.iter_leaf_pages t (fun _ -> incr leaves);
+  Alcotest.(check int) "one record per leaf" !leaves (Array.length m.pages);
+  Alcotest.(check bool) "split across pages" true (Array.length m.pages > 1);
   Alcotest.(check int) "item count" 1_000 m.item_count
 
 let test_checkpoint_string_keys () =

@@ -270,6 +270,32 @@ let test_arr_no_forced_minor () =
     true
     (stdlib >= rounds && ours < rounds / 2)
 
+let test_growable_no_forced_minor () =
+  (* Growable's grow/to_array/insert_at allocate through Arr.alloc, so a
+     batch-sized gather of young tuples (the leaf consolidation path)
+     must not force a minor collection per array either *)
+  let rounds = 100 in
+  let burn mk =
+    ignore (Sys.opaque_identity (mk ()));
+    let before = (Gc.quick_stat ()).minor_collections in
+    for _ = 1 to rounds do
+      ignore (Sys.opaque_identity (mk ()))
+    done;
+    (Gc.quick_stat ()).minor_collections - before
+  in
+  let ours =
+    burn (fun () ->
+        let g = Growable.create () in
+        for i = 0 to 299 do
+          Growable.push g (i, i)
+        done;
+        Growable.to_array g)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "grow + to_array stay amortized (%d)" ours)
+    true
+    (ours < rounds / 2)
+
 (* --- Key_codec --- *)
 
 let test_codec_roundtrip () =
@@ -387,6 +413,8 @@ let () =
           Alcotest.test_case "reset" `Quick test_growable_reset;
           Alcotest.test_case "sort/fold" `Quick test_growable_sort_fold;
           Alcotest.test_case "bounds" `Quick test_growable_bounds;
+          Alcotest.test_case "no forced minor GC" `Quick
+            test_growable_no_forced_minor;
           q prop_growable_model;
         ] );
       ( "arr",
