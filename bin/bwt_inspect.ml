@@ -8,15 +8,99 @@
    shape, mapping table, memory) and the histograms/counters below them
    are forest-wide totals.
 
+   With --data-dir the inspector skips the synthetic load and instead
+   opens a durable store read-only (safe against a live server owning
+   the same directory): per shard it reports what recovery found —
+   generation, snapshot pages and items, WAL records and replayed ops,
+   torn bytes truncated — plus the recovered tree's shape and memory.
+
    Examples:
      dune exec bin/bwt_inspect.exe -- --keys 100000 --keyspace rand
      dune exec bin/bwt_inspect.exe -- --baseline --threads 8 --keyspace hc
      dune exec bin/bwt_inspect.exe -- --keys 200 --dump
-     dune exec bin/bwt_inspect.exe -- --shards 4 --keyspace rand *)
+     dune exec bin/bwt_inspect.exe -- --shards 4 --keyspace rand
+     dune exec bin/bwt_inspect.exe -- --data-dir /var/tmp/bwt --shards 4 *)
 
 module Tree = Bwtree.Make (Index_iface.Int_key) (Index_iface.Int_value)
+module Tree_str = Bwtree.Make (Index_iface.String_key) (Index_iface.Int_value)
+module Store_int = Pagestore.Store.Make (Pagestore.Codec.Int) (Tree)
+module Store_str = Pagestore.Store.Make (Pagestore.Codec.String) (Tree_str)
 module W = Workload
 module H = Bw_util.Histogram
+
+(* --data-dir mode: read-only recovery of every shard, then a per-shard
+   report. Mirrors the server's layout: one store at the root for a
+   single shard, [shard-<i>] subdirectories for a forest. *)
+let inspect_durable ~dir ~shards ~key_type ~config ~dump =
+  if not (Sys.file_exists dir) then begin
+    Printf.eprintf "bwt_inspect: no such directory %s\n" dir;
+    exit 1
+  end;
+  if shards = 1 && Sys.file_exists (Filename.concat dir "shard-00") then
+    Printf.printf
+      "note: %s holds shard subdirectories; pass --shards N to read them\n\n"
+      dir;
+  let sdirs =
+    if shards = 1 then [| dir |]
+    else
+      Array.init shards (fun i ->
+          Filename.concat dir (Printf.sprintf "shard-%02d" i))
+  in
+  let label i = if shards = 1 then "store" else Printf.sprintf "shard %d" i in
+  let shape ~i ~keys ~depth ~inner ~leaves ~ldcl ~mem_words =
+    Printf.printf
+      "%s: %8d keys | height %d | %4d inner + %6d leaf | LDCL %.2f | %7.2f \
+       MB\n"
+      (label i) keys depth inner leaves ldcl
+      (float_of_int (mem_words * 8) /. 1024. /. 1024.)
+  in
+  let total_keys = ref 0 and total_mem = ref 0 and missing = ref 0 in
+  (match key_type with
+  | "int" ->
+      Array.iteri
+        (fun i sdir ->
+          match Store_int.inspect_dir ~config ~dir:sdir () with
+          | None ->
+              incr missing;
+              Printf.printf "%s: nothing loadable in %s\n" (label i) sdir
+          | Some (tree, rs) ->
+              Format.printf "%s: recovered %a@." (label i)
+                Pagestore.Store.pp_stats rs;
+              let ss = Tree.structure_stats tree in
+              shape ~i ~keys:(Tree.cardinal tree) ~depth:ss.depth
+                ~inner:ss.inner_nodes ~leaves:ss.leaf_nodes
+                ~ldcl:ss.avg_leaf_chain ~mem_words:(Tree.memory_words tree);
+              total_keys := !total_keys + Tree.cardinal tree;
+              total_mem := !total_mem + Tree.memory_words tree;
+              if dump then Tree.dump tree Format.std_formatter)
+        sdirs
+  | "str" ->
+      Array.iteri
+        (fun i sdir ->
+          match Store_str.inspect_dir ~config ~dir:sdir () with
+          | None ->
+              incr missing;
+              Printf.printf "%s: nothing loadable in %s\n" (label i) sdir
+          | Some (tree, rs) ->
+              Format.printf "%s: recovered %a@." (label i)
+                Pagestore.Store.pp_stats rs;
+              let ss = Tree_str.structure_stats tree in
+              shape ~i
+                ~keys:(Tree_str.cardinal tree)
+                ~depth:ss.depth ~inner:ss.inner_nodes ~leaves:ss.leaf_nodes
+                ~ldcl:ss.avg_leaf_chain
+                ~mem_words:(Tree_str.memory_words tree);
+              total_keys := !total_keys + Tree_str.cardinal tree;
+              total_mem := !total_mem + Tree_str.memory_words tree;
+              if dump then Tree_str.dump tree Format.std_formatter)
+        sdirs
+  | s ->
+      Printf.eprintf "bwt_inspect: unknown key type %S (try: int, str)\n" s;
+      exit 1);
+  if shards > 1 then
+    Printf.printf "forest totals: %d keys | %.2f MB live\n" !total_keys
+      (float_of_int (!total_mem * 8) /. 1024. /. 1024.);
+  if !missing > 0 then exit 1
 
 let () =
   let keys = ref 100_000
@@ -24,6 +108,8 @@ let () =
   and keyspace = ref "rand"
   and shards = ref 1
   and baseline = ref false
+  and data_dir = ref ""
+  and key_type = ref "int"
   and dump = ref false in
   let args =
     [
@@ -36,6 +122,13 @@ let () =
         Arg.Set_int shards,
         "N  range-partition the load over N trees (default 1)" );
       ("--baseline", Arg.Set baseline, "   use the baseline Bw-Tree config");
+      ( "--data-dir",
+        Arg.Set_string data_dir,
+        "DIR  open a durable store read-only and report recovery per shard \
+         (no load)" );
+      ( "--key-type",
+        Arg.Set_string key_type,
+        "T  with --data-dir: int | str (default int)" );
       ("--dump", Arg.Set dump, "   print every logical node and chain");
     ]
   in
@@ -47,6 +140,11 @@ let () =
   let config =
     if !baseline then Bwtree.microsoft_config else Bwtree.default_config
   in
+  if !data_dir <> "" then begin
+    inspect_durable ~dir:!data_dir ~shards:!shards ~key_type:!key_type
+      ~config ~dump:!dump;
+    exit 0
+  end;
   let n_shards = !shards in
   let trees = Array.init n_shards (fun _ -> Tree.create ~config ()) in
   (* mono keys are dense in [0, keys); rand/hc scramble over the whole

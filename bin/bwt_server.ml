@@ -17,17 +17,32 @@ module Backend = Bw_server.Backend
    Harness.Drivers), each shard feeding its own registry; STATS and the
    shutdown snapshot report the merged forest-wide totals plus
    shard<i>_-prefixed per-shard series. *)
-(* Returns the backend plus, when --data-dir made it durable, the
-   shutdown hook that checkpoints the drained store and closes its WAL. *)
-let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
-    Bw_server.Backend.t * (unit -> unit) option =
-  let config =
-    match index with
-    | "openbw" -> None
-    | "bw" -> Some Bwtree.microsoft_config
-    | s ->
-        Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
-        exit 2
+(* Everything [main] needs from the chosen serving mode: the backend,
+   the durable shutdown hook (checkpoint + WAL close), the per-shard
+   replication sources (durable stores only — the WAL shipper's feed),
+   and the follower's stream handler (follow mode only). *)
+type built = {
+  b_backend : Bw_server.Backend.t;
+  b_shutdown : (unit -> unit) option;
+  b_sources : Pagestore.Store.repl_source array option;
+  b_repl_handler :
+    (tid:int -> Bw_server.Wire.repl_req -> Bw_server.Wire.resp) option;
+}
+
+let config_of_index index =
+  match index with
+  | "openbw" -> None
+  | "bw" -> Some Bwtree.microsoft_config
+  | s ->
+      Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
+      exit 2
+
+let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync : built
+    =
+  let config = config_of_index index in
+  let plain backend =
+    { b_backend = backend; b_shutdown = None; b_sources = None;
+      b_repl_handler = None }
   in
   let durable (dur : _ Harness.Drivers.durable) =
     Format.printf "bwt_server: recovered %a@."
@@ -36,7 +51,8 @@ let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
       dur.Harness.Drivers.dur_checkpoint ();
       dur.Harness.Drivers.dur_close ()
     in
-    (dur.Harness.Drivers.dur_driver, Some shutdown)
+    (dur.Harness.Drivers.dur_driver, shutdown,
+     dur.Harness.Drivers.dur_sources)
   in
   match (key_type, data_dir) with
   | "int", None ->
@@ -47,7 +63,7 @@ let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
              client key sets live (negative keys still route, to shard 0) *)
           Harness.Drivers.bwtree_forest_int ?config ~obs_of ~lo:0 ~shards ()
       in
-      (Backend.of_int_driver d, None)
+      plain (Backend.of_int_driver d)
   | "int", Some dir ->
       let dur =
         if shards = 1 then
@@ -56,14 +72,15 @@ let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
           Harness.Drivers.durable_bwtree_forest_int ?config ~obs_of ~lo:0
             ~fsync ~shards ~dir ()
       in
-      let d, shutdown = durable dur in
-      (Backend.of_int_driver d, shutdown)
+      let d, shutdown, sources = durable dur in
+      { b_backend = Backend.of_int_driver d; b_shutdown = Some shutdown;
+        b_sources = Some sources; b_repl_handler = None }
   | "str", None ->
       let d =
         if shards = 1 then Harness.Drivers.bwtree_driver_str ?config ~obs ()
         else Harness.Drivers.bwtree_forest_str ?config ~obs_of ~shards ()
       in
-      (Backend.of_str_driver d, None)
+      plain (Backend.of_str_driver d)
   | "str", Some dir ->
       let dur =
         if shards = 1 then
@@ -72,14 +89,54 @@ let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync :
           Harness.Drivers.durable_bwtree_forest_str ?config ~obs_of ~fsync
             ~shards ~dir ()
       in
-      let d, shutdown = durable dur in
-      (Backend.of_str_driver d, shutdown)
+      let d, shutdown, sources = durable dur in
+      { b_backend = Backend.of_str_driver d; b_shutdown = Some shutdown;
+        b_sources = Some sources; b_repl_handler = None }
   | s, _ ->
       Printf.eprintf "bwt_server: unknown key type %S (try: int, str)\n" s;
       exit 2
 
+(* Follow mode: a warm standby that bootstraps from the primary's
+   SNAPSHOT frames, applies WALCHUNKs into live trees, and serves reads
+   (writes answer ERR) until a PROMOTE frame flips it read-write. *)
+let follower_of ~index ~key_type ~shards ~obs ~obs_of : built =
+  let config = config_of_index index in
+  (* mirror backend_of: a single tree feeds the main registry, a forest
+     feeds per-shard registries *)
+  let obs_of = if shards = 1 then fun _ -> obs else obs_of in
+  let fo =
+    match key_type with
+    | "int" ->
+        Bw_replica.follower_int ?config ~obs ~obs_of ~lo:0 ~shards ()
+    | "str" -> Bw_replica.follower_str ?config ~obs ~obs_of ~shards ()
+    | s ->
+        Printf.eprintf "bwt_server: unknown key type %S (try: int, str)\n" s;
+        exit 2
+  in
+  {
+    b_backend = fo.Bw_replica.fo_backend;
+    b_shutdown = None;
+    b_sources = None;
+    b_repl_handler = Some fo.Bw_replica.fo_handle;
+  }
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          ((if host = "" then "127.0.0.1" else host), p)
+      | _ ->
+          Printf.eprintf "bwt_server: bad port in %S\n" s;
+          exit 2)
+  | None ->
+      Printf.eprintf "bwt_server: expected HOST:PORT, got %S\n" s;
+      exit 2
+
 let main host port workers shards index key_type data_dir no_fsync
-    close_on_malformed metrics metrics_json =
+    close_on_malformed metrics metrics_json replicate_to follow =
   if workers < 1 then begin
     Printf.eprintf "bwt_server: --workers must be >= 1\n";
     exit 2
@@ -88,17 +145,30 @@ let main host port workers shards index key_type data_dir no_fsync
     Printf.eprintf "bwt_server: --shards must be >= 1\n";
     exit 2
   end;
-  let reg = Bw_obs.create ~stripes:(workers + 1) () in
+  if follow && (data_dir <> None || replicate_to <> None) then begin
+    Printf.eprintf
+      "bwt_server: --follow conflicts with --data-dir and --replicate-to\n";
+    exit 2
+  end;
+  if replicate_to <> None && data_dir = None then begin
+    Printf.eprintf "bwt_server: --replicate-to requires --data-dir (the WAL \
+                    is the stream)\n";
+    exit 2
+  end;
+  let reg = Bw_obs.create ~stripes:(workers + 2) () in
   let obs = Bw_obs.To reg in
   let shard_regs =
     Array.init (if shards = 1 then 0 else shards) (fun _ ->
-        Bw_obs.create ~stripes:(workers + 1) ())
+        Bw_obs.create ~stripes:(workers + 2) ())
   in
   let obs_of i = Bw_obs.To shard_regs.(i) in
-  let backend, on_shutdown =
-    backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir
-      ~fsync:(not no_fsync)
+  let built =
+    if follow then follower_of ~index ~key_type ~shards ~obs ~obs_of
+    else
+      backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir
+        ~fsync:(not no_fsync)
   in
+  let backend = built.b_backend and on_shutdown = built.b_shutdown in
   let snapshot_merged () =
     Bw_obs.snapshot_all (reg :: Array.to_list shard_regs)
   in
@@ -122,11 +192,29 @@ let main host port workers shards index key_type data_dir no_fsync
       close_on_malformed;
       obs;
       stats_json = (if shards = 1 then None else Some stats_string);
+      repl_handler = built.b_repl_handler;
     }
   in
   let server = Server.start ~config backend in
   Printf.printf "bwt_server: serving %s (%s keys) on %s:%d with %d workers\n%!"
     backend.Index_iface.name key_type host (Server.port server) workers;
+  if follow then
+    Printf.printf "bwt_server: following (read-only until promoted)\n%!";
+  let shipper =
+    match replicate_to with
+    | None -> None
+    | Some target ->
+        let rhost, rport = parse_host_port target in
+        let sources = Option.get built.b_sources in
+        (* obs tid [workers]: its own stripe, off the workers' 0..N-1 *)
+        let sh =
+          Bw_replica.Shipper.create ~obs ~tid:workers ~host:rhost ~port:rport
+            ~key_type sources
+        in
+        Bw_replica.Shipper.start sh;
+        Printf.printf "bwt_server: replicating to %s:%d\n%!" rhost rport;
+        Some sh
+  in
   let stop_requested = ref false in
   let on_signal _ = stop_requested := true in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -136,6 +224,9 @@ let main host port workers shards index key_type data_dir no_fsync
   done;
   Printf.printf "bwt_server: draining...\n%!";
   Server.stop server;
+  (* drained first, so the shipper's final sweeps see every acknowledged
+     write; only then checkpoint (which retires the WAL) *)
+  Option.iter Bw_replica.Shipper.stop shipper;
   Option.iter
     (fun shutdown ->
       (* drained: every acknowledged op is in the tree, so the snapshot
@@ -219,10 +310,31 @@ let cmd =
          & info [ "metrics-json" ] ~docv:"FILE"
              ~doc:"Write a JSON metrics snapshot to $(docv) at shutdown.")
   in
+  let replicate_to =
+    Arg.(value & opt (some string) None
+         & info [ "replicate-to" ] ~docv:"HOST:PORT"
+             ~doc:"Ship the WAL to a standby serving with --follow at \
+                   $(docv). Requires --data-dir. Shipping is asynchronous \
+                   (never on the commit path); the stream bootstraps the \
+                   standby from the newest checkpoint generation and then \
+                   tails commit groups, reconnecting and re-bootstrapping \
+                   as needed.")
+  in
+  let follow =
+    Arg.(value & flag
+         & info [ "follow" ]
+             ~doc:"Run as a warm standby: accept a primary's replication \
+                   stream, apply it into live trees, and serve GET/SCAN/\
+                   STATS while following (writes answer ERR). A PROMOTE \
+                   frame — optionally naming the dead primary's data \
+                   directory, whose on-disk WAL tail is then replayed — \
+                   flips the process read-write.")
+  in
   let term =
     Term.(
       const main $ host $ port $ workers $ shards $ index $ key_type
-      $ data_dir $ no_fsync $ close_on_malformed $ metrics $ metrics_json)
+      $ data_dir $ no_fsync $ close_on_malformed $ metrics $ metrics_json
+      $ replicate_to $ follow)
   in
   Cmd.v
     (Cmd.info "bwt_server"

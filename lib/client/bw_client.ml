@@ -118,6 +118,7 @@ let err = function
                                  | Wire.Scanned _ -> "scanned"
                                  | Wire.Batched _ -> "batched"
                                  | Wire.Stats_payload _ -> "stats"
+                                 | Wire.Repl_ok _ -> "repl_ok"
                                  | Wire.Err _ -> "err")))
 
 let get t key =
@@ -146,6 +147,13 @@ let stats t =
   | Wire.Stats_payload s -> s
   | r -> err r
 
+(* Replication frames: the WAL shipper is just a client that sends
+   [Wire.Repl] requests; each returns the standby's ack. *)
+let repl t r =
+  match request t (Wire.Repl r) with Wire.Repl_ok n -> n | r -> err r
+
+let promote ?data_dir t = repl t (Wire.R_promote { data_dir })
+
 (* Integer-key conveniences (the common case: int-keyed trees behind the
    wire's binary key encoding). *)
 module Int_key = struct
@@ -157,4 +165,66 @@ module Int_key = struct
 
   let scan t k ~n =
     List.map (fun (bk, v) -> (Bw_util.Key_codec.to_int bk, v)) (scan t (enc k) ~n)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Replica-aware read fan-out                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** One primary plus any number of following replicas. Writes (and any
+    BATCH containing a write) go to the primary; reads — GET, SCAN,
+    STATS, read-only BATCHes — round-robin across the replicas, falling
+    back to the primary when there are none. A follower applies the WAL
+    stream asynchronously, so replica reads are eventually consistent:
+    bounded-staleness, monotone per replica connection (the stream
+    applies in commit order), but a read fanned out right after an
+    acknowledged write may miss it. Callers needing read-your-writes go
+    to the primary directly. *)
+module Fanout = struct
+  type fanout = {
+    primary : t;
+    replicas : t array;
+    mutable next : int;  (* round-robin position *)
+  }
+
+  let make ~primary ~replicas = { primary; replicas; next = 0 }
+
+  let connect ?host ~port ~replica_ports () =
+    let primary = connect ?host ~port () in
+    let replicas =
+      try Array.of_list (List.map (fun p -> connect ?host ~port:p ()) replica_ports)
+      with e ->
+        close primary;
+        raise e
+    in
+    make ~primary ~replicas
+
+  let close_all f =
+    close f.primary;
+    Array.iter close f.replicas
+
+  let reader f =
+    if Array.length f.replicas = 0 then f.primary
+    else begin
+      let r = f.replicas.(f.next mod Array.length f.replicas) in
+      f.next <- f.next + 1;
+      r
+    end
+
+  let rec is_write = function
+    | Wire.Put _ | Wire.Delete _ | Wire.Repl _ -> true
+    | Wire.Batch reqs -> List.exists is_write reqs
+    | Wire.Get _ | Wire.Scan _ | Wire.Stats -> false
+
+  let get f key = get (reader f) key
+  let scan f key ~n = scan (reader f) key ~n
+  let stats f = stats (reader f)
+  let put f ?mode key value = put f.primary ?mode key value
+  let delete f key = delete f.primary key
+
+  let batch f reqs =
+    batch (if List.exists is_write reqs then f.primary else reader f) reqs
+
+  (* Route one request by kind — for callers holding raw [Wire.req]s. *)
+  let request f req = request (if is_write req then f.primary else reader f) req
 end

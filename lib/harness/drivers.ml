@@ -258,15 +258,19 @@ module Durable_int = Pagestore.Store.Make (Pagestore.Codec.Int) (Bw_int)
 module Durable_str = Pagestore.Store.Make (Pagestore.Codec.String) (Bw_str)
 
 (* A durable driver plus its lifecycle: [dur_checkpoint] cuts a new
-   generation (call it quiesced — drained server, phase barrier),
+   generation (call it quiesced — drained server, phase barrier; [mode]
+   selects full rotation vs an in-place incremental manifest),
    [dur_close] fsyncs and releases the WAL without checkpointing (a
    clean close still recovers through WAL replay), [dur_stats] reports
-   what boot-time recovery found. *)
+   what boot-time recovery found. [dur_sources] exposes one replication
+   source per shard (index = shard number; a single store is one-shard)
+   for the WAL shipper. *)
 type 'k durable = {
   dur_driver : 'k Runner.driver;
-  dur_checkpoint : ?tid:int -> unit -> unit;
+  dur_checkpoint : ?tid:int -> ?mode:[ `Full | `Incremental ] -> unit -> unit;
   dur_close : unit -> unit;
   dur_stats : Pagestore.Store.recovery_stats;
+  dur_sources : Pagestore.Store.repl_source array;
 }
 
 let durable_bwtree_int ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
@@ -279,9 +283,12 @@ let durable_bwtree_int ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
     dur_driver =
       Durable_int.wrap_driver st
         (bw_int_driver_of_tree ?name (Durable_int.tree st));
-    dur_checkpoint = (fun ?tid () -> Durable_int.checkpoint ?tid st);
+    dur_checkpoint =
+      (fun ?tid ?mode () ->
+        ignore (Durable_int.checkpoint ?tid ?mode st : int * int));
     dur_close = (fun () -> Durable_int.close st);
     dur_stats = stats;
+    dur_sources = [| Durable_int.repl_source st |];
   }
 
 let durable_bwtree_str ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
@@ -294,9 +301,12 @@ let durable_bwtree_str ?name ?config ?(obs = Bw_obs.Null) ?segment_bytes
     dur_driver =
       Durable_str.wrap_driver st
         (bw_str_driver_of_tree ?name (Durable_str.tree st));
-    dur_checkpoint = (fun ?tid () -> Durable_str.checkpoint ?tid st);
+    dur_checkpoint =
+      (fun ?tid ?mode () ->
+        ignore (Durable_str.checkpoint ?tid ?mode st : int * int));
     dur_close = (fun () -> Durable_str.close st);
     dur_stats = stats;
+    dur_sources = [| Durable_str.repl_source st |];
   }
 
 (* Durable forest: shard [i] keeps its own generations and WAL under
@@ -326,8 +336,11 @@ let durable_bwtree_forest_int ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
   {
     dur_driver = Bw_shard.route_int ?name part drivers;
     dur_checkpoint =
-      (fun ?tid () ->
-        Array.iter (fun (st, _) -> Durable_int.checkpoint ?tid st) stores);
+      (fun ?tid ?mode () ->
+        Array.iter
+          (fun (st, _) ->
+            ignore (Durable_int.checkpoint ?tid ?mode st : int * int))
+          stores);
     dur_close =
       (fun () -> Array.iter (fun (st, _) -> Durable_int.close st) stores);
     dur_stats =
@@ -338,6 +351,7 @@ let durable_bwtree_forest_int ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
           | Some a -> Some (Pagestore.Store.merge_stats a s))
         None stores
       |> Option.get;
+    dur_sources = Array.map (fun (st, _) -> Durable_int.repl_source st) stores;
   }
 
 let durable_bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
@@ -362,8 +376,11 @@ let durable_bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
   {
     dur_driver = Bw_shard.route_binary ?name part drivers;
     dur_checkpoint =
-      (fun ?tid () ->
-        Array.iter (fun (st, _) -> Durable_str.checkpoint ?tid st) stores);
+      (fun ?tid ?mode () ->
+        Array.iter
+          (fun (st, _) ->
+            ignore (Durable_str.checkpoint ?tid ?mode st : int * int))
+          stores);
     dur_close =
       (fun () -> Array.iter (fun (st, _) -> Durable_str.close st) stores);
     dur_stats =
@@ -374,6 +391,7 @@ let durable_bwtree_forest_str ?name ?config ?(obs_of = fun _ -> Bw_obs.Null)
           | Some a -> Some (Pagestore.Store.merge_stats a s))
         None stores
       |> Option.get;
+    dur_sources = Array.map (fun (st, _) -> Durable_str.repl_source st) stores;
   }
 
 (* --- the six-index lineup used by §6 experiments --- *)

@@ -29,6 +29,7 @@ type series =
   | Lat_req_scan
   | Lat_req_batch
   | Lat_req_stats
+  | Lat_req_repl
   | Val_op_restarts
   | Val_chain_depth
   | Val_reclaim_batch
@@ -52,6 +53,7 @@ let series_index = function
   | Val_chain_depth -> 14
   | Val_reclaim_batch -> 15
   | Val_batch_size -> 16
+  | Lat_req_repl -> 17
 
 let all_series =
   [
@@ -72,6 +74,7 @@ let all_series =
     Val_chain_depth;
     Val_reclaim_batch;
     Val_batch_size;
+    Lat_req_repl;
   ]
 
 let n_series = List.length all_series
@@ -90,6 +93,7 @@ let series_name = function
   | Lat_req_scan -> "req_scan"
   | Lat_req_batch -> "req_batch"
   | Lat_req_stats -> "req_stats"
+  | Lat_req_repl -> "req_repl"
   | Val_op_restarts -> "op_restarts"
   | Val_chain_depth -> "chain_depth"
   | Val_reclaim_batch -> "reclaim_batch_size"
@@ -98,7 +102,8 @@ let series_name = function
 let series_unit = function
   | Lat_insert | Lat_delete | Lat_update | Lat_lookup | Lat_scan
   | Lat_consolidate | Lat_reclaim | Lat_req_get | Lat_req_put
-  | Lat_req_delete | Lat_req_scan | Lat_req_batch | Lat_req_stats ->
+  | Lat_req_delete | Lat_req_scan | Lat_req_batch | Lat_req_stats
+  | Lat_req_repl ->
       "ns"
   | Val_op_restarts | Val_chain_depth | Val_reclaim_batch | Val_batch_size ->
       "count"
@@ -123,6 +128,13 @@ type counter =
   | C_leaf_pack_builds
   | C_leaf_gap_reuses
   | C_leaf_probe_cmps
+  | C_repl_records_shipped
+  | C_repl_bytes_shipped
+  | C_repl_records_applied
+  | C_repl_bytes_applied
+  | C_repl_ops_applied
+  | C_repl_snapshot_pages
+  | C_repl_promotions
 
 let counter_index = function
   | C_splits -> 0
@@ -144,6 +156,13 @@ let counter_index = function
   | C_leaf_pack_builds -> 16
   | C_leaf_gap_reuses -> 17
   | C_leaf_probe_cmps -> 18
+  | C_repl_records_shipped -> 19
+  | C_repl_bytes_shipped -> 20
+  | C_repl_records_applied -> 21
+  | C_repl_bytes_applied -> 22
+  | C_repl_ops_applied -> 23
+  | C_repl_snapshot_pages -> 24
+  | C_repl_promotions -> 25
 
 let all_counters =
   [
@@ -166,6 +185,13 @@ let all_counters =
     C_leaf_pack_builds;
     C_leaf_gap_reuses;
     C_leaf_probe_cmps;
+    C_repl_records_shipped;
+    C_repl_bytes_shipped;
+    C_repl_records_applied;
+    C_repl_bytes_applied;
+    C_repl_ops_applied;
+    C_repl_snapshot_pages;
+    C_repl_promotions;
   ]
 
 let n_counters = List.length all_counters
@@ -190,6 +216,13 @@ let counter_name = function
   | C_leaf_pack_builds -> "leaf_pack_builds"
   | C_leaf_gap_reuses -> "leaf_gap_reuses"
   | C_leaf_probe_cmps -> "leaf_probe_cmps"
+  | C_repl_records_shipped -> "repl_records_shipped"
+  | C_repl_bytes_shipped -> "repl_bytes_shipped"
+  | C_repl_records_applied -> "repl_records_applied"
+  | C_repl_bytes_applied -> "repl_bytes_applied"
+  | C_repl_ops_applied -> "repl_ops_applied"
+  | C_repl_snapshot_pages -> "repl_snapshot_pages"
+  | C_repl_promotions -> "repl_promotions"
 
 type gauge =
   | G_epoch_pending
@@ -198,6 +231,8 @@ type gauge =
   | G_mt_chunks
   | G_net_active_conns
   | G_net_queued_bytes
+  | G_repl_lag_records
+  | G_repl_lag_bytes
 
 let gauge_name = function
   | G_epoch_pending -> "epoch_pending"
@@ -206,6 +241,8 @@ let gauge_name = function
   | G_mt_chunks -> "mt_chunks"
   | G_net_active_conns -> "net_active_conns"
   | G_net_queued_bytes -> "net_queued_bytes"
+  | G_repl_lag_records -> "repl_lag_records"
+  | G_repl_lag_bytes -> "repl_lag_bytes"
 
 type event_kind =
   | Ev_split

@@ -30,6 +30,7 @@ type series =
   | Lat_req_scan
   | Lat_req_batch
   | Lat_req_stats
+  | Lat_req_repl  (** replication frames (SUBSCRIBE/SNAPSHOT/WALCHUNK/PROMOTE) *)
   | Val_op_restarts  (** root-restarts taken by one point operation *)
   | Val_chain_depth  (** delta-chain depth met by a lookup *)
   | Val_reclaim_batch  (** objects freed by one collection batch *)
@@ -60,6 +61,13 @@ type counter =
   | C_leaf_pack_builds  (** packed leaf pages constructed *)
   | C_leaf_gap_reuses  (** consolidations that reused the base page's arena *)
   | C_leaf_probe_cmps  (** key comparisons charged to in-leaf base searches *)
+  | C_repl_records_shipped  (** WAL commit records pushed to a standby *)
+  | C_repl_bytes_shipped  (** WAL payload bytes pushed to a standby *)
+  | C_repl_records_applied  (** WAL commit records applied by a follower *)
+  | C_repl_bytes_applied  (** WAL payload bytes applied by a follower *)
+  | C_repl_ops_applied  (** individual ops applied from the stream *)
+  | C_repl_snapshot_pages  (** bootstrap checkpoint pages loaded by a follower *)
+  | C_repl_promotions  (** follower promotions to read-write *)
 
 val counter_name : counter -> string
 
@@ -72,6 +80,8 @@ type gauge =
   | G_mt_chunks  (** mapping-table chunks faulted in *)
   | G_net_active_conns  (** open client connections across all workers *)
   | G_net_queued_bytes  (** response bytes buffered awaiting socket writes *)
+  | G_repl_lag_records  (** WAL commit records the standby is behind *)
+  | G_repl_lag_bytes  (** WAL payload bytes the standby is behind *)
 
 val gauge_name : gauge -> string
 

@@ -60,9 +60,14 @@ module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
     let wal_pos = Codec.decode_int payload ~pos in
     { pages; item_count; wal_gen; wal_pos }
 
-  (* Write a checkpoint of [tree] into [log]; returns the manifest's
-     address — the single value a recovery needs (the "root pointer" a
-     real system would store in a well-known location).
+  type save_report = {
+    sr_manifest : Log.offset;  (* the fresh manifest's address *)
+    sr_pages : int;  (* page records newly appended *)
+    sr_reused : int;  (* page addresses inherited from [prev] *)
+  }
+
+  (* Write a checkpoint of [tree] into [log]; returns where the manifest
+     landed plus how much page writing it avoided.
 
      One page record per non-empty leaf, in key order, each written by
      [T.iter_leaf_pages] — so record granularity follows the tree's own
@@ -71,17 +76,48 @@ module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
      is only point-in-time if the caller quiesces writers first —
      [Store] cuts its checkpoints at epoch barriers for exactly this
      reason. [wal_gen] and [wal_pos] name the delta-WAL suffix that
-     continues this snapshot; a standalone checkpoint leaves them
-     zero. *)
-  let save ?page_items:_ ?(wal_gen = 0) ?(wal_pos = 0) tree log =
+     continues this snapshot; a standalone checkpoint leaves them zero.
+
+     [prev] is an earlier manifest whose page records live in this same
+     [log]: any leaf whose encoding is byte-identical to one of [prev]'s
+     pages is indexed by its existing address instead of being written
+     again — an incremental checkpoint in the LLAMA sense (only changed
+     pages are flushed; the manifest is the mapping-table fix-up).
+     Comparison is by full payload, so a reused address is always
+     correct, never merely probably so. *)
+  let save_report ?page_items:_ ?(wal_gen = 0) ?(wal_pos = 0) ?prev tree log =
+    let known = Hashtbl.create 256 in
+    (match prev with
+    | None -> ()
+    | Some m ->
+        Array.iter
+          (fun off -> Hashtbl.replace known (Log.read log off) off)
+          m.pages);
     let pages = ref [] in
     let total = ref 0 in
+    let written = ref 0 and reused = ref 0 in
     T.iter_leaf_pages tree (fun page ->
         total := !total + T.Page.length page;
-        pages := Log.append log (encode_page page) :: !pages);
+        let payload = encode_page page in
+        let off =
+          match Hashtbl.find_opt known payload with
+          | Some off ->
+              incr reused;
+              off
+          | None ->
+              incr written;
+              Log.append log payload
+        in
+        pages := off :: !pages);
     let pages = Array.of_list (List.rev !pages) in
-    Log.append log
-      (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:!total)
+    let moff =
+      Log.append log
+        (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:!total)
+    in
+    { sr_manifest = moff; sr_pages = !written; sr_reused = !reused }
+
+  let save ?page_items ?wal_gen ?wal_pos ?prev tree log =
+    (save_report ?page_items ?wal_gen ?wal_pos ?prev tree log).sr_manifest
 
   let manifest log off = decode_manifest (Log.read log off)
 

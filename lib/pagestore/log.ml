@@ -207,6 +207,41 @@ let iter t f =
     done
   done
 
+(* Resumable scan: offer records in log order starting at address [off]
+   (0, or a cursor returned by a previous call). [f] answers whether to
+   consume the offered record and keep going — answering [false] stops
+   the walk with the cursor parked *before* that record. The return
+   value is the resume cursor: one past the last record consumed. A
+   cursor parked at a sealed segment's tail hops to the successor
+   segment on the next call, so cursors stay valid across appends and
+   segment seals; {!compact} relocates records and invalidates every
+   outstanding cursor. *)
+let iter_from t off f =
+  let seg_idx = ref (off / t.segment_bytes)
+  and pos = ref (off mod t.segment_bytes) in
+  if !seg_idx >= segment_count t then begin
+    (* address past the image (stale cursor): park at the end *)
+    seg_idx := segment_count t - 1;
+    pos := (seg t !seg_idx).used
+  end;
+  let cont = ref true in
+  while !cont do
+    let s = seg t !seg_idx in
+    if !pos + header_bytes <= s.used && Bytes.get s.buf !pos = magic then begin
+      let addr = (!seg_idx * t.segment_bytes) + !pos in
+      let payload = decode_at t addr in
+      if f addr payload then
+        pos := !pos + header_bytes + String.length payload
+      else cont := false
+    end
+    else if !seg_idx < segment_count t - 1 then begin
+      incr seg_idx;
+      pos := 0
+    end
+    else cont := false
+  done;
+  (!seg_idx * t.segment_bytes) + !pos
+
 (* ---- compaction ---- *)
 
 let reset_segments t =
@@ -328,14 +363,15 @@ let scan_segment ~segment_bytes ~is_last data =
   in
   (!pos, !nrecs, clean)
 
-let open_dir ?(segment_bytes = 256 * 1024) ~dir:dirpath () =
+let open_dir ?(segment_bytes = 256 * 1024) ?(readonly = false) ~dir:dirpath ()
+    =
   if segment_bytes < 64 then invalid_arg "Log.open_dir: segment too small";
-  mkdir_p dirpath;
+  if not readonly then mkdir_p dirpath;
   let seg_bytes =
-    match read_meta dirpath with
+    match if Sys.file_exists dirpath then read_meta dirpath else None with
     | Some sb -> sb
     | None ->
-        write_meta dirpath segment_bytes;
+        if not readonly then write_meta dirpath segment_bytes;
         segment_bytes
   in
   let nfiles = ref 0 in
@@ -344,17 +380,20 @@ let open_dir ?(segment_bytes = 256 * 1024) ~dir:dirpath () =
   done;
   (* Sweep leftovers: compaction temp files, and segment files past a gap
      in the numbering (they can't be part of the contiguous log and would
-     splice stale data into a future recovery once the gap refills). *)
-  Array.iter
-    (fun name ->
-      let path = Filename.concat dirpath name in
-      if Filename.check_suffix name ".tmp" then Sys.remove path
-      else
-        match Scanf.sscanf name "seg-%d.log%!" (fun i -> i) with
-        | i when i >= !nfiles -> Sys.remove path
-        | _ -> ()
-        | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ())
-    (Sys.readdir dirpath);
+     splice stale data into a future recovery once the gap refills).
+     Read-only opens report what the scan would do without touching the
+     directory, so a live store can be inspected from another process. *)
+  if not readonly then
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dirpath name in
+        if Filename.check_suffix name ".tmp" then Sys.remove path
+        else
+          match Scanf.sscanf name "seg-%d.log%!" (fun i -> i) with
+          | i when i >= !nfiles -> Sys.remove path
+          | _ -> ()
+          | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ())
+      (Sys.readdir dirpath);
   let segments = Bw_util.Growable.create () in
   let nrecords = ref 0 in
   let truncated = ref 0 and dropped = ref 0 in
@@ -365,7 +404,7 @@ let open_dir ?(segment_bytes = 256 * 1024) ~dir:dirpath () =
       (* a predecessor's tail was cut: nothing after it may survive *)
       truncated := !truncated + (Unix.stat path).Unix.st_size;
       incr dropped;
-      Sys.remove path
+      if not readonly then Sys.remove path
     end
     else begin
       let data = read_file path in
@@ -383,40 +422,41 @@ let open_dir ?(segment_bytes = 256 * 1024) ~dir:dirpath () =
              before a crash beat the successor file into existence *)
           if not (size = used + 1 && data.[used] = seal) then
             truncated := !truncated + (size - used);
-          truncate_file path used
+          if not readonly then truncate_file path used
         end
       end
       else if not clean then begin
         truncated := !truncated + (size - used);
-        truncate_file path used;
+        if not readonly then truncate_file path used;
         torn := true
       end
     end
   done;
   if Bw_util.Growable.length segments = 0 then begin
     Bw_util.Growable.push segments (fresh_seg seg_bytes);
-    Unix.close
-      (Unix.openfile
-         (segment_path ~dir:dirpath 0)
-         [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
-         0o644)
+    if not readonly then
+      Unix.close
+        (Unix.openfile
+           (segment_path ~dir:dirpath 0)
+           [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+           0o644)
   end;
-  fsync_dir dirpath;
-  let active_idx = Bw_util.Growable.length segments - 1 in
-  let fd =
-    Unix.openfile
-      (segment_path ~dir:dirpath active_idx)
-      [ Unix.O_WRONLY; Unix.O_APPEND ]
-      0o644
+  if not readonly then fsync_dir dirpath;
+  let backing =
+    if readonly then None
+    else begin
+      let active_idx = Bw_util.Growable.length segments - 1 in
+      let fd =
+        Unix.openfile
+          (segment_path ~dir:dirpath active_idx)
+          [ Unix.O_WRONLY; Unix.O_APPEND ]
+          0o644
+      in
+      Some { b_dir = dirpath; b_fd = fd; b_dirty = false; b_closed = false }
+    end
   in
   let t =
-    {
-      segment_bytes = seg_bytes;
-      segments;
-      nrecords = !nrecords;
-      backing =
-        Some { b_dir = dirpath; b_fd = fd; b_dirty = false; b_closed = false };
-    }
+    { segment_bytes = seg_bytes; segments; nrecords = !nrecords; backing }
   in
   ( t,
     {

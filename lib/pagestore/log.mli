@@ -47,14 +47,23 @@ type open_stats = {
       (** segment files discarded because they sat past a corruption *)
 }
 
-val open_dir : ?segment_bytes:int -> dir:string -> unit -> t * open_stats
+val open_dir :
+  ?segment_bytes:int -> ?readonly:bool -> dir:string -> unit -> t * open_stats
 (** File-backed log rooted at [dir] (created if missing, along with
     missing parents). The segment size is fixed at directory creation
     (recorded in [log.meta]); on reopen the recorded value wins and
     [?segment_bytes] is ignored. The recovery scan walks segment files
     in order and truncates at the first invalid byte: everything from
     there on — including all later segment files — is discarded, so the
-    surviving records are exactly the longest valid prefix. *)
+    surviving records are exactly the longest valid prefix.
+
+    [?readonly] (default false) loads the same longest-valid-prefix image
+    without mutating the directory at all: no creation, no truncation, no
+    sweeps, no file descriptor held open. The stats still report what a
+    writable open {e would} cut. The resulting log behaves like an
+    in-memory one ({!dir} is [None]); appends land only in memory. Safe
+    to point at a live store's directory from another process — e.g. the
+    promotion-time WAL tail replay and [bwt_inspect --data-dir]. *)
 
 val dir : t -> string option
 (** The backing directory, or [None] for an in-memory log. *)
@@ -74,6 +83,18 @@ val read : t -> offset -> string
 
 val iter : t -> (offset -> string -> unit) -> unit
 (** Visit every record (live and dead) in log order. *)
+
+val iter_from : t -> offset -> (offset -> string -> bool) -> offset
+(** [iter_from t off f] offers records in log order starting at address
+    [off] — 0 for the log's start, or a cursor returned by a previous
+    call. [f] answers whether to consume the offered record and keep
+    going; answering [false] stops the walk parked {e before} that
+    record. The return value is the resume cursor: one past the last
+    record consumed (equal to [off] when nothing was). Cursors stay
+    valid across appends and segment seals — a cursor parked at a sealed
+    segment's tail hops to the successor on the next call — but
+    {!compact} relocates records and invalidates every outstanding
+    cursor. The WAL tail reader is built on this. *)
 
 (** Accounting. *)
 

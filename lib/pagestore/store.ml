@@ -135,6 +135,49 @@ let write_current dir g =
   Sys.rename tmp path;
   fsync_dir dir
 
+(* ---- replication source (primary side) ----
+
+   Monomorphic view of a store for the WAL shipper: the per-shard WAL is
+   exactly a replication stream, so the source hands out raw bytes —
+   encoded checkpoint page records and encoded commit-record payloads —
+   that a standby running the same codecs applies verbatim. Keeping the
+   types outside the functor lets [Bw_replica]'s shipper drive a
+   heterogeneous array of shard sources without functor plumbing. *)
+
+(* One poll against a source. *)
+type repl_poll =
+  | Rp_records of string list
+      (** committed record-group payloads past the cursor, in commit
+          order; [[]] means caught up *)
+  | Rp_handoff of int
+      (** the polled generation is fully drained and retired; restart
+          the cursor at record 0 of this (checkpoint-complete) one *)
+  | Rp_gone
+      (** the polled generation is unknown — the standby lost the race
+          with compaction of history and must re-bootstrap *)
+
+(* A bootstrap snapshot: the newest checkpoint plus where its WAL
+   suffix starts. [snap_cursor] is already seeked past the ops the
+   pages fold in, so polling with it streams exactly the suffix. *)
+type repl_snapshot = {
+  snap_gen : int;
+  snap_pages : string list;  (** raw encoded page records, in key order *)
+  snap_items : int;  (** manifest item count, for standby verification *)
+  snap_start_rec : int;  (** commit records folded into the pages *)
+  snap_start_ops : int;  (** ops folded into the pages (= [wal_pos]) *)
+  snap_cursor : Wal.cursor;
+}
+
+type repl_source = {
+  src_dir : string;  (** the shard's data directory (promotion replay) *)
+  src_gen : unit -> int;
+  src_snapshot : unit -> repl_snapshot;
+  src_poll : gen:int -> cursor:Wal.cursor -> limit:int -> repl_poll;
+  src_totals : gen:int -> (int * int) option;
+      (** (records, payload bytes) committed so far in a generation —
+          the minuend of the standby-lag gauges *)
+}
+
 (* Generation numbers present on disk (from either kind of dir), newest
    first. *)
 let gens_on_disk dir =
@@ -163,6 +206,11 @@ struct
     tree : T.t;
     mutable wal : W.t;
     mutable gen : int;
+    mutable prev_wal : (int * W.t) option;
+        (* the WAL retired by the last full checkpoint, kept as a closed
+           in-memory image so a replication cursor still tailing the old
+           generation can drain it before handing off; replaced (and the
+           older image dropped) at the next full checkpoint *)
     fsync : bool;
     segment_bytes : int option;
     page_items : int;
@@ -183,18 +231,26 @@ struct
     | W.W_upsert (k, v) -> T.upsert tree k v
     | W.W_remove k -> ignore (T.delete tree k 0 : bool)
 
+  (* Newest decodable manifest in a pages log. Incremental checkpoints
+     append manifests in place, so "newest decodable" is the committed
+     one — a torn incremental append simply never becomes newest. *)
+  let newest_manifest plog =
+    let newest = ref None in
+    Log.iter plog (fun off _ ->
+        match CP.manifest plog off with
+        | _ -> newest := Some off
+        | exception Failure _ -> ());
+    !newest
+
   (* Try to load generation [g]'s snapshot; None when its pages log has
      no decodable manifest (an unfinished checkpoint). *)
-  let try_load_gen ?config ?obs ?segment_bytes dir g =
+  let try_load_gen ?config ?obs ?segment_bytes ?readonly dir g =
     if not (Sys.file_exists (pages_dir dir g)) then None
     else begin
-      let plog, pstats = Log.open_dir ?segment_bytes ~dir:(pages_dir dir g) () in
-      let newest = ref None in
-      Log.iter plog (fun off _ ->
-          match CP.manifest plog off with
-          | _ -> newest := Some off
-          | exception Failure _ -> ());
-      match !newest with
+      let plog, pstats =
+        Log.open_dir ?segment_bytes ?readonly ~dir:(pages_dir dir g) ()
+      in
+      match newest_manifest plog with
       | None ->
           Log.close plog;
           None
@@ -244,6 +300,7 @@ struct
               tree;
               wal;
               gen = g;
+              prev_wal = None;
               fsync;
               segment_bytes;
               page_items;
@@ -284,6 +341,7 @@ struct
               tree;
               wal;
               gen = 0;
+              prev_wal = None;
               fsync;
               segment_bytes;
               page_items;
@@ -319,43 +377,76 @@ struct
     end;
     (st, stats)
 
-  (* Cut a new generation. The caller must have quiesced all writers (a
+  (* Cut a checkpoint. The caller must have quiesced all writers (a
      drained server, a stress-phase barrier) — [scan_all] on a live tree
      would be fuzzy, and any op logged concurrently to the old WAL would
      be deleted with it. [tid] identifies the checkpointing thread to the
-     epoch manager. *)
-  let checkpoint ?(tid = 0) st =
+     epoch manager.
+
+     [`Full] (the default) writes the *next* generation from scratch —
+     snapshot pages, empty successor WAL — flips CURRENT, and deletes
+     the old generation's files (its WAL survives in memory as
+     [prev_wal] for replication drain). [`Incremental] stays inside the
+     current generation: it appends only the leaf pages that changed
+     since the previous manifest (plus a fresh manifest pointing at the
+     mix of old and new page records) into the same pages log, and
+     advances the manifest's [wal_pos] so recovery replays a shorter
+     suffix. No WAL swap, no CURRENT flip, nothing deleted — crash-safe
+     because recovery takes the newest *decodable* manifest, and a torn
+     incremental append never decodes. *)
+  let checkpoint ?(tid = 0) ?(mode = `Full) st =
     Mutex.lock st.mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock st.mu)
       (fun () ->
         T.quiesce st.tree ~tid;
-        let g' = st.gen + 1 in
-        rm_rf (pages_dir st.dir g');
-        rm_rf (wal_dir st.dir g');
-        let plog, _ =
-          Log.open_dir ?segment_bytes:st.segment_bytes
-            ~dir:(pages_dir st.dir g') ()
-        in
-        ignore
-          (CP.save ~page_items:st.page_items ~wal_gen:g' ~wal_pos:0 st.tree
-             plog
-            : Log.offset);
-        Log.sync plog;
-        Log.close plog;
-        let wal', _ =
-          W.open_dir ?segment_bytes:st.segment_bytes ~fsync:st.fsync
-            ~obs:st.obs ~dir:(wal_dir st.dir g') ()
-        in
-        write_current st.dir g';
-        (* the flip is committed: everything before [g'] is garbage *)
-        let old_gen = st.gen and old_wal = st.wal in
-        st.gen <- g';
-        st.wal <- wal';
-        W.close old_wal;
-        rm_rf (pages_dir st.dir old_gen);
-        rm_rf (wal_dir st.dir old_gen);
-        fsync_dir st.dir)
+        match mode with
+        | `Incremental ->
+            let plog, _ =
+              Log.open_dir ?segment_bytes:st.segment_bytes
+                ~dir:(pages_dir st.dir st.gen) ()
+            in
+            let prev =
+              Option.map (CP.manifest plog) (newest_manifest plog)
+            in
+            let report =
+              CP.save_report ~page_items:st.page_items ~wal_gen:st.gen
+                ~wal_pos:(W.pos st.wal) ?prev st.tree plog
+            in
+            Log.sync plog;
+            Log.close plog;
+            (report.CP.sr_pages, report.CP.sr_reused)
+        | `Full ->
+            let g' = st.gen + 1 in
+            rm_rf (pages_dir st.dir g');
+            rm_rf (wal_dir st.dir g');
+            let plog, _ =
+              Log.open_dir ?segment_bytes:st.segment_bytes
+                ~dir:(pages_dir st.dir g') ()
+            in
+            let report =
+              CP.save_report ~page_items:st.page_items ~wal_gen:g'
+                ~wal_pos:0 st.tree plog
+            in
+            Log.sync plog;
+            Log.close plog;
+            let wal', _ =
+              W.open_dir ?segment_bytes:st.segment_bytes ~fsync:st.fsync
+                ~obs:st.obs ~dir:(wal_dir st.dir g') ()
+            in
+            write_current st.dir g';
+            (* the flip is committed: everything before [g'] is garbage
+               on disk; the old WAL's memory image is kept for any
+               replication cursor still draining it *)
+            let old_gen = st.gen and old_wal = st.wal in
+            st.gen <- g';
+            st.wal <- wal';
+            W.close old_wal;
+            st.prev_wal <- Some (old_gen, old_wal);
+            rm_rf (pages_dir st.dir old_gen);
+            rm_rf (wal_dir st.dir old_gen);
+            fsync_dir st.dir;
+            (report.CP.sr_pages, report.CP.sr_reused))
 
   let close st =
     Mutex.lock st.mu;
@@ -405,4 +496,129 @@ struct
           ok);
       batch = Some batch;
     }
+
+  (* Read-only recovery: load the committed state exactly as [open_dir]
+     would — newest loadable generation, WAL suffix replayed into a
+     fresh tree — without mutating the directory in any way (no CURRENT
+     rewrite, no sweeps, no truncation, no fresh-store bootstrap). Safe
+     to point at a live store owned by another process ([bwt_inspect
+     --data-dir], promotion-time forensics). [None] when the directory
+     holds nothing loadable. *)
+  let inspect_dir ?config ?(obs = Bw_obs.Null) ?segment_bytes ~dir () =
+    if not (Sys.file_exists dir) then None
+    else begin
+      let candidates =
+        match read_current dir with
+        | Some g -> g :: List.filter (fun g' -> g' <> g) (gens_on_disk dir)
+        | None -> gens_on_disk dir
+      in
+      let loaded =
+        List.fold_left
+          (fun acc g ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                Option.map
+                  (fun (tree, m, pstats) -> (g, tree, m, pstats))
+                  (try_load_gen ?config ~obs ?segment_bytes ~readonly:true dir
+                     g))
+          None candidates
+      in
+      match loaded with
+      | None -> None
+      | Some (g, tree, m, pstats) ->
+          let wal, wstats =
+            W.open_dir ?segment_bytes ~readonly:true ~fsync:false ~obs
+              ~dir:(wal_dir dir g) ()
+          in
+          let wal_ops = W.replay ~from:m.CP.wal_pos wal (apply_op tree) in
+          Some
+            ( tree,
+              {
+                rs_gen = g;
+                rs_fresh = false;
+                rs_snapshot_items = m.CP.item_count;
+                rs_pages = Array.length m.CP.pages;
+                rs_wal_ops = wal_ops;
+                rs_wal_records = W.records wal;
+                rs_truncated_bytes =
+                  pstats.Log.os_truncated_bytes + wstats.Log.os_truncated_bytes;
+                rs_dropped_segments =
+                  pstats.Log.os_dropped_segments
+                  + wstats.Log.os_dropped_segments;
+              } )
+    end
+
+  (* A replication view of this store for the WAL shipper. All closures
+     synchronize on [st.mu], so a concurrent checkpoint can't flip
+     generations mid-read; tails additionally hold the WAL's own
+     group-commit mutex. The old generation's WAL survives a full
+     checkpoint as an in-memory image ([prev_wal]), so a cursor still
+     draining it keeps streaming until it is exhausted and only then
+     gets the handoff to the new generation — whose checkpoint folds
+     exactly the drained prefix, so the standby's state is continuous
+     across the switch. *)
+  let repl_source st =
+    let with_mu f =
+      Mutex.lock st.mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock st.mu) f
+    in
+    let src_gen () = with_mu (fun () -> st.gen) in
+    let src_snapshot () =
+      with_mu (fun () ->
+          let plog, _ =
+            Log.open_dir ?segment_bytes:st.segment_bytes ~readonly:true
+              ~dir:(pages_dir st.dir st.gen) ()
+          in
+          let moff =
+            match newest_manifest plog with
+            | Some off -> off
+            | None -> failwith "Store.repl_source: generation has no manifest"
+          in
+          let m = CP.manifest plog moff in
+          let pages =
+            Array.to_list
+              (Array.map (fun off -> Log.read plog off) m.CP.pages)
+          in
+          let cur = Wal.fresh_cursor () in
+          W.seek st.wal cur ~ops:m.CP.wal_pos;
+          {
+            snap_gen = st.gen;
+            snap_pages = pages;
+            snap_items = m.CP.item_count;
+            snap_start_rec = cur.Wal.c_rec;
+            snap_start_ops = m.CP.wal_pos;
+            snap_cursor = cur;
+          })
+    in
+    let src_poll ~gen ~cursor ~limit =
+      with_mu (fun () ->
+          let tail_of w =
+            let recs = ref [] in
+            let n = W.tail w ~limit cursor (fun p -> recs := p :: !recs) in
+            (n, List.rev !recs)
+          in
+          if gen = st.gen then begin
+            let _, recs = tail_of st.wal in
+            Rp_records recs
+          end
+          else
+            match st.prev_wal with
+            | Some (g, w) when g = gen ->
+                let n, recs = tail_of w in
+                (* hand off only once the retired WAL is fully drained:
+                   its records are the prefix the new generation's
+                   checkpoint folded in *)
+                if n > 0 then Rp_records recs else Rp_handoff st.gen
+            | _ -> Rp_gone)
+    in
+    let src_totals ~gen =
+      with_mu (fun () ->
+          if gen = st.gen then Some (W.records st.wal, W.bytes st.wal)
+          else
+            match st.prev_wal with
+            | Some (g, w) when g = gen -> Some (W.records w, W.bytes w)
+            | _ -> None)
+    in
+    { src_dir = st.dir; src_gen; src_snapshot; src_poll; src_totals }
 end

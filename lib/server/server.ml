@@ -36,6 +36,11 @@ type config = {
   stats_json : (unit -> string) option;
       (** what a STATS frame answers; [None] snapshots [obs]. A sharded
           server plugs in the merged-plus-per-shard snapshot here. *)
+  repl_handler : (tid:int -> Wire.repl_req -> Wire.resp) option;
+      (** evaluates replication frames; [None] (every server that is not
+          a follower) answers them with ERR. Runs on the worker that owns
+          the shipper's connection — FIFO per connection is the stream's
+          ordering guarantee. *)
 }
 
 let default_config =
@@ -48,6 +53,7 @@ let default_config =
     drain_timeout_s = 5.0;
     obs = Bw_obs.Null;
     stats_json = None;
+    repl_handler = None;
   }
 
 type conn = {
@@ -97,6 +103,7 @@ let series_of_req : Wire.req -> Bw_obs.series = function
   | Wire.Scan _ -> Bw_obs.Lat_req_scan
   | Wire.Batch _ -> Bw_obs.Lat_req_batch
   | Wire.Stats -> Bw_obs.Lat_req_stats
+  | Wire.Repl _ -> Bw_obs.Lat_req_repl
 
 (* Evaluate one request, appending the encoded response body to [body].
    SCAN streams visits straight into the encode buffer — items never
@@ -130,6 +137,11 @@ let rec eval_into t ~tid body (req : Wire.req) : unit =
                 Bw_obs.snapshot_to_string (Bw_obs.snapshot reg))
       in
       Wire.encode_resp body (Wire.Stats_payload json)
+  | Wire.Repl r ->
+      Wire.encode_resp body
+        (match t.cfg.repl_handler with
+        | None -> Wire.Err "replication not enabled"
+        | Some h -> h ~tid r)
 
 (* A decoded BATCH frame: point ops run through the backend's amortized
    batch path in one call (undecodable keys answer ERR in their slot via
@@ -158,7 +170,7 @@ and eval_batch t ~tid body (reqs : Wire.req list) : unit =
         | Wire.Put (Wire.Update, k, v) -> Some (Index_iface.Bop_update (k, v))
         | Wire.Put (Wire.Upsert, k, v) -> Some (Index_iface.Bop_upsert (k, v))
         | Wire.Delete k -> Some (Index_iface.Bop_remove k)
-        | Wire.Scan _ | Wire.Batch _ | Wire.Stats -> None
+        | Wire.Scan _ | Wire.Batch _ | Wire.Stats | Wire.Repl _ -> None
       in
       (* Bw_util.Arr: batch frames carry up to [Wire.max_batch] slots,
          and a stdlib of_list that size forces a minor GC per frame. *)
@@ -211,6 +223,7 @@ let handle_frame t ~tid out payload : bool =
       | exception Wire.Malformed m -> err m t.cfg.close_on_malformed
       | exception Bad_key _ ->
           err "undecodable key" t.cfg.close_on_malformed
+      | exception Read_only -> err "read-only replica" false
       | exception exn ->
           (* an operation failure must not take the worker down *)
           err ("internal error: " ^ Printexc.to_string exn) false)

@@ -41,6 +41,45 @@ let max_batch = 4_096
 
 type put_mode = Insert | Update | Upsert
 
+(** Replication stream frames, primary → standby. They ride the ordinary
+    request/response protocol — the shipper is just another client of the
+    standby — so FIFO-per-connection ordering and per-frame
+    acknowledgement come for free. All payload byte strings (checkpoint
+    page records, WAL commit-record groups) are opaque here: both ends
+    run the same {!Pagestore} codecs and apply them verbatim. *)
+type repl_req =
+  | R_subscribe of { key_type : string; shards : int }
+      (** opens (or resets) a replication session; the standby checks
+          the topology matches its own and clears any partial state *)
+  | R_snapshot of {
+      shard : int;
+      gen : int;
+      start_rec : int;  (** WAL commit records folded into the pages *)
+      start_ops : int;  (** WAL ops folded into the pages *)
+      pages : string list;  (** raw checkpoint page records *)
+      last : bool;  (** final chunk: standby verifies [items] and arms *)
+      items : int;  (** manifest item count (meaningful when [last]) *)
+    }
+  | R_walchunk of {
+      shard : int;
+      gen : int;
+      from_rec : int;  (** absolute record index of [groups]' head *)
+      groups : string list;  (** raw commit-record payloads, in order *)
+      p_recs : int;  (** primary's committed record count in [gen] *)
+      p_bytes : int;
+          (** primary's unshipped WAL-byte backlog after this chunk.
+              Records travel as absolute totals ([p_recs]) because record
+              indexes mean the same thing on both ends; byte positions do
+              not (the standby never sees the primary's [Log] addresses,
+              and a snapshot bootstrap folds a prefix of unknown framed
+              size), so the byte lag is computed where it is exact — at
+              the shipper's cursor — and shipped as a ready-made gauge
+              value. *)
+    }
+  | R_promote of { data_dir : string option }
+      (** seal the stream and flip read-write; [data_dir] points at the
+          dead primary's store for the durable-tail replay *)
+
 type req =
   | Get of string
   | Put of put_mode * string * int
@@ -48,6 +87,7 @@ type req =
   | Scan of string * int  (** start key (binary), item budget *)
   | Batch of req list  (** point ops and scans only — no nesting *)
   | Stats
+  | Repl of repl_req  (** replication stream (never inside BATCH) *)
 
 type resp =
   | Value of int option  (** GET *)
@@ -55,6 +95,9 @@ type resp =
   | Scanned of (string * int) list  (** SCAN: binary key, value *)
   | Batched of resp list  (** BATCH: one reply per sub-request, in order *)
   | Stats_payload of string  (** STATS: JSON metrics snapshot *)
+  | Repl_ok of int
+      (** replication ack: records applied so far in the current
+          generation (ops replayed, for PROMOTE) *)
   | Err of string
 
 (* opcode bytes *)
@@ -64,6 +107,10 @@ let op_delete = 3
 let op_scan = 4
 let op_batch = 5
 let op_stats = 6
+let op_subscribe = 7
+let op_snapshot = 8
+let op_walchunk = 9
+let op_promote = 10
 
 let st_ok = 0
 let st_err = 1
@@ -119,6 +166,37 @@ let rec encode_req buf = function
       C.encode_int buf (List.length reqs);
       List.iter (encode_req buf) reqs
   | Stats -> add_byte buf op_stats
+  | Repl (R_subscribe { key_type; shards }) ->
+      add_byte buf op_subscribe;
+      C.encode_string buf key_type;
+      C.encode_int buf shards
+  | Repl (R_snapshot { shard; gen; start_rec; start_ops; pages; last; items })
+    ->
+      add_byte buf op_snapshot;
+      C.encode_int buf shard;
+      C.encode_int buf gen;
+      C.encode_int buf start_rec;
+      C.encode_int buf start_ops;
+      C.encode_int buf items;
+      add_byte buf (if last then 1 else 0);
+      C.encode_int buf (List.length pages);
+      List.iter (C.encode_string buf) pages
+  | Repl (R_walchunk { shard; gen; from_rec; groups; p_recs; p_bytes }) ->
+      add_byte buf op_walchunk;
+      C.encode_int buf shard;
+      C.encode_int buf gen;
+      C.encode_int buf from_rec;
+      C.encode_int buf p_recs;
+      C.encode_int buf p_bytes;
+      C.encode_int buf (List.length groups);
+      List.iter (C.encode_string buf) groups
+  | Repl (R_promote { data_dir }) -> (
+      add_byte buf op_promote;
+      match data_dir with
+      | None -> add_byte buf 0
+      | Some d ->
+          add_byte buf 1;
+          C.encode_string buf d)
 
 let rec decode_req_at s ~pos ~depth =
   match decode_byte s ~pos with
@@ -143,6 +221,50 @@ let rec decode_req_at s ~pos ~depth =
       Batch (List.init n (fun _ -> decode_req_at s ~pos ~depth:(depth + 1)))
   | b when b = op_stats ->
       if depth > 0 then bad "STATS inside BATCH" else Stats
+  | b when b = op_subscribe ->
+      if depth > 0 then bad "replication frame inside BATCH";
+      let key_type = decode_string s ~pos in
+      let shards = decode_int s ~pos in
+      if shards < 1 then bad "SUBSCRIBE with shard count %d" shards;
+      Repl (R_subscribe { key_type; shards })
+  | b when b = op_snapshot ->
+      if depth > 0 then bad "replication frame inside BATCH";
+      let shard = decode_int s ~pos in
+      let gen = decode_int s ~pos in
+      let start_rec = decode_int s ~pos in
+      let start_ops = decode_int s ~pos in
+      let items = decode_int s ~pos in
+      if shard < 0 || gen < 0 || start_rec < 0 || start_ops < 0 || items < 0
+      then bad "SNAPSHOT with negative field";
+      let last =
+        match decode_byte s ~pos with
+        | 0 -> false
+        | 1 -> true
+        | b -> bad "bad SNAPSHOT last byte %d" b
+      in
+      let n = decode_int s ~pos in
+      if n < 0 || n > max_batch then bad "bad SNAPSHOT page count %d" n;
+      let pages = List.init n (fun _ -> decode_string s ~pos) in
+      Repl (R_snapshot { shard; gen; start_rec; start_ops; pages; last; items })
+  | b when b = op_walchunk ->
+      if depth > 0 then bad "replication frame inside BATCH";
+      let shard = decode_int s ~pos in
+      let gen = decode_int s ~pos in
+      let from_rec = decode_int s ~pos in
+      let p_recs = decode_int s ~pos in
+      let p_bytes = decode_int s ~pos in
+      if shard < 0 || gen < 0 || from_rec < 0 || p_recs < 0 || p_bytes < 0 then
+        bad "WALCHUNK with negative field";
+      let n = decode_int s ~pos in
+      if n < 0 || n > max_batch then bad "bad WALCHUNK group count %d" n;
+      let groups = List.init n (fun _ -> decode_string s ~pos) in
+      Repl (R_walchunk { shard; gen; from_rec; groups; p_recs; p_bytes })
+  | b when b = op_promote -> (
+      if depth > 0 then bad "replication frame inside BATCH";
+      match decode_byte s ~pos with
+      | 0 -> Repl (R_promote { data_dir = None })
+      | 1 -> Repl (R_promote { data_dir = Some (decode_string s ~pos) })
+      | b -> bad "bad PROMOTE presence byte %d" b)
   | b -> bad "unknown opcode %d" b
 
 let decode_req s =
@@ -160,6 +282,7 @@ let tag_applied = 1
 let tag_scanned = 2
 let tag_batched = 3
 let tag_stats = 4
+let tag_repl = 5
 
 let rec encode_resp buf = function
   | Err msg ->
@@ -193,6 +316,9 @@ let rec encode_resp buf = function
       | Stats_payload s ->
           add_byte buf tag_stats;
           C.encode_string buf s
+      | Repl_ok n ->
+          add_byte buf tag_repl;
+          C.encode_int buf n
       | Err _ -> assert false)
 
 (* BATCH reply prologue for callers that encode sub-replies
@@ -251,6 +377,7 @@ let rec decode_resp_at s ~pos ~depth =
           Batched
             (List.init n (fun _ -> decode_resp_at s ~pos ~depth:(depth + 1)))
       | t when t = tag_stats -> Stats_payload (decode_string s ~pos)
+      | t when t = tag_repl -> Repl_ok (decode_int s ~pos)
       | t -> bad "unknown response tag %d" t)
   | b -> bad "unknown status byte %d" b
 

@@ -557,7 +557,7 @@ let test_store_checkpoint_rotation () =
         Store_int.W.commit (Store_int.wal st) ~tid:0
           [ Store_int.W.W_insert (k, k) ]
       done;
-      Store_int.checkpoint st;
+      ignore (Store_int.checkpoint st : int * int);
       Alcotest.(check int) "generation rotated" 1 (Store_int.gen st);
       for k = 500 to 599 do
         ignore (T.insert t k k);
@@ -674,6 +674,201 @@ let prop_forest_recovery_oracle =
     QCheck.(pair gen_ops (int_bound 200))
     (run_store_oracle ~shards:3)
 
+(* --- WAL tail reader: the replication shipper's cursor --- *)
+
+module Wal = Pagestore.Wal
+
+let commit_groups w groups =
+  List.iter (fun ops -> Store_int.W.commit w ~tid:0 ops) groups
+
+(* [n] commit groups of 1–3 inserts each, keys starting at [lo] *)
+let mk_groups lo n =
+  List.init n (fun i ->
+      let sz = 1 + (i mod 3) in
+      List.init sz (fun j ->
+          let k = lo + (i * 4) + j in
+          Store_int.W.W_insert (k, k * 2)))
+
+let test_wal_tail_order () =
+  let w = Store_int.W.in_memory ~segment_bytes:192 () in
+  let groups = mk_groups 0 12 in
+  commit_groups w groups;
+  Alcotest.(check bool) "spans several sealed segments" true
+    (Log.segment_count w.Store_int.W.log > 1);
+  let cur = Wal.fresh_cursor () in
+  let got = ref [] in
+  let fed =
+    Store_int.W.tail w cur (fun p -> got := Store_int.W.decode_ops p :: !got)
+  in
+  Alcotest.(check int) "every record fed" 12 fed;
+  Alcotest.(check bool) "payloads decode to the committed groups, in order"
+    true
+    (List.rev !got = groups);
+  Alcotest.(check int) "cursor records" 12 cur.Wal.c_rec;
+  Alcotest.(check int) "cursor ops"
+    (List.length (List.concat groups))
+    cur.Wal.c_ops;
+  Alcotest.(check int) "drained" 0 (Store_int.W.tail w cur (fun _ -> ()))
+
+let test_wal_tail_limit_and_resume () =
+  let w = Store_int.W.in_memory ~segment_bytes:192 () in
+  let groups = mk_groups 0 10 in
+  commit_groups w groups;
+  let cur = Wal.fresh_cursor () in
+  let got = ref [] in
+  let feed n = Store_int.W.tail w ~limit:n cur (fun p -> got := p :: !got) in
+  Alcotest.(check int) "limit honored" 3 (feed 3);
+  Alcotest.(check int) "resumes where it stopped" 4 (feed 4);
+  Alcotest.(check int) "remainder" 3 (feed 100);
+  Alcotest.(check bool) "exactly once, in order" true
+    (List.rev_map Store_int.W.decode_ops !got = groups);
+  (* a cursor parked at the sealed tail hops to later commits *)
+  let more = mk_groups 1000 4 in
+  commit_groups w more;
+  got := [];
+  Alcotest.(check int) "new records only" 4 (feed 10);
+  Alcotest.(check bool) "the fresh suffix" true
+    (List.rev_map Store_int.W.decode_ops !got = more)
+
+let test_wal_seek_alignment () =
+  let w = Store_int.W.in_memory () in
+  let sizes = [ 3; 1; 4; 2 ] in
+  let groups =
+    List.mapi
+      (fun i sz ->
+        List.init sz (fun j -> Store_int.W.W_insert ((i * 10) + j, 0)))
+      sizes
+  in
+  commit_groups w groups;
+  (* op position 4 is the boundary after records 0 and 1 *)
+  let cur = Wal.fresh_cursor () in
+  Store_int.W.seek w cur ~ops:4;
+  Alcotest.(check int) "aligned to a record boundary" 2 cur.Wal.c_rec;
+  let got = ref [] in
+  ignore (Store_int.W.tail w cur (fun p -> got := p :: !got) : int);
+  Alcotest.(check bool) "tail resumes past the sought prefix" true
+    (List.rev_map Store_int.W.decode_ops !got
+    = [ List.nth groups 2; List.nth groups 3 ]);
+  (* a mid-record position is a cursor/generation mixup: refuse loudly *)
+  let cur = Wal.fresh_cursor () in
+  match Store_int.W.seek w cur ~ops:5 with
+  | () -> Alcotest.fail "seek to a mid-record position must fail"
+  | exception Failure _ -> ()
+
+(* [Log.compact] relocates records and invalidates outstanding cursors
+   (which is why the store never compacts a WAL in place — it writes
+   fresh generations). A re-established cursor must see exactly the
+   survivors, still in order. *)
+let test_wal_cursor_after_compaction () =
+  let w = Store_int.W.in_memory ~segment_bytes:192 () in
+  let groups = mk_groups 0 8 in
+  commit_groups w groups;
+  let offs = ref [] in
+  Log.iter w.Store_int.W.log (fun off _ -> offs := off :: !offs);
+  let doomed = List.filteri (fun i _ -> i < 4) (List.rev !offs) in
+  ignore
+    (Log.compact w.Store_int.W.log
+       ~live:(fun off -> not (List.mem off doomed))
+       ~relocate:(fun _ _ -> ())
+      : int);
+  let cur = Wal.fresh_cursor () in
+  let got = ref [] in
+  ignore (Store_int.W.tail w cur (fun p -> got := p :: !got) : int);
+  Alcotest.(check bool) "fresh cursor sees exactly the survivors" true
+    (List.rev_map Store_int.W.decode_ops !got
+    = List.filteri (fun i _ -> i >= 4) groups);
+  Alcotest.(check int) "survivor records" 4 cur.Wal.c_rec
+
+(* --- incremental checkpoints: page reuse and crash safety --- *)
+
+let test_incremental_checkpoint () =
+  with_tmp_dir (fun dir ->
+      let st, _ = Store_int.open_dir ~fsync:false ~dir () in
+      let t = Store_int.tree st in
+      let put k =
+        ignore (T.insert t k (k * 3));
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, k * 3) ]
+      in
+      for k = 0 to 1999 do put k done;
+      ignore (Store_int.checkpoint st : int * int);
+      Alcotest.(check int) "full checkpoint rotated" 1 (Store_int.gen st);
+      for k = 2000 to 2009 do put k done;
+      let written, reused = Store_int.checkpoint ~mode:`Incremental st in
+      Alcotest.(check int) "no rotation" 1 (Store_int.gen st);
+      Alcotest.(check bool) "unchanged leaves reused by address" true
+        (reused > written);
+      Alcotest.(check bool) "changed leaves written" true (written >= 1);
+      for k = 2010 to 2014 do put k done;
+      Store_int.close st;
+      (* recovery takes the newest decodable manifest: the incremental
+         one folds 2010 items and leaves a 5-op replay suffix *)
+      let st, rs = Store_int.open_dir ~fsync:false ~dir () in
+      Alcotest.(check int) "generation unchanged" 1 rs.rs_gen;
+      Alcotest.(check int) "snapshot items from the incremental manifest"
+        2010 rs.rs_snapshot_items;
+      Alcotest.(check int) "short replay suffix" 5 rs.rs_wal_ops;
+      Alcotest.(check int) "full state" 2015 (T.cardinal (Store_int.tree st));
+      Store_int.close st;
+      (* torn incremental append: corrupt the pages-log tail (the fresh
+         manifest); recovery must fall back to the full manifest and
+         replay the longer WAL suffix — same final state *)
+      let plog, _ =
+        Log.open_dir ~dir:(Pagestore.Store.pages_dir dir 1) ()
+      in
+      let last = ref None in
+      Log.iter plog (fun off _ -> last := Some off);
+      (match !last with
+      | Some off -> Log.corrupt_for_testing plog off
+      | None -> Alcotest.fail "pages log is empty");
+      Log.close plog;
+      let st, rs = Store_int.open_dir ~fsync:false ~dir () in
+      Alcotest.(check int) "fell back to the full manifest" 2000
+        rs.rs_snapshot_items;
+      Alcotest.(check int) "full suffix replayed" 15 rs.rs_wal_ops;
+      Alcotest.(check int) "state intact" 2015
+        (T.cardinal (Store_int.tree st));
+      Store_int.close st)
+
+(* --- read-only inspection must not move a byte --- *)
+
+let digest_dir root =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.fold_left
+        (fun acc e -> walk acc (Filename.concat path e))
+        acc (Sys.readdir path)
+    else (path, Digest.file path) :: acc
+  in
+  List.sort compare (walk [] root)
+
+let test_inspect_dir_read_only () =
+  with_tmp_dir (fun dir ->
+      let st, _ = Store_int.open_dir ~fsync:false ~dir () in
+      let t = Store_int.tree st in
+      for k = 0 to 99 do
+        ignore (T.insert t k (k + 1));
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, k + 1) ]
+      done;
+      ignore (Store_int.checkpoint st : int * int);
+      for k = 100 to 119 do
+        ignore (T.insert t k (k + 1));
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, k + 1) ]
+      done;
+      Store_int.close st;
+      let before = digest_dir dir in
+      (match Store_int.inspect_dir ~dir () with
+      | None -> Alcotest.fail "inspect_dir could not load the store"
+      | Some (t, rs) ->
+          Alcotest.(check int) "generation" 1 rs.rs_gen;
+          Alcotest.(check int) "snapshot items" 100 rs.rs_snapshot_items;
+          Alcotest.(check int) "wal suffix" 20 rs.rs_wal_ops;
+          Alcotest.(check int) "contents" 120 (T.cardinal t));
+      Alcotest.(check bool) "no byte of the store was touched" true
+        (digest_dir dir = before))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "pagestore"
@@ -731,8 +926,23 @@ let () =
           Alcotest.test_case "compact_keeping drops old manifests \
                               (regression)" `Quick
             test_compact_keeping_drops_old_manifests;
+          Alcotest.test_case "incremental checkpoint" `Quick
+            test_incremental_checkpoint;
+          Alcotest.test_case "inspect_dir is read-only" `Quick
+            test_inspect_dir_read_only;
           q prop_store_recovery_oracle;
           q prop_forest_recovery_oracle;
+        ] );
+      ( "wal tail",
+        [
+          Alcotest.test_case "feeds committed groups in order" `Quick
+            test_wal_tail_order;
+          Alcotest.test_case "limit and resume" `Quick
+            test_wal_tail_limit_and_resume;
+          Alcotest.test_case "seek aligns to record boundaries" `Quick
+            test_wal_seek_alignment;
+          Alcotest.test_case "compaction invalidates cursors" `Quick
+            test_wal_cursor_after_compaction;
         ] );
       ( "checkpoint",
         [

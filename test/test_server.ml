@@ -605,8 +605,15 @@ let test_drain_answers_inflight () =
     Bw_client.send c (Wire.Get (Key.of_int 5))
   done;
   Bw_client.flush c;
-  Server.stop srv;
+  (* Drain answers requests the server has *received*, not requests in
+     the socket buffer — wait for the first reply before stopping. The
+     burst left in one write, so one reply means the whole burst was
+     read and decoded; without this the test races worker scheduling. *)
   let got = ref 0 in
+  (match Bw_client.recv c with
+  | Wire.Value (Some 50) -> incr got
+  | _ -> Alcotest.fail "wrong reply to the first pipelined GET");
+  Server.stop srv;
   (try
      while Bw_client.inflight c > 0 do
        match Bw_client.recv c with
