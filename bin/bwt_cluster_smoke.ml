@@ -1,0 +1,240 @@
+(* CI smoke test for the cluster layer: a 2-member forest behind the
+   client-side router, with an online range migration racing live load.
+
+   Sequence: reserve two loopback ports, boot both members with the same
+   --cluster-peers list; run a background mixed loadgen through the
+   router (--cluster) plus a synchronous acknowledged-PUT tracker on a
+   router of our own, both hammering keys inside the range about to
+   move; MIGRATE that hot range from member 0 to member 1 mid-load; poll
+   TOPOLOGY until the flip publishes the new epoch; write the
+   router-merged fleet STATS (both members + our local registry) for
+   json_check and assert the migration and redirect counters are in it;
+   SIGKILL the old owner; then verify through a fresh router — seeded
+   only at the survivor — that every PUT acknowledged before the flip is
+   readable, i.e. zero acknowledged-write loss across the migration and
+   the old owner's death.
+
+   Usage: bwt_cluster_smoke STATS_JSON_OUT *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun m -> prerr_endline ("bwt_cluster_smoke: " ^ m); exit 1)
+    fmt
+
+let say fmt = Printf.ksprintf (fun m ->
+    Printf.printf "bwt_cluster_smoke: %s\n%!" m) fmt
+
+(* clear of the loadgen's 0..keys-1 range, inside the migrated range *)
+let key_base = 1_000_000
+let mig_hi = 2_000_000
+
+(* Cluster members need each other's addresses before any of them binds,
+   so --port 0 is not an option: reserve an ephemeral port by binding
+   and releasing it, then hand it out explicitly. *)
+let reserve_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt s Unix.SO_REUSEADDR true;
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> die "reserved socket is not INET"
+  in
+  Unix.close s;
+  port
+
+type boot = { b_pid : int; b_out : in_channel }
+
+(* Spawn a cluster member on its assigned port; read stdout until the
+   serving banner proves it is listening. *)
+let start_server name args =
+  let out_r, out_w = Unix.pipe () in
+  let argv = Array.of_list ("./bwt_server.exe" :: args) in
+  let pid =
+    Unix.create_process "./bwt_server.exe" argv Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let out = Unix.in_channel_of_descr out_r in
+  let seen = ref false in
+  (try
+     while not !seen do
+       let line = input_line out in
+       print_endline line;
+       let has_prefix p =
+         String.length line >= String.length p
+         && String.sub line 0 (String.length p) = p
+       in
+       if has_prefix "bwt_server: serving" then seen := true
+     done
+   with End_of_file -> die "%s exited before its serving banner" name);
+  { b_pid = pid; b_out = out }
+
+let reap name b ~expect_clean =
+  (try
+     while true do
+       print_endline (input_line b.b_out)
+     done
+   with End_of_file -> ());
+  close_in_noerr b.b_out;
+  match Unix.waitpid [] b.b_pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, (Unix.WEXITED _ | Unix.WSIGNALED _) when not expect_clean -> ()
+  | _, Unix.WEXITED c -> die "%s exited with code %d" name c
+  | _, Unix.WSIGNALED s -> die "%s killed by signal %d" name s
+  | _, Unix.WSTOPPED s -> die "%s stopped by signal %d" name s
+
+let contains json needle =
+  let nl = String.length needle and jl = String.length json in
+  let rec scan i = i + nl <= jl && (String.sub json i nl = needle || scan (i + 1)) in
+  scan 0
+
+let () =
+  let out_file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ -> (prerr_endline "usage: bwt_cluster_smoke STATS_JSON_OUT"; exit 2)
+  in
+  (* hard backstop: a hung member must fail CI, not wedge it *)
+  ignore (Unix.alarm 240);
+
+  let p0 = reserve_port () in
+  let p1 = reserve_port () in
+  let peers = Printf.sprintf "127.0.0.1:%d,127.0.0.1:%d" p0 p1 in
+  let member self port =
+    start_server
+      (Printf.sprintf "member%d" self)
+      [
+        "--port"; string_of_int port; "--workers"; "2";
+        "--cluster-self"; string_of_int self; "--cluster-peers"; peers;
+      ]
+  in
+  let m0 = member 0 p0 in
+  let m1 = member 1 p1 in
+
+  (* background mixed load through the router, all of it inside the
+     range about to move (keys 0..7999 live in member 0's first range
+     under the epoch-1 table) *)
+  let lg =
+    Unix.create_process "./bwt_loadgen.exe"
+      [|
+        "./bwt_loadgen.exe"; "--cluster"; peers;
+        "--clients"; "2"; "--mix"; "a";
+        "--keys"; "8000"; "--ops"; "5000000"; "--batch"; "8";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+
+  let seeds = [ ("127.0.0.1", p0); ("127.0.0.1", p1) ] in
+  let reg = Bw_obs.create ~stripes:2 () in
+  let obs = Bw_obs.To reg in
+
+  (* synchronous acknowledged-write tracker: key_base+i -> 3*(key_base+i),
+     routed, racing the migration; every PUT acknowledged before the
+     flip must be readable on the new owner afterwards *)
+  let acked = Atomic.make 0 and stop_acker = Atomic.make false in
+  let acker =
+    Domain.spawn (fun () ->
+        let r = Bw_router.connect ~obs ~tid:1 ~seeds () in
+        (try
+           let i = ref 0 in
+           while not (Atomic.get stop_acker) do
+             ignore
+               (Bw_router.Int_key.put r (key_base + !i) (3 * (key_base + !i))
+                 : bool);
+             Atomic.set acked (!i + 1);
+             incr i
+           done
+         with Bw_router.Unroutable _ | Bw_client.Server_closed
+            | Unix.Unix_error _ -> ());
+        Bw_router.close r)
+  in
+
+  Unix.sleepf 1.5;
+
+  (* MIGRATE the hot range [0, mig_hi) — loadgen keys and acker keys
+     both inside — from member 0 to member 1, mid-load *)
+  let admin = Bw_client.connect ~port:p0 () in
+  let lo = Bw_util.Key_codec.of_int 0
+  and hi = Some (Bw_util.Key_codec.of_int mig_hi) in
+  if not (Bw_client.migrate admin ~lo ~hi ~dst:1) then
+    die "MIGRATE was not admitted";
+  say "migration of [0, %d) -> member 1 admitted" mig_hi;
+
+  (* poll TOPOLOGY on the source until the flip publishes epoch 2 *)
+  let deadline = Unix.gettimeofday () +. 120.0 in
+  let rec wait_flip () =
+    let tbl = Bw_cluster.Table.decode (Bw_client.topology admin) in
+    if Bw_cluster.Table.epoch tbl > 1L then tbl
+    else if Unix.gettimeofday () > deadline then
+      die "migration did not flip within its deadline"
+    else (Unix.sleepf 0.05; wait_flip ())
+  in
+  let flipped = wait_flip () in
+  say "flipped: %s" (Bw_cluster.Table.to_string flipped);
+
+  Atomic.set stop_acker true;
+  Domain.join acker;
+  let acked = Atomic.get acked in
+  if acked < 100 then die "only %d PUTs acknowledged around the flip" acked;
+  say "%d acknowledged PUTs raced the migration" acked;
+
+  (* merged fleet STATS while both members are still up: both nodes'
+     registries plus our local router registry, one json_check-valid
+     document carrying the migration and redirect counters *)
+  let stats =
+    let r = Bw_router.connect ~obs ~tid:0 ~seeds () in
+    let s =
+      Bw_router.fleet_stats_json
+        ~extra:
+          [ ("smoke", Bw_obs.snapshot_to_string (Bw_obs.snapshot reg)) ]
+        r
+    in
+    Bw_router.close r;
+    s
+  in
+  List.iter
+    (fun needle ->
+      if not (contains stats needle) then
+        die "%s missing from the merged fleet STATS" needle)
+    [
+      "\"migrations\"";
+      "\"mig_items_copied\"";
+      "\"mig_ops_replayed\"";
+      "\"wrongshard_replies\"";
+      "\"router_redirects\"";
+      "\"cluster_epoch\"";
+    ];
+  let oc = open_out out_file in
+  output_string oc stats;
+  output_char oc '\n';
+  close_out oc;
+
+  (* the old owner dies; the moved range must be whole on the new one *)
+  (match Unix.waitpid [ Unix.WNOHANG ] lg with
+  | 0, _ -> ()
+  | _ -> die "loadgen finished before the kill; raise --ops");
+  Unix.kill m0.b_pid Sys.sigkill;
+  say "old owner SIGKILLed after the flip";
+
+  let verify = Bw_router.connect ~seeds:[ ("127.0.0.1", p1) ] () in
+  for i = 0 to acked - 1 do
+    let k = key_base + i in
+    match Bw_router.Int_key.get verify k with
+    | Some v when v = 3 * k -> ()
+    | Some v -> die "key %d has value %d, expected %d" k v (3 * k)
+    | None -> die "acknowledged key %d lost across the migration" k
+  done;
+  (* and the survivor owns it for writes too *)
+  ignore (Bw_router.Int_key.put verify (key_base - 1) 42 : bool);
+  if Bw_router.Int_key.get verify (key_base - 1) <> Some 42 then
+    die "write to the new owner did not stick";
+  Bw_router.close verify;
+  Bw_client.close admin;
+  say "all %d acknowledged PUTs survived on the new owner" acked;
+
+  Unix.kill lg Sys.sigkill;
+  ignore (Unix.waitpid [] lg);
+  reap "member0" m0 ~expect_clean:false;
+  Unix.kill m1.b_pid Sys.sigterm;
+  reap "member1" m1 ~expect_clean:true;
+  say "ok (%d acked writes survived, stats in %s)" acked out_file

@@ -135,8 +135,41 @@ let parse_host_port s =
       Printf.eprintf "bwt_server: expected HOST:PORT, got %S\n" s;
       exit 2
 
+(* One --cluster-peers entry: HOST:PORT, optionally /RHOST:RPORT naming
+   that member's warm standby (routers may fan reads out to it). *)
+let parse_peer s =
+  let main, replica =
+    match String.index_opt s '/' with
+    | None -> (s, None)
+    | Some i ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let ep_host, ep_port = parse_host_port main in
+  {
+    Bw_cluster.Table.ep_host;
+    ep_port;
+    ep_replica = Option.map parse_host_port replica;
+  }
+
+(* Every member computes the same epoch-1 table from the same
+   --cluster-peers flag: uniform ranges over the live key sub-space
+   (non-negative ints for int keys, mirroring the in-process forest
+   default; the whole slice space for str keys), assigned to the peers
+   in order. Later epochs only ever come from migrations. *)
+let bootstrap_table ~key_type peers =
+  let endpoints = Array.of_list (List.map parse_peer peers) in
+  let n = Array.length endpoints in
+  let u =
+    match key_type with
+    | "int" -> Bw_cluster.Uniform.make_int ~lo:0 n
+    | _ -> Bw_cluster.Uniform.make n
+  in
+  Bw_cluster.Table.of_uniform ~epoch:1L endpoints u
+
 let main host port workers shards index key_type data_dir no_fsync
-    close_on_malformed metrics metrics_json replicate_to follow =
+    close_on_malformed metrics metrics_json replicate_to follow cluster_self
+    cluster_peers =
   if workers < 1 then begin
     Printf.eprintf "bwt_server: --workers must be >= 1\n";
     exit 2
@@ -145,6 +178,25 @@ let main host port workers shards index key_type data_dir no_fsync
     Printf.eprintf "bwt_server: --shards must be >= 1\n";
     exit 2
   end;
+  (match (cluster_self, cluster_peers) with
+  | None, None -> ()
+  | Some _, None | None, Some _ ->
+      Printf.eprintf
+        "bwt_server: --cluster-self and --cluster-peers go together\n";
+      exit 2
+  | Some self, Some peers ->
+      let n = List.length peers in
+      if self < 0 || self >= n then begin
+        Printf.eprintf
+          "bwt_server: --cluster-self %d out of range for %d peers\n" self n;
+        exit 2
+      end;
+      if follow then begin
+        Printf.eprintf
+          "bwt_server: --follow conflicts with cluster membership (list a \
+           standby as HOST:PORT/RHOST:RPORT in --cluster-peers instead)\n";
+        exit 2
+      end);
   if follow && (data_dir <> None || replicate_to <> None) then begin
     Printf.eprintf
       "bwt_server: --follow conflicts with --data-dir and --replicate-to\n";
@@ -183,6 +235,45 @@ let main host port workers shards index key_type data_dir no_fsync
       in
       Bw_obs.sharded_snapshot_to_string ~shards:per_shard (snapshot_merged ())
   in
+  (* Cluster membership: the gate validates every request against this
+     node's partition table; MIGRATE admits synchronously, then copies
+     and flips in a background domain (joined before shutdown). The
+     engine's scan and obs use tid [workers + 1] — its own obs stripe
+     and tree slot, off the workers' 0..N-1 and the shipper's N. *)
+  let gate, migrate_handler, join_migration =
+    match (cluster_self, cluster_peers) with
+    | Some self, Some peers ->
+        let table = bootstrap_table ~key_type peers in
+        let g = Bw_server.Cluster_gate.create ~obs ~self table in
+        let mig_tid = workers + 1 in
+        let scan k ~n =
+          let acc = ref [] in
+          ignore
+            (backend.Index_iface.scan ~tid:mig_tid k ~n (fun key v ->
+                 acc := (key, v) :: !acc)
+              : int);
+          List.rev !acc
+        in
+        let last = ref None in
+        let handler ~tid:_ ~lo ~hi ~dst =
+          match
+            Bw_router.Migration.start ~obs ~tid:mig_tid ~gate:g ~scan ~lo ~hi
+              ~dst ()
+          with
+          | Error e -> Bw_server.Wire.Err e
+          | Ok d ->
+              (* the previous migration's domain has flipped or aborted
+                 (begin_migration's CAS won), so joining it only waits
+                 out its topology broadcast tail *)
+              Option.iter Domain.join !last;
+              last := Some d;
+              Bw_server.Wire.Applied true
+        in
+        ( Some g,
+          Some handler,
+          fun () -> Option.iter Domain.join !last )
+    | _ -> (None, None, fun () -> ())
+  in
   let config =
     {
       Server.default_config with
@@ -193,11 +284,19 @@ let main host port workers shards index key_type data_dir no_fsync
       obs;
       stats_json = (if shards = 1 then None else Some stats_string);
       repl_handler = built.b_repl_handler;
+      gate;
+      migrate_handler;
     }
   in
   let server = Server.start ~config backend in
   Printf.printf "bwt_server: serving %s (%s keys) on %s:%d with %d workers\n%!"
     backend.Index_iface.name key_type host (Server.port server) workers;
+  (match (cluster_self, gate) with
+  | Some self, Some g ->
+      Printf.printf "bwt_server: cluster member %d of %d (epoch %Ld)\n%!" self
+        (Bw_cluster.Table.n_endpoints (Bw_server.Cluster_gate.table g))
+        (Bw_cluster.Table.epoch (Bw_server.Cluster_gate.table g))
+  | _ -> ());
   if follow then
     Printf.printf "bwt_server: following (read-only until promoted)\n%!";
   let shipper =
@@ -224,6 +323,7 @@ let main host port workers shards index key_type data_dir no_fsync
   done;
   Printf.printf "bwt_server: draining...\n%!";
   Server.stop server;
+  join_migration ();
   (* drained first, so the shipper's final sweeps see every acknowledged
      write; only then checkpoint (which retires the WAL) *)
   Option.iter Bw_replica.Shipper.stop shipper;
@@ -330,11 +430,28 @@ let cmd =
                    directory, whose on-disk WAL tail is then replayed — \
                    flips the process read-write.")
   in
+  let cluster_self =
+    Arg.(value & opt (some int) None
+         & info [ "cluster-self" ] ~docv:"I"
+             ~doc:"Serve as member $(docv) of the cluster described by \
+                   --cluster-peers: validate every request against the \
+                   partition table (wrong owner answers EWRONGSHARD), \
+                   serve TOPOLOGY, and accept MIGRATE.")
+  in
+  let cluster_peers =
+    Arg.(value & opt (some (list string)) None
+         & info [ "cluster-peers" ] ~docv:"PEERS"
+             ~doc:"Comma-separated member endpoints, HOST:PORT each, \
+                   optionally /RHOST:RPORT naming that member's warm \
+                   standby. Every member must pass the identical list; \
+                   the epoch-1 table splits the key space uniformly \
+                   across it.")
+  in
   let term =
     Term.(
       const main $ host $ port $ workers $ shards $ index $ key_type
       $ data_dir $ no_fsync $ close_on_malformed $ metrics $ metrics_json
-      $ replicate_to $ follow)
+      $ replicate_to $ follow $ cluster_self $ cluster_peers)
   in
   Cmd.v
     (Cmd.info "bwt_server"

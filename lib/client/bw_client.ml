@@ -20,6 +20,16 @@ module Wire = Bw_server.Wire
 exception Server_closed
 exception Protocol_error of string
 
+exception Wrong_shard of int64
+(** The server does not own the requested key under its partition table
+    (whose epoch is carried here): the caller's routing table is stale.
+    Refetch the table ({!topology}) and retry — {!Bw_router} does. *)
+
+exception Read_only
+(** The key's range is sealed for the final instants of an outgoing
+    migration; retrying shortly yields either success or
+    {!Wrong_shard} with the post-flip table. *)
+
 type t = {
   fd : Unix.file_descr;
   out : Buffer.t;  (** encoded-but-unsent request frames *)
@@ -111,15 +121,21 @@ let request t req =
 
 let err = function
   | Wire.Err m -> raise (Protocol_error ("server error: " ^ m))
+  | Wire.Err_wrong_shard epoch -> raise (Wrong_shard epoch)
+  | Wire.Err_read_only -> raise Read_only
   | r -> raise (Protocol_error ("unexpected reply shape: " ^
                                 (match r with
                                  | Wire.Value _ -> "value"
                                  | Wire.Applied _ -> "applied"
                                  | Wire.Scanned _ -> "scanned"
+                                 | Wire.Scanned_to _ -> "scanned_to"
                                  | Wire.Batched _ -> "batched"
                                  | Wire.Stats_payload _ -> "stats"
                                  | Wire.Repl_ok _ -> "repl_ok"
-                                 | Wire.Err _ -> "err")))
+                                 | Wire.Topology_payload _ -> "topology"
+                                 | Wire.Err _ -> "err"
+                                 | Wire.Err_wrong_shard _ -> "wrong_shard"
+                                 | Wire.Err_read_only -> "read_only")))
 
 let get t key =
   match request t (Wire.Get key) with Wire.Value v -> v | r -> err r
@@ -135,6 +151,25 @@ let delete t key =
 let scan t key ~n =
   match request t (Wire.Scan (key, n)) with
   | Wire.Scanned items -> items
+  | Wire.Scanned_to (items, _) -> items
+  | r -> err r
+
+(* A cluster member answers SCAN with its continuation point: the exact
+   key where its ownership (or the budget) ran out, [None] at the end of
+   the key space. A plain server's [Scanned] means "budget exhausted or
+   end of space" — recover the same contract from the item count. *)
+let scan_to t key ~n =
+  match request t (Wire.Scan (key, n)) with
+  | Wire.Scanned_to (items, next) -> (items, next)
+  | Wire.Scanned items ->
+      let next =
+        if n > 0 && List.length items >= n then
+          match List.rev items with
+          | (last, _) :: _ -> Some (last ^ "\000")
+          | [] -> None
+        else None
+      in
+      (items, next)
   | r -> err r
 
 let batch t reqs =
@@ -153,6 +188,28 @@ let repl t r =
   match request t (Wire.Repl r) with Wire.Repl_ok n -> n | r -> err r
 
 let promote ?data_dir t = repl t (Wire.R_promote { data_dir })
+
+(* Cluster frames (members only — a plain server answers [Err]). *)
+
+let topology t =
+  match request t (Wire.Topology None) with
+  | Wire.Topology_payload s -> s
+  | r -> err r
+
+let offer_topology t encoded =
+  match request t (Wire.Topology (Some encoded)) with
+  | Wire.Applied b -> b
+  | r -> err r
+
+let migrate t ~lo ~hi ~dst =
+  match request t (Wire.Migrate { m_lo = lo; m_hi = hi; m_dst = dst }) with
+  | Wire.Applied b -> b
+  | r -> err r
+
+let ingest t items =
+  match request t (Wire.Ingest items) with
+  | Wire.Applied b -> b
+  | r -> err r
 
 (* Integer-key conveniences (the common case: int-keyed trees behind the
    wire's binary key encoding). *)
@@ -212,7 +269,9 @@ module Fanout = struct
     end
 
   let rec is_write = function
-    | Wire.Put _ | Wire.Delete _ | Wire.Repl _ -> true
+    | Wire.Put _ | Wire.Delete _ | Wire.Repl _ | Wire.Topology _
+    | Wire.Migrate _ | Wire.Ingest _ ->
+        true
     | Wire.Batch reqs -> List.exists is_write reqs
     | Wire.Get _ | Wire.Scan _ | Wire.Stats -> false
 

@@ -1,0 +1,391 @@
+(** Cluster partition metadata: the slice space, uniform stride
+    partitions, and the versioned partition table.
+
+    Every component that answers "who owns this key" — the in-process
+    forest router ({!Bw_shard}), the client-side cluster router, the
+    per-request ownership gate in the server — works over the same
+    coordinate system: a key's first 8-byte big-endian slice, read as an
+    unsigned 64-bit integer ({!Slice}). Shard/node ranges are intervals
+    of that slice space, so they are total over all keys and
+    order-consistent: cross-shard scans continue at interval floors.
+
+    {!Uniform} is the stride arithmetic extracted from the original
+    [Bw_shard.Part]: n equal ranges over a slice interval, O(1) lookup
+    by unsigned division. {!Table} is its cluster-level generalization —
+    an explicit sorted list of range → endpoint assignments stamped with
+    an [epoch], carrying a wire codec so the table itself travels
+    between nodes. Lookups against a cached table are always safe to
+    act on because the owning server re-validates ownership per request
+    (publish-then-validate, the same discipline the epoch manager uses
+    for reclamation): a stale cache costs a redirect, never a wrong
+    answer. *)
+
+(* ------------------------------------------------------------------ *)
+(* Slice coordinates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Slice = struct
+  (* A slice is a key's position in the unsigned 64-bit coordinate
+     space: the first 8 bytes of its binary-comparable encoding, read
+     big-endian and zero-padded past the end. Lexicographic key order
+     and unsigned slice order agree on the first 8 bytes, which is what
+     makes interval routing order-consistent. *)
+
+  let of_binary s = Bw_util.Key_codec.slice64 s 0
+
+  (* Key_codec.of_int writes the 8-byte big-endian form of
+     [k lxor min_int64]; its first slice read back unsigned is exactly
+     that value, so int keys route without encoding. *)
+  let of_int k = Int64.logxor (Int64.of_int k) Int64.min_int
+
+  (* The smallest binary key at or above slice [u]: its 8-byte
+     big-endian image with trailing zero bytes stripped, so short keys
+     above the boundary still compare >= it. Every key below [u]'s
+     floor has a slice < [u] and vice versa — the floor exactly
+     partitions the key space, which is what scan continuation needs. *)
+  let floor_binary (u : int64) =
+    if u = 0L then ""
+    else begin
+      let b = Bytes.create 8 in
+      Bytes.set_int64_be b 0 u;
+      let len = ref 8 in
+      while !len > 0 && Bytes.get b (!len - 1) = '\000' do
+        decr len
+      done;
+      Bytes.sub_string b 0 !len
+    end
+
+  (* The smallest int key at or above slice [u], clamped to the int
+     range (OCaml ints cover only the middle half of the slice
+     space). *)
+  let floor_int (u : int64) =
+    let k64 = Int64.logxor u Int64.min_int in
+    if Int64.compare k64 (Int64.of_int min_int) < 0 then min_int
+    else if Int64.compare k64 (Int64.of_int max_int) > 0 then max_int
+    else Int64.to_int k64
+
+  let compare = Int64.unsigned_compare
+
+  (* [in_range u ~lo ~hi]: lo <= u < hi, with [hi = None] meaning the
+     end of the slice space. *)
+  let in_range u ~lo ~hi =
+    compare lo u <= 0
+    && match hi with None -> true | Some h -> compare u h < 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Uniform stride partitions                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Uniform = struct
+  (* The partitioned slice interval starts at [lo]; [stride] is
+     ceil(range / n) so that lo + n * stride covers the whole interval:
+     every in-range slice value minus [lo], divided by the stride, lands
+     in [0, n). Slices below [lo] belong to range 0 and slices at or
+     past the end to range n-1, so out-of-range keys still route
+     consistently with key order. Unused (and 0) when n = 1. *)
+  type t = { n : int; lo : int64; stride : int64 }
+
+  (* [range] is the interval width as an unsigned 64-bit count, with 0
+     meaning the full 2^64 slice space (which wraps to 0). *)
+  let of_range n lo range =
+    if n < 1 then invalid_arg "Bw_cluster.Uniform: shard count < 1";
+    let stride =
+      if n = 1 then 0L
+      else if range = 0L then
+        Int64.add (Int64.unsigned_div Int64.minus_one (Int64.of_int n)) 1L
+      else
+        (* floor((range-1)/n) + 1 = ceil(range/n) without overflow *)
+        Int64.add
+          (Int64.unsigned_div (Int64.sub range 1L) (Int64.of_int n))
+          1L
+    in
+    { n; lo; stride }
+
+  let make ?(lo = "") ?hi n =
+    let lo_s = Slice.of_binary lo in
+    let range =
+      match hi with
+      | None -> Int64.neg lo_s (* 2^64 - lo; wraps to 0 when lo = "" *)
+      | Some hi ->
+          let hi_s = Slice.of_binary hi in
+          if Int64.unsigned_compare hi_s lo_s <= 0 then
+            invalid_arg "Bw_cluster.Uniform.make: hi must be > lo";
+          Int64.sub hi_s lo_s
+    in
+    of_range n lo_s range
+
+  (* OCaml's 63-bit ints occupy only the middle half of the slice
+     space, so a full-space partition would leave half the ranges
+     empty; partition the inclusive [lo, hi] int range instead (the
+     default covers every int; its width 2^63 is the bit pattern of
+     Int64.min_int). *)
+  let make_int ?(lo = min_int) ?(hi = max_int) n =
+    if lo >= hi then invalid_arg "Bw_cluster.Uniform.make_int: hi must be > lo";
+    of_range n (Slice.of_int lo)
+      (Int64.add (Int64.sub (Slice.of_int hi) (Slice.of_int lo)) 1L)
+
+  let count t = t.n
+
+  let of_slice t (u : int64) =
+    if t.n = 1 then 0
+    else if Int64.unsigned_compare u t.lo < 0 then 0
+    else
+      let s = Int64.to_int (Int64.unsigned_div (Int64.sub u t.lo) t.stride) in
+      if s >= t.n then t.n - 1 else s
+
+  let floor_slice t i = Int64.add t.lo (Int64.mul (Int64.of_int i) t.stride)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Versioned partition table                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Table = struct
+  type endpoint = {
+    ep_host : string;
+    ep_port : int;
+    ep_replica : (string * int) option;
+        (* a warm standby following this endpoint; routers may fan
+           reads out to it *)
+  }
+
+  (* [lows]/[owners] describe assignments: assignment [i] covers slices
+     [lows.(i), lows.(i+1)) (the last one runs to the end of the slice
+     space) and is owned by endpoint [owners.(i)]. Invariants, enforced
+     by every constructor: [lows.(0) = 0] so the table is total over
+     all keys, lows strictly ascending unsigned, owners in range, and
+     adjacent assignments never share an owner (normalized) — so the
+     assignment containing a key is the owner's whole contiguous range,
+     which is what scan clipping and migration validation lean on. *)
+  type t = {
+    epoch : int64;
+    endpoints : endpoint array;
+    lows : int64 array;
+    owners : int array;
+  }
+
+  let epoch t = t.epoch
+  let endpoints t = t.endpoints
+  let n_endpoints t = Array.length t.endpoints
+  let n_ranges t = Array.length t.lows
+  let endpoint t i = t.endpoints.(i)
+
+  let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+  (* Merge adjacent same-owner assignments (constructors may produce
+     them after a move re-unites a split range). *)
+  let normalize ~epoch ~endpoints lows owners =
+    let n = Array.length lows in
+    let keep = Array.make n true in
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      if i > 0 && owners.(i) = owners.(i - 1) then keep.(i) <- false
+      else incr kept
+    done;
+    let lows' = Array.make !kept 0L and owners' = Array.make !kept 0 in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        lows'.(!j) <- lows.(i);
+        owners'.(!j) <- owners.(i);
+        incr j
+      end
+    done;
+    { epoch; endpoints; lows = lows'; owners = owners' }
+
+  let make ~epoch ~endpoints ~lows ~owners =
+    let n = Array.length lows in
+    if n = 0 then invalid "Bw_cluster.Table: no ranges";
+    if Array.length owners <> n then
+      invalid "Bw_cluster.Table: %d lows but %d owners" n (Array.length owners);
+    if Array.length endpoints = 0 then invalid "Bw_cluster.Table: no endpoints";
+    if lows.(0) <> 0L then
+      invalid "Bw_cluster.Table: first range must start at slice 0";
+    for i = 0 to n - 1 do
+      if i > 0 && Int64.unsigned_compare lows.(i - 1) lows.(i) >= 0 then
+        invalid "Bw_cluster.Table: range lows not strictly ascending";
+      if owners.(i) < 0 || owners.(i) >= Array.length endpoints then
+        invalid "Bw_cluster.Table: owner %d out of range" owners.(i)
+    done;
+    normalize ~epoch ~endpoints lows owners
+
+  (* The cluster bootstrap table: [u]'s uniform ranges assigned to the
+     endpoints in order. Every node computes the same table from the
+     same flags, so a fleet boots with agreeing epoch-1 tables without
+     a coordination service. *)
+  let of_uniform ~epoch endpoints (u : Uniform.t) =
+    let n = Uniform.count u in
+    if n <> Array.length endpoints then
+      invalid "Bw_cluster.Table.of_uniform: %d ranges for %d endpoints" n
+        (Array.length endpoints);
+    let lows =
+      Array.init n (fun i -> if i = 0 then 0L else Uniform.floor_slice u i)
+    in
+    make ~epoch ~endpoints ~lows ~owners:(Array.init n (fun i -> i))
+
+  (* Index of the assignment containing slice [u]: greatest [i] with
+     [lows.(i) <= u]; always defined because [lows.(0) = 0]. *)
+  let locate t (u : int64) =
+    let lo = ref 0 and hi = ref (Array.length t.lows - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if Int64.unsigned_compare t.lows.(mid) u <= 0 then lo := mid
+      else hi := mid - 1
+    done;
+    !lo
+
+  let owner t u = t.owners.(locate t u)
+  let owner_binary t k = owner t (Slice.of_binary k)
+  let owner_int t k = owner t (Slice.of_int k)
+
+  (* Bounds of assignment [i]; [hi = None] is the end of the slice
+     space. *)
+  let bounds t i =
+    ( t.lows.(i),
+      if i + 1 < Array.length t.lows then Some t.lows.(i + 1) else None )
+
+  (* The containing assignment of [u] as (owner, lo, hi). *)
+  let range_of t u =
+    let i = locate t u in
+    let lo, hi = bounds t i in
+    (t.owners.(i), lo, hi)
+
+  (* [hi] of the assignment containing [u] — where a clipped scan must
+     continue. *)
+  let next_boundary t u = snd (bounds t (locate t u))
+
+  (* The table after moving [lo, hi) to endpoint [dst]: containing
+     assignments split as needed, the moved interval reassigned, the
+     result renormalized, and the epoch bumped — the new table a
+     migration publishes. *)
+  let with_range_moved t ~lo ~hi ~dst =
+    if dst < 0 || dst >= Array.length t.endpoints then
+      invalid "Bw_cluster.Table.with_range_moved: bad endpoint %d" dst;
+    (match hi with
+    | Some h when Int64.unsigned_compare h lo <= 0 ->
+        invalid "Bw_cluster.Table.with_range_moved: empty range"
+    | _ -> ());
+    let bounds =
+      Array.to_list t.lows @ (lo :: Option.to_list hi)
+      |> List.sort_uniq Int64.unsigned_compare
+    in
+    let lows = Array.of_list bounds in
+    let owners =
+      Array.map
+        (fun b -> if Slice.in_range b ~lo ~hi then dst else owner t b)
+        lows
+    in
+    make ~epoch:(Int64.add t.epoch 1L) ~endpoints:t.endpoints ~lows ~owners
+
+  let equal a b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>epoch %Ld, %d endpoints:" t.epoch
+      (Array.length t.endpoints);
+    Array.iteri
+      (fun i e ->
+        Format.fprintf ppf "@,  [%d] %s:%d%s" i e.ep_host e.ep_port
+          (match e.ep_replica with
+          | None -> ""
+          | Some (h, p) -> Printf.sprintf " (replica %s:%d)" h p))
+      t.endpoints;
+    Format.fprintf ppf "@,%d ranges:" (Array.length t.lows);
+    Array.iteri
+      (fun i l ->
+        let hi =
+          if i + 1 < Array.length t.lows then
+            Printf.sprintf "0x%016Lx" t.lows.(i + 1)
+          else "end"
+        in
+        Format.fprintf ppf "@,  [0x%016Lx, %s) -> %d" l hi t.owners.(i))
+      t.lows;
+    Format.fprintf ppf "@]"
+
+  let to_string t = Format.asprintf "%a" pp t
+
+  (* ---- wire codec ----
+
+     The table travels as an opaque string inside TOPOLOGY frames.
+     Scalars reuse {!Pagestore.Codec} (8-byte LE ints, length-prefixed
+     strings); slice boundaries and the epoch are genuine 64-bit
+     values, encoded raw LE. [decode] raises [Failure] on truncation or
+     an invariant violation, matching the codec's own convention so the
+     wire layer can narrow it to its Malformed exception. *)
+
+  module C = Pagestore.Codec
+
+  let max_endpoints = 4096
+  let max_ranges = 65_536
+
+  let encode_i64 buf (x : int64) = Buffer.add_int64_le buf x
+
+  let decode_i64 s ~pos =
+    if !pos + 8 > String.length s then failwith "Table: truncated int64";
+    let v = String.get_int64_le s !pos in
+    pos := !pos + 8;
+    v
+
+  let encode t =
+    let buf = Buffer.create 128 in
+    encode_i64 buf t.epoch;
+    C.encode_int buf (Array.length t.endpoints);
+    Array.iter
+      (fun e ->
+        C.encode_string buf e.ep_host;
+        C.encode_int buf e.ep_port;
+        match e.ep_replica with
+        | None -> Buffer.add_char buf '\000'
+        | Some (h, p) ->
+            Buffer.add_char buf '\001';
+            C.encode_string buf h;
+            C.encode_int buf p)
+      t.endpoints;
+    C.encode_int buf (Array.length t.lows);
+    Array.iter (fun l -> encode_i64 buf l) t.lows;
+    Array.iter (fun o -> C.encode_int buf o) t.owners;
+    Buffer.contents buf
+
+  let decode s =
+    let pos = ref 0 in
+    let byte () =
+      if !pos >= String.length s then failwith "Table: truncated byte";
+      let b = s.[!pos] in
+      incr pos;
+      b
+    in
+    let epoch = decode_i64 s ~pos in
+    let ne = C.decode_int s ~pos in
+    if ne < 1 || ne > max_endpoints then
+      failwith (Printf.sprintf "Table: bad endpoint count %d" ne);
+    let endpoints =
+      Array.init ne (fun _ ->
+          let ep_host = C.decode_string s ~pos in
+          let ep_port = C.decode_int s ~pos in
+          if ep_port < 0 || ep_port > 65_535 then
+            failwith (Printf.sprintf "Table: bad port %d" ep_port);
+          let ep_replica =
+            match byte () with
+            | '\000' -> None
+            | '\001' ->
+                let h = C.decode_string s ~pos in
+                let p = C.decode_int s ~pos in
+                if p < 0 || p > 65_535 then
+                  failwith (Printf.sprintf "Table: bad replica port %d" p);
+                Some (h, p)
+            | c -> failwith (Printf.sprintf "Table: bad replica tag %C" c)
+          in
+          { ep_host; ep_port; ep_replica })
+    in
+    let nr = C.decode_int s ~pos in
+    if nr < 1 || nr > max_ranges then
+      failwith (Printf.sprintf "Table: bad range count %d" nr);
+    let lows = Array.init nr (fun _ -> decode_i64 s ~pos) in
+    let owners = Array.init nr (fun _ -> C.decode_int s ~pos) in
+    if !pos <> String.length s then
+      failwith
+        (Printf.sprintf "Table: %d trailing bytes" (String.length s - !pos));
+    match make ~epoch ~endpoints ~lows ~owners with
+    | t -> t
+    | exception Invalid_argument m -> failwith m
+end

@@ -184,7 +184,7 @@ exception Read_only
     replica that has not been promoted. The server answers ERR; the
     index is untouched. *)
 
-let backend_of_driver ~(decode_key : string -> 'k)
+let backend_of_driver ?decode_scan_key ~(decode_key : string -> 'k)
     ~(encode_key : 'k -> string) (d : 'k driver) : backend =
   let key s =
     (* Key_codec decoders fail with Invalid_argument (and Failure from
@@ -195,6 +195,16 @@ let backend_of_driver ~(decode_key : string -> 'k)
     | k -> k
     | exception (Invalid_argument _ | Failure _) -> raise (Bad_key s)
   in
+  (* A scan's start key is a lower bound over the binary key order, not
+     necessarily a well-formed key: range boundaries and continuation
+     cursors (last_key ^ "\000") fall between encoded keys. A codec may
+     supply [decode_scan_key] mapping any binary bound to the smallest
+     key at or above it ([None] = past every key, i.e. an empty scan). *)
+  let scan_key =
+    match decode_scan_key with
+    | Some f -> f
+    | None -> fun s -> Some (key s)
+  in
   {
     name = d.name;
     insert = (fun ~tid k v -> d.insert ~tid (key k) v);
@@ -203,7 +213,9 @@ let backend_of_driver ~(decode_key : string -> 'k)
     remove = (fun ~tid k -> d.remove ~tid (key k));
     scan =
       (fun ~tid k ~n visit ->
-        d.scan ~tid (key k) ~n (fun k v -> visit (encode_key k) v));
+        match scan_key k with
+        | Some k -> d.scan ~tid k ~n (fun k v -> visit (encode_key k) v)
+        | None -> 0);
     batch =
       Option.map
         (fun run ~tid (ops : string batch_op array) ->
@@ -247,8 +259,8 @@ let backend_of_driver ~(decode_key : string -> 'k)
   }
 
 let backend_of_int_driver (d : int driver) : backend =
-  backend_of_driver ~decode_key:Bw_util.Key_codec.to_int
-    ~encode_key:Bw_util.Key_codec.of_int d
+  backend_of_driver ~decode_scan_key:Bw_util.Key_codec.int_at_least
+    ~decode_key:Bw_util.Key_codec.to_int ~encode_key:Bw_util.Key_codec.of_int d
 
 let backend_of_str_driver (d : string driver) : backend =
   backend_of_driver ~decode_key:(fun s -> s) ~encode_key:(fun s -> s) d

@@ -135,6 +135,13 @@ type counter =
   | C_repl_ops_applied
   | C_repl_snapshot_pages
   | C_repl_promotions
+  | C_router_redirects
+  | C_wrongshard_replies
+  | C_migrations
+  | C_mig_items_copied
+  | C_mig_ops_replayed
+  | C_ckpt_gc_runs
+  | C_ckpt_gc_bytes
 
 let counter_index = function
   | C_splits -> 0
@@ -163,6 +170,13 @@ let counter_index = function
   | C_repl_ops_applied -> 23
   | C_repl_snapshot_pages -> 24
   | C_repl_promotions -> 25
+  | C_router_redirects -> 26
+  | C_wrongshard_replies -> 27
+  | C_migrations -> 28
+  | C_mig_items_copied -> 29
+  | C_mig_ops_replayed -> 30
+  | C_ckpt_gc_runs -> 31
+  | C_ckpt_gc_bytes -> 32
 
 let all_counters =
   [
@@ -192,6 +206,13 @@ let all_counters =
     C_repl_ops_applied;
     C_repl_snapshot_pages;
     C_repl_promotions;
+    C_router_redirects;
+    C_wrongshard_replies;
+    C_migrations;
+    C_mig_items_copied;
+    C_mig_ops_replayed;
+    C_ckpt_gc_runs;
+    C_ckpt_gc_bytes;
   ]
 
 let n_counters = List.length all_counters
@@ -223,6 +244,13 @@ let counter_name = function
   | C_repl_ops_applied -> "repl_ops_applied"
   | C_repl_snapshot_pages -> "repl_snapshot_pages"
   | C_repl_promotions -> "repl_promotions"
+  | C_router_redirects -> "router_redirects"
+  | C_wrongshard_replies -> "wrongshard_replies"
+  | C_migrations -> "migrations"
+  | C_mig_items_copied -> "mig_items_copied"
+  | C_mig_ops_replayed -> "mig_ops_replayed"
+  | C_ckpt_gc_runs -> "ckpt_gc_runs"
+  | C_ckpt_gc_bytes -> "ckpt_gc_bytes"
 
 type gauge =
   | G_epoch_pending
@@ -233,6 +261,7 @@ type gauge =
   | G_net_queued_bytes
   | G_repl_lag_records
   | G_repl_lag_bytes
+  | G_cluster_epoch
 
 let gauge_name = function
   | G_epoch_pending -> "epoch_pending"
@@ -243,6 +272,7 @@ let gauge_name = function
   | G_net_queued_bytes -> "net_queued_bytes"
   | G_repl_lag_records -> "repl_lag_records"
   | G_repl_lag_bytes -> "repl_lag_bytes"
+  | G_cluster_epoch -> "cluster_epoch"
 
 type event_kind =
   | Ev_split

@@ -68,6 +68,13 @@ type counter =
   | C_repl_ops_applied  (** individual ops applied from the stream *)
   | C_repl_snapshot_pages  (** bootstrap checkpoint pages loaded by a follower *)
   | C_repl_promotions  (** follower promotions to read-write *)
+  | C_router_redirects  (** router ops answered EWRONGSHARD and retried *)
+  | C_wrongshard_replies  (** ownership-gate rejections served by this node *)
+  | C_migrations  (** online range migrations completed by this node *)
+  | C_mig_items_copied  (** items batch-extracted to a migration destination *)
+  | C_mig_ops_replayed  (** capture-WAL ops drained to a migration destination *)
+  | C_ckpt_gc_runs  (** incremental checkpoints escalated to full for pages-log GC *)
+  | C_ckpt_gc_bytes  (** pages-log bytes reclaimed by those escalations *)
 
 val counter_name : counter -> string
 
@@ -82,6 +89,7 @@ type gauge =
   | G_net_queued_bytes  (** response bytes buffered awaiting socket writes *)
   | G_repl_lag_records  (** WAL commit records the standby is behind *)
   | G_repl_lag_bytes  (** WAL payload bytes the standby is behind *)
+  | G_cluster_epoch  (** this node's current partition-table epoch *)
 
 val gauge_name : gauge -> string
 

@@ -214,6 +214,16 @@ struct
     fsync : bool;
     segment_bytes : int option;
     page_items : int;
+    gc_dead_bytes : int;
+        (* incremental checkpoints append changed pages in place, so a
+           long chain accumulates dead page records; once the dead share
+           of the pages log passes this threshold the next incremental
+           escalates to a full checkpoint, which rewrites only live
+           pages into a fresh generation — GC without any in-place
+           rewrite, so every crash window stays covered by the
+           CURRENT-flip argument *)
+    mutable gc_runs : int;
+    mutable gc_bytes : int;  (* total bytes reclaimed by escalations *)
     obs : Bw_obs.sink;
     mu : Mutex.t;  (* serializes checkpoint against close *)
   }
@@ -222,6 +232,7 @@ struct
   let gen t = t.gen
   let wal t = t.wal
   let wal_ops t = W.pos t.wal
+  let gc_stats t = (t.gc_runs, t.gc_bytes)
 
   let apply_op ?on_replay tree op =
     (match on_replay with Some f -> f op | None -> ());
@@ -268,7 +279,7 @@ struct
     end
 
   let open_dir ?config ?(obs = Bw_obs.Null) ?segment_bytes ?(page_items = 128)
-      ?(fsync = true) ?on_replay ~dir () =
+      ?(gc_dead_bytes = 32 * 1024 * 1024) ?(fsync = true) ?on_replay ~dir () =
     mkdir_p dir;
     (* CURRENT names the committed generation; fall back to the newest
        loadable one when it is missing or lies (first-open crash). *)
@@ -304,6 +315,9 @@ struct
               fsync;
               segment_bytes;
               page_items;
+              gc_dead_bytes;
+              gc_runs = 0;
+              gc_bytes = 0;
               obs;
               mu = Mutex.create ();
             },
@@ -345,6 +359,9 @@ struct
               fsync;
               segment_bytes;
               page_items;
+              gc_dead_bytes;
+              gc_runs = 0;
+              gc_bytes = 0;
               obs;
               mu = Mutex.create ();
             },
@@ -400,8 +417,43 @@ struct
       ~finally:(fun () -> Mutex.unlock st.mu)
       (fun () ->
         T.quiesce st.tree ~tid;
+        (* The full branch also returns the new pages log's size so the
+           GC escalation can report exact reclaimed bytes. *)
+        let full () =
+          let g' = st.gen + 1 in
+          rm_rf (pages_dir st.dir g');
+          rm_rf (wal_dir st.dir g');
+          let plog, _ =
+            Log.open_dir ?segment_bytes:st.segment_bytes
+              ~dir:(pages_dir st.dir g') ()
+          in
+          let report =
+            CP.save_report ~page_items:st.page_items ~wal_gen:g'
+              ~wal_pos:0 st.tree plog
+          in
+          Log.sync plog;
+          let new_bytes = Log.bytes_used plog in
+          Log.close plog;
+          let wal', _ =
+            W.open_dir ?segment_bytes:st.segment_bytes ~fsync:st.fsync
+              ~obs:st.obs ~dir:(wal_dir st.dir g') ()
+          in
+          write_current st.dir g';
+          (* the flip is committed: everything before [g'] is garbage
+             on disk; the old WAL's memory image is kept for any
+             replication cursor still draining it *)
+          let old_gen = st.gen and old_wal = st.wal in
+          st.gen <- g';
+          st.wal <- wal';
+          W.close old_wal;
+          st.prev_wal <- Some (old_gen, old_wal);
+          rm_rf (pages_dir st.dir old_gen);
+          rm_rf (wal_dir st.dir old_gen);
+          fsync_dir st.dir;
+          ((report.CP.sr_pages, report.CP.sr_reused), new_bytes)
+        in
         match mode with
-        | `Incremental ->
+        | `Incremental -> (
             let plog, _ =
               Log.open_dir ?segment_bytes:st.segment_bytes
                 ~dir:(pages_dir st.dir st.gen) ()
@@ -409,44 +461,39 @@ struct
             let prev =
               Option.map (CP.manifest plog) (newest_manifest plog)
             in
-            let report =
-              CP.save_report ~page_items:st.page_items ~wal_gen:st.gen
-                ~wal_pos:(W.pos st.wal) ?prev st.tree plog
+            (* Dead share of the pages log: everything but the newest
+               manifest's live page payloads. (Record headers of live
+               records are counted as dead — a constant few bytes per
+               page, noise against the threshold.) *)
+            let used = Log.bytes_used plog in
+            let live =
+              match prev with
+              | None -> used
+              | Some m ->
+                  Array.fold_left
+                    (fun acc off -> acc + String.length (Log.read plog off))
+                    0 m.CP.pages
             in
-            Log.sync plog;
-            Log.close plog;
-            (report.CP.sr_pages, report.CP.sr_reused)
-        | `Full ->
-            let g' = st.gen + 1 in
-            rm_rf (pages_dir st.dir g');
-            rm_rf (wal_dir st.dir g');
-            let plog, _ =
-              Log.open_dir ?segment_bytes:st.segment_bytes
-                ~dir:(pages_dir st.dir g') ()
-            in
-            let report =
-              CP.save_report ~page_items:st.page_items ~wal_gen:g'
-                ~wal_pos:0 st.tree plog
-            in
-            Log.sync plog;
-            Log.close plog;
-            let wal', _ =
-              W.open_dir ?segment_bytes:st.segment_bytes ~fsync:st.fsync
-                ~obs:st.obs ~dir:(wal_dir st.dir g') ()
-            in
-            write_current st.dir g';
-            (* the flip is committed: everything before [g'] is garbage
-               on disk; the old WAL's memory image is kept for any
-               replication cursor still draining it *)
-            let old_gen = st.gen and old_wal = st.wal in
-            st.gen <- g';
-            st.wal <- wal';
-            W.close old_wal;
-            st.prev_wal <- Some (old_gen, old_wal);
-            rm_rf (pages_dir st.dir old_gen);
-            rm_rf (wal_dir st.dir old_gen);
-            fsync_dir st.dir;
-            (report.CP.sr_pages, report.CP.sr_reused))
+            if used - live > st.gc_dead_bytes then begin
+              Log.close plog;
+              let res, new_bytes = full () in
+              let reclaimed = max 0 (used - new_bytes) in
+              st.gc_runs <- st.gc_runs + 1;
+              st.gc_bytes <- st.gc_bytes + reclaimed;
+              Bw_obs.incr st.obs ~tid Bw_obs.C_ckpt_gc_runs;
+              Bw_obs.add st.obs ~tid Bw_obs.C_ckpt_gc_bytes reclaimed;
+              res
+            end
+            else begin
+              let report =
+                CP.save_report ~page_items:st.page_items ~wal_gen:st.gen
+                  ~wal_pos:(W.pos st.wal) ?prev st.tree plog
+              in
+              Log.sync plog;
+              Log.close plog;
+              (report.CP.sr_pages, report.CP.sr_reused)
+            end)
+        | `Full -> fst (full ()))
 
   let close st =
     Mutex.lock st.mu;

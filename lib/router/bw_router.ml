@@ -1,0 +1,750 @@
+(** Client-side cluster router and the online range-migration engine.
+
+    {1 Routing}
+
+    A router holds one cached {!Bw_cluster.Table} and one lazy
+    connection per distinct endpoint. Point ops go straight to the
+    cached owner — O(1), no coordination — and a cross-shard scan walks
+    owners in key order, resuming each segment at the exact continuation
+    key the previous owner named ({!Bw_client.scan_to}), so the
+    concatenation visits every key exactly once even while ranges move.
+
+    The cache needs no freshness protocol because the server validates
+    every request against its own table (publish-then-validate): acting
+    on a stale table costs a {!Bw_client.Wrong_shard} redirect, never a
+    wrong answer. On a redirect the router refetches the table from the
+    node that refused — it provably holds a newer epoch — bumps
+    {!Bw_obs.C_router_redirects}, and retries. During the brief
+    read-only seal at the end of a migration, writes get
+    {!Bw_client.Read_only}; the router backs off a moment and retries,
+    which resolves to either success (seal lifted by an abort) or a
+    redirect to the new owner (flip published).
+
+    Retries are bounded: a partition that never heals raises
+    {!Unroutable} rather than spinning.
+
+    {1 Migration}
+
+    {!Migration} is the engine the source node runs when it receives a
+    MIGRATE frame. It lives here, not in the server library, because it
+    is itself a client of the destination. See {!Migration.start} for
+    the step-by-step protocol and its correctness argument. *)
+
+module Wire = Bw_server.Wire
+module Table = Bw_cluster.Table
+module Slice = Bw_cluster.Slice
+module Gate = Bw_server.Cluster_gate
+
+exception Unroutable of string
+(** Retries exhausted: every candidate owner kept refusing or kept
+    being unreachable. Carries the last failure. *)
+
+type t = {
+  mutable table : Table.t;
+  conns : (string * int, Bw_client.t) Hashtbl.t;
+  obs : Bw_obs.sink;
+  tid : int;
+  replica_reads : bool;
+      (* route GETs/SCANs to an endpoint's warm standby when it has one
+         — bounded-staleness reads, same contract as
+         {!Bw_client.Fanout} *)
+  mutable rr : int;  (* alternates primary/replica reads *)
+  mutable closed : bool;
+}
+
+let table t = t.table
+let epoch t = Table.epoch t.table
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conn_to t host port =
+  let key = (host, port) in
+  match Hashtbl.find_opt t.conns key with
+  | Some c -> c
+  | None ->
+      let c = Bw_client.connect ~host ~port () in
+      Hashtbl.replace t.conns key c;
+      c
+
+let drop_conn_to t host port =
+  match Hashtbl.find_opt t.conns (host, port) with
+  | None -> ()
+  | Some c ->
+      Hashtbl.remove t.conns (host, port);
+      Bw_client.close c
+
+let conn t i =
+  let ep = Table.endpoint t.table i in
+  conn_to t ep.Table.ep_host ep.Table.ep_port
+
+let drop_conn t i =
+  let ep = Table.endpoint t.table i in
+  drop_conn_to t ep.Table.ep_host ep.Table.ep_port
+
+(* A read connection for endpoint [i]: every other read goes to its
+   standby when one is published and reachable. A standby mirrors its
+   primary asynchronously and carries no ownership gate, so replica
+   reads are eventually consistent — opt-in via [replica_reads]. *)
+let read_conn t i =
+  let ep = Table.endpoint t.table i in
+  if not t.replica_reads then conn t i
+  else
+    match ep.Table.ep_replica with
+    | None -> conn t i
+    | Some (rh, rp) ->
+        t.rr <- t.rr + 1;
+        if t.rr land 1 = 0 then conn t i
+        else ( try conn_to t rh rp with Unix.Unix_error _ -> conn t i)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Hashtbl.iter (fun _ c -> Bw_client.close c) t.conns;
+    Hashtbl.reset t.conns
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Table refresh                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let install t tbl =
+  if Int64.compare (Table.epoch tbl) (Table.epoch t.table) > 0 then
+    t.table <- tbl
+
+(* Refetch the table from endpoint [i] (after a redirect: the refusing
+   node holds the epoch it quoted, or newer). *)
+let refresh_from t i =
+  match Table.decode (Bw_client.topology (conn t i)) with
+  | tbl -> install t tbl
+  | exception Failure m ->
+      raise (Bw_client.Protocol_error ("bad TOPOLOGY payload: " ^ m))
+
+(* Ask every endpoint we can still reach — the recovery path when a
+   node vanished and someone else may know the post-failover table. *)
+let refresh_any t =
+  let n = Table.n_endpoints t.table in
+  let got = ref false in
+  for i = 0 to n - 1 do
+    if not !got then
+      match refresh_from t i with
+      | () -> got := true
+      | exception
+          ( Unix.Unix_error _ | Bw_client.Server_closed
+          | Bw_client.Protocol_error _ ) ->
+          drop_conn t i
+  done;
+  !got
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let max_attempts = 32
+
+let connect ?(obs = Bw_obs.Null) ?(tid = 0) ?(replica_reads = false) ~seeds ()
+    =
+  let rec boot last = function
+    | [] ->
+        raise
+          (Unroutable
+             (Printf.sprintf "no seed answered TOPOLOGY (last: %s)" last))
+    | (host, port) :: rest -> (
+        match
+          let c = Bw_client.connect ~host ~port () in
+          Fun.protect
+            ~finally:(fun () -> Bw_client.close c)
+            (fun () -> Bw_client.topology c)
+        with
+        | s -> (
+            match Table.decode s with
+            | tbl -> tbl
+            | exception Failure m -> boot ("bad table from seed: " ^ m) rest)
+        | exception Unix.Unix_error (e, _, _) ->
+            boot (Unix.error_message e) rest
+        | exception Bw_client.Server_closed -> boot "connection closed" rest
+        | exception Bw_client.Protocol_error m -> boot m rest)
+  in
+  if seeds = [] then invalid_arg "Bw_router.connect: no seeds";
+  let table = boot "" seeds in
+  {
+    table;
+    conns = Hashtbl.create 8;
+    obs;
+    tid;
+    replica_reads;
+    rr = 0;
+    closed = false;
+  }
+
+(* A router over an explicit table — in-process tests build clusters
+   without a seed fetch. *)
+let of_table ?(obs = Bw_obs.Null) ?(tid = 0) ?(replica_reads = false) table =
+  {
+    table;
+    conns = Hashtbl.create 8;
+    obs;
+    tid;
+    replica_reads;
+    rr = 0;
+    closed = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The retry driver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Route one operation to the owner of slice [u], absorbing the three
+   transient refusals:
+   - [Wrong_shard]: stale cache — refetch from the refuser, retry;
+   - [Read_only]: mid-flip seal — brief backoff, retry (the flip takes
+     one capture-drain, microseconds to milliseconds);
+   - connection loss: drop the cached conn, ask the rest of the fleet
+     for a newer table, retry.
+   [read] picks the standby-eligible connection for reads. *)
+let with_owner ?(read = false) t u f =
+  let rec go attempt last =
+    if attempt >= max_attempts then
+      raise (Unroutable ("retries exhausted: " ^ last));
+    let i = Table.owner t.table u in
+    match f (if read then read_conn t i else conn t i) with
+    | v -> v
+    | exception Bw_client.Wrong_shard _ ->
+        Bw_obs.incr t.obs ~tid:t.tid Bw_obs.C_router_redirects;
+        (match refresh_from t i with
+        | () -> ()
+        | exception
+            ( Unix.Unix_error _ | Bw_client.Server_closed
+            | Bw_client.Protocol_error _ ) ->
+            drop_conn t i;
+            ignore (refresh_any t : bool));
+        go (attempt + 1) "wrong shard"
+    | exception Bw_client.Read_only ->
+        Unix.sleepf (0.0005 *. float_of_int (attempt + 1));
+        go (attempt + 1) "range sealed read-only"
+    | exception Unix.Unix_error (e, _, _) ->
+        drop_conn t i;
+        if not (refresh_any t) then Unix.sleepf 0.01;
+        go (attempt + 1) (Unix.error_message e)
+    | exception Bw_client.Server_closed ->
+        drop_conn t i;
+        if not (refresh_any t) then Unix.sleepf 0.01;
+        go (attempt + 1) "connection closed"
+  in
+  go 0 ""
+
+(* ------------------------------------------------------------------ *)
+(* Data plane                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let get t key =
+  with_owner ~read:true t (Slice.of_binary key) (fun c -> Bw_client.get c key)
+
+let put t ?mode key value =
+  with_owner t (Slice.of_binary key) (fun c -> Bw_client.put c ?mode key value)
+
+let delete t key =
+  with_owner t (Slice.of_binary key) (fun c -> Bw_client.delete c key)
+
+(* Cross-shard scan: each segment asks the cursor's owner, which clips
+   to its owned range and names the exact resume key. Segments cover
+   adjacent key intervals [cursor, next), each with the owner's
+   exactly-once visit guarantee, so the concatenation is exactly-once
+   — including across a concurrent migration, where a moved segment is
+   simply re-requested from its new owner starting at the same
+   cursor. *)
+let scan t key ~n =
+  if n <= 0 then []
+  else begin
+    let acc = ref [] in
+    let got = ref 0 in
+    let cursor = ref (Some key) in
+    let continue = ref true in
+    while !continue do
+      match !cursor with
+      | Some k when !got < n ->
+          let items, next =
+            with_owner ~read:true t (Slice.of_binary k) (fun c ->
+                Bw_client.scan_to c k ~n:(n - !got))
+          in
+          List.iter
+            (fun it ->
+              acc := it :: !acc;
+              incr got)
+            items;
+          cursor := next
+      | _ -> continue := false
+    done;
+    List.rev !acc
+  end
+
+(* Point-op batch, partitioned by owner: one BATCH frame per endpoint
+   holding that endpoint's slots, re-dispatched per slot on redirects.
+   Slot order in the result matches [reqs]; only Get/Put/Delete may
+   appear (a cross-shard frame cannot carry scans or admin ops without
+   breaking their semantics). *)
+let batch t reqs =
+  let arr = Array.of_list reqs in
+  let n = Array.length arr in
+  let key_of = function
+    | Wire.Get k | Wire.Put (_, k, _) | Wire.Delete k -> k
+    | Wire.Scan _ | Wire.Batch _ | Wire.Stats | Wire.Repl _ | Wire.Topology _
+    | Wire.Migrate _ | Wire.Ingest _ ->
+        invalid_arg "Bw_router.batch: point requests only"
+  in
+  let keys = Array.map key_of arr in
+  let out = Array.make n (Wire.Err "unresolved") in
+  let unresolved = ref (List.init n Fun.id) in
+  let attempt = ref 0 in
+  while !unresolved <> [] do
+    if !attempt >= max_attempts then
+      raise (Unroutable "batch retries exhausted");
+    incr attempt;
+    (* group the open slots by cached owner, preserving order *)
+    let groups = Hashtbl.create 4 in
+    List.iter
+      (fun i ->
+        let o = Table.owner_binary t.table keys.(i) in
+        Hashtbl.replace groups o
+          (i :: (try Hashtbl.find groups o with Not_found -> [])))
+      !unresolved;
+    let still = ref [] in
+    let redirected_by = ref None in
+    let sealed = ref false in
+    Hashtbl.iter
+      (fun owner idxs_rev ->
+        let idxs = List.rev idxs_rev in
+        match
+          Bw_client.batch (conn t owner) (List.map (fun i -> arr.(i)) idxs)
+        with
+        | rs when List.length rs = List.length idxs ->
+            List.iter2
+              (fun i r ->
+                match r with
+                | Wire.Err_wrong_shard _ ->
+                    redirected_by := Some owner;
+                    still := i :: !still
+                | Wire.Err_read_only ->
+                    sealed := true;
+                    still := i :: !still
+                | r -> out.(i) <- r)
+              idxs rs
+        | _ ->
+            raise
+              (Bw_client.Protocol_error "BATCH reply arity mismatch")
+        | exception (Unix.Unix_error _ | Bw_client.Server_closed) ->
+            drop_conn t owner;
+            ignore (refresh_any t : bool);
+            still := List.rev_append idxs_rev !still)
+      groups;
+    (match !redirected_by with
+    | Some owner ->
+        Bw_obs.incr t.obs ~tid:t.tid Bw_obs.C_router_redirects;
+        (try refresh_from t owner
+         with
+         | Unix.Unix_error _ | Bw_client.Server_closed
+         | Bw_client.Protocol_error _
+         ->
+           ignore (refresh_any t : bool))
+    | None -> ());
+    if !sealed then Unix.sleepf (0.0005 *. float_of_int !attempt);
+    unresolved := List.sort compare !still
+  done;
+  Array.to_list out
+
+(* Integer-key conveniences, mirroring {!Bw_client.Int_key}. *)
+module Int_key = struct
+  let enc = Bw_util.Key_codec.of_int
+
+  let get t k = get t (enc k)
+  let put t ?mode k v = put t ?mode (enc k) v
+  let delete t k = delete t (enc k)
+
+  let scan t k ~n =
+    List.map
+      (fun (bk, v) -> (Bw_util.Key_codec.to_int bk, v))
+      (scan t (enc k) ~n)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fleet stats                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-endpoint STATS snapshots as raw JSON strings; unreachable nodes
+   are skipped. *)
+let node_stats t =
+  let n = Table.n_endpoints t.table in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match Bw_client.stats (conn t i) with
+    | s -> acc := (i, s) :: !acc
+    | exception
+        ( Unix.Unix_error _ | Bw_client.Server_closed
+        | Bw_client.Protocol_error _ ) ->
+        drop_conn t i
+  done;
+  !acc
+
+module J = Bw_obs.Json
+
+(* Merge several node snapshots into one fleet snapshot at the JSON
+   level, preserving the single-node schema (json_check-valid):
+   counters, gauges and event-kind totals sum; histograms merge by name
+   with [count]/[sum] summed, [min]/[max] extremal, and percentiles
+   elementwise max (a conservative upper bound — exact merge would need
+   the raw buckets, which STATS does not ship; max keeps the monotone
+   p50 <= p90 <= p99 invariant); [elapsed_s] is the oldest node's;
+   event logs concatenate. Each node's non-empty histograms and
+   non-zero counters/gauges are re-appended under a ["node<i>_"] prefix
+   — same convention as {!Bw_obs.sharded_snapshot_json}, so the merged
+   totals stay unprefixed and exact where summing is exact. *)
+let merge_stats_json labeled =
+  let parsed =
+    List.filter_map
+      (fun (label, s) ->
+        match J.parse s with Ok v -> Some (label, v) | Error _ -> None)
+      labeled
+  in
+  if parsed = [] then J.Obj []
+  else begin
+    let num = function J.Int i -> float_of_int i | J.Float f -> f | _ -> 0.0 in
+    let elapsed =
+      List.fold_left
+        (fun acc (_, v) ->
+          match J.member "elapsed_s" v with
+          | Some e -> Float.max acc (num e)
+          | None -> acc)
+        0.0 parsed
+    in
+    (* histograms, merged by name in first-seen order *)
+    let horder = ref [] in
+    let htbl = Hashtbl.create 16 in
+    let int_field k h = match J.member k h with Some (J.Int i) -> i | _ -> 0 in
+    let str_field k h =
+      match J.member k h with Some (J.Str s) -> s | _ -> ""
+    in
+    List.iter
+      (fun (_, v) ->
+        match J.member "histograms" v with
+        | Some (J.Arr hs) ->
+            List.iter
+              (fun h ->
+                let name = str_field "name" h in
+                let cur =
+                  match Hashtbl.find_opt htbl name with
+                  | Some c -> c
+                  | None ->
+                      horder := name :: !horder;
+                      let fresh =
+                        ( str_field "unit" h,
+                          ref 0,
+                          ref 0,
+                          ref max_int,
+                          ref min_int,
+                          Array.make 3 0 )
+                      in
+                      Hashtbl.add htbl name fresh;
+                      fresh
+                in
+                let _, count, sum, mn, mx, ps = cur in
+                count := !count + int_field "count" h;
+                sum := !sum + int_field "sum" h;
+                mn := min !mn (int_field "min" h);
+                mx := max !mx (int_field "max" h);
+                List.iteri
+                  (fun j k -> ps.(j) <- max ps.(j) (int_field k h))
+                  [ "p50"; "p90"; "p99" ])
+              hs
+        | _ -> ())
+      parsed;
+    let histograms =
+      List.rev_map
+        (fun name ->
+          let unit_, count, sum, mn, mx, ps = Hashtbl.find htbl name in
+          J.Obj
+            [
+              ("name", J.Str name);
+              ("unit", J.Str unit_);
+              ("count", J.Int !count);
+              ("sum", J.Int !sum);
+              ("min", J.Int !mn);
+              ("max", J.Int !mx);
+              ("p50", J.Int ps.(0));
+              ("p90", J.Int ps.(1));
+              ("p99", J.Int ps.(2));
+            ])
+        !horder
+    in
+    (* flat int objects (counters, gauges, event kinds): sum by key *)
+    let sum_obj member_path =
+      let order = ref [] in
+      let tbl = Hashtbl.create 32 in
+      List.iter
+        (fun (_, v) ->
+          match member_path v with
+          | Some (J.Obj kvs) ->
+              List.iter
+                (fun (k, n) ->
+                  match n with
+                  | J.Int i ->
+                      (match Hashtbl.find_opt tbl k with
+                      | Some r -> r := !r + i
+                      | None ->
+                          order := k :: !order;
+                          Hashtbl.add tbl k (ref i))
+                  | _ -> ())
+                kvs
+          | _ -> ())
+        parsed;
+      List.rev_map (fun k -> (k, J.Int !(Hashtbl.find tbl k))) !order
+    in
+    let counters = sum_obj (J.member "counters") in
+    let gauges = sum_obj (J.member "gauges") in
+    let dropped =
+      List.fold_left
+        (fun acc (_, v) ->
+          match Option.bind (J.member "events" v) (J.member "dropped") with
+          | Some (J.Int i) -> acc + i
+          | _ -> acc)
+        0 parsed
+    in
+    let kinds =
+      sum_obj (fun v -> Option.bind (J.member "events" v) (J.member "kinds"))
+    in
+    let log =
+      List.concat_map
+        (fun (_, v) ->
+          match Option.bind (J.member "events" v) (J.member "log") with
+          | Some (J.Arr l) -> l
+          | _ -> [])
+        parsed
+    in
+    (* per-node breakdown, sharded-snapshot style *)
+    let prefixed_histos =
+      List.concat_map
+        (fun (label, v) ->
+          match J.member "histograms" v with
+          | Some (J.Arr hs) ->
+              List.filter_map
+                (fun h ->
+                  if int_field "count" h <= 0 then None
+                  else
+                    match h with
+                    | J.Obj kvs ->
+                        Some
+                          (J.Obj
+                             (List.map
+                                (fun (k, x) ->
+                                  if k = "name" then
+                                    ( k,
+                                      J.Str
+                                        (label ^ "_" ^ str_field "name" h) )
+                                  else (k, x))
+                                kvs))
+                    | _ -> None)
+                hs
+          | _ -> [])
+        parsed
+    in
+    let prefixed_flat path =
+      List.concat_map
+        (fun (label, v) ->
+          match path v with
+          | Some (J.Obj kvs) ->
+              List.filter_map
+                (fun (k, n) ->
+                  match n with
+                  | J.Int i when i <> 0 -> Some (label ^ "_" ^ k, J.Int i)
+                  | _ -> None)
+                kvs
+          | _ -> [])
+        parsed
+    in
+    J.Obj
+      [
+        ("elapsed_s", J.Float elapsed);
+        ("histograms", J.Arr (histograms @ prefixed_histos));
+        ("counters", J.Obj (counters @ prefixed_flat (J.member "counters")));
+        ("gauges", J.Obj (gauges @ prefixed_flat (J.member "gauges")));
+        ( "events",
+          J.Obj
+            [
+              ("dropped", J.Int dropped);
+              ("kinds", J.Obj kinds);
+              ("log", J.Arr log);
+            ] );
+      ]
+  end
+
+(* The whole fleet's merged snapshot as a JSON string. [extra] folds in
+   further snapshots under their own labels (e.g. the router process's
+   local registry, which holds [router_redirects]). *)
+let fleet_stats_json ?(extra = []) t =
+  let nodes =
+    List.map (fun (i, s) -> (Printf.sprintf "node%d" i, s)) (node_stats t)
+  in
+  J.to_string (merge_stats_json (nodes @ extra))
+
+(* ------------------------------------------------------------------ *)
+(* The migration engine                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Migration = struct
+  (* The source-side engine for MIGRATE lo hi dst:
+
+     1. admit via {!Gate.begin_migration} — from here every write
+        covered by the range also lands in the capture log;
+     2. wait out fast-path writers that may have missed the admission
+        ({!Gate.quiesce_fast_writers});
+     3. bulk-extract the range with local scans, shipping batches to
+        the destination as INGEST frames (the ordinary batch-apply
+        path, so a durable destination group-commits them);
+     4. drain the capture log to the destination in rounds until a
+        round comes back small;
+     5. seal the range ({!Gate.seal}: covered writes now refuse), take
+        the final drain — the capture log is complete and final, so
+        the destination now holds every acknowledged write;
+     6. flip: install the epoch+1 table locally (the source starts
+        refusing the whole range), then offer it to the destination
+        and best-effort to the rest of the fleet.
+
+     Replay safety: extraction and capture replay both go through
+     upsert/remove, and per-key capture order equals apply order (both
+     happen under the gate's mutex), so replaying a prefix twice or
+     interleaving extraction with captured writes converges to the
+     source's final state. The destination applies INGEST frames in
+     connection FIFO order.
+
+     An abort (destination unreachable mid-copy) leaves ownership
+     unchanged — refused writes were transient redirects, not losses —
+     but may leave orphan rows at the destination; see DESIGN.md. *)
+
+  let eprint fmt = Printf.ksprintf (fun m -> prerr_endline ("migrate: " ^ m)) fmt
+
+  let exec ~obs ~tid ~batch ~(gate : Gate.t) ~scan (m : Gate.mig) =
+    let tbl = Gate.table gate in
+    let dst_ep = Table.endpoint tbl m.Gate.mg_dst in
+    match
+      Bw_client.connect ~host:dst_ep.Table.ep_host ~port:dst_ep.Table.ep_port
+        ()
+    with
+    | exception e ->
+        Gate.abort gate m;
+        Error
+          (Printf.sprintf "cannot reach destination %s:%d (%s)"
+             dst_ep.Table.ep_host dst_ep.Table.ep_port (Printexc.to_string e))
+    | c -> (
+        let finish r =
+          Bw_client.close c;
+          r
+        in
+        try
+          Gate.quiesce_fast_writers gate;
+          (* bulk extraction: local scans from the range floor, clipped
+             at the range end, shipped as upserts *)
+          let lo_u = m.Gate.mg_lo and hi_u = m.Gate.mg_hi in
+          let in_range k = Slice.in_range (Slice.of_binary k) ~lo:lo_u ~hi:hi_u in
+          let cursor = ref (Slice.floor_binary lo_u) in
+          let more = ref true in
+          while !more do
+            let items = scan !cursor ~n:batch in
+            let kept = List.filter (fun (k, _) -> in_range k) items in
+            if kept <> [] then begin
+              if not (Bw_client.ingest c (List.map (fun (k, v) -> (k, Some v)) kept))
+              then failwith "destination refused INGEST";
+              Bw_obs.add obs ~tid Bw_obs.C_mig_items_copied (List.length kept)
+            end;
+            if List.length kept < List.length items || List.length items < batch
+            then more := false
+            else
+              match List.rev kept with
+              | (last, _) :: _ -> cursor := last ^ "\000"
+              | [] -> more := false
+          done;
+          (* drain the capture log until a round comes back small *)
+          let cur = Pagestore.Wal.fresh_cursor () in
+          let replay ops =
+            (* a drain round is unbounded (every write captured since
+               the last round) — ship it in wire-cap-sized chunks *)
+            let rec ship = function
+              | [] -> ()
+              | ops ->
+                  let chunk, rest =
+                    let rec split i acc = function
+                      | rest when i = batch -> (List.rev acc, rest)
+                      | [] -> (List.rev acc, [])
+                      | x :: tl -> split (i + 1) (x :: acc) tl
+                    in
+                    split 0 [] ops
+                  in
+                  if not (Bw_client.ingest c chunk) then
+                    failwith "destination refused capture replay";
+                  Bw_obs.add obs ~tid Bw_obs.C_mig_ops_replayed
+                    (List.length chunk);
+                  ship rest
+            in
+            ship ops;
+            List.length ops
+          in
+          let rounds = ref 0 in
+          while replay (Gate.drain m ~limit:max_int cur) > 64 && !rounds < 50 do
+            incr rounds
+          done;
+          (* seal, final drain, flip *)
+          Gate.seal gate m;
+          ignore (replay (Gate.drain m ~limit:max_int cur) : int);
+          let t' = Gate.flip gate m in
+          Bw_obs.incr obs ~tid Bw_obs.C_migrations;
+          (* teach the destination first — it must accept its new range
+             before routers land there — then the bystanders *)
+          let enc = Table.encode t' in
+          (try ignore (Bw_client.offer_topology c enc : bool)
+           with _ -> ());
+          for i = 0 to Table.n_endpoints t' - 1 do
+            if i <> Gate.self gate && i <> m.Gate.mg_dst then begin
+              let ep = Table.endpoint t' i in
+              try
+                let pc =
+                  Bw_client.connect ~host:ep.Table.ep_host
+                    ~port:ep.Table.ep_port ()
+                in
+                Fun.protect
+                  ~finally:(fun () -> Bw_client.close pc)
+                  (fun () -> ignore (Bw_client.offer_topology pc enc : bool))
+              with _ -> ()
+            end
+          done;
+          finish (Ok ())
+        with e ->
+          Gate.abort gate m;
+          finish (Error (Printexc.to_string e)))
+
+  (* Admit and run a migration synchronously; [scan k ~n] must return
+     up to [n] live (key, value) pairs at or past [k] from the local
+     index, in key order. *)
+  let run ?(obs = Bw_obs.Null) ?(tid = 0) ?(batch = 512) ~gate ~scan ~lo ~hi
+      ~dst () =
+    let lo_u = Slice.of_binary lo in
+    let hi_u = Option.map Slice.of_binary hi in
+    match Gate.begin_migration gate ~lo:lo_u ~hi:hi_u ~dst with
+    | Error e -> Error e
+    | Ok m -> exec ~obs ~tid ~batch ~gate ~scan m
+
+  (* Admit synchronously (so the MIGRATE frame's reply reports
+     validation errors), then copy/flip in a background domain —
+     the admin's connection is not held for the whole copy. Progress
+     is observable via the obs counters and the TOPOLOGY epoch. *)
+  let start ?(obs = Bw_obs.Null) ?(tid = 0) ?(batch = 512) ~gate ~scan ~lo ~hi
+      ~dst () =
+    let lo_u = Slice.of_binary lo in
+    let hi_u = Option.map Slice.of_binary hi in
+    match Gate.begin_migration gate ~lo:lo_u ~hi:hi_u ~dst with
+    | Error e -> Error e
+    | Ok m ->
+        Ok
+          (Domain.spawn (fun () ->
+               match exec ~obs ~tid ~batch ~gate ~scan m with
+               | Ok () -> ()
+               | Error e -> eprint "%s" e))
+end

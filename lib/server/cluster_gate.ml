@@ -1,0 +1,255 @@
+(** Per-request ownership validation for a cluster member, plus the
+    server-side state of an online range migration.
+
+    A node caches nothing about its peers: it holds one authoritative
+    fact — its own current partition table — and validates every
+    request against it (publish-then-validate, the discipline
+    {!Bw_cluster} describes). A router acting on a stale table gets
+    {!Wire.Err_wrong_shard} with this node's epoch, refetches, and
+    retries; it can never read or write data this node no longer owns.
+
+    Migration correctness hinges on one race: a write that checks
+    ownership, then applies while the migration engine is taking its
+    final look at the capture log — an acknowledged write the
+    destination never sees. The gate closes it with two devices:
+
+    - [mu] serializes writes *covered by the active migration* against
+      the engine's seal/flip. A covered write applies and appends to
+      the capture WAL as one critical section; the engine seals
+      (marks the range read-only) under the same mutex, so after seal
+      it holds every acknowledged covered write in tree + capture.
+    - [pub] is a published-writer count for the uncovered fast path.
+      A writer increments [pub] *before* reading the migration state;
+      the engine installs the migration *before* waiting for [pub] to
+      reach zero (a store-buffer pairing: one of them must see the
+      other). Once [pub] has been observed at zero, every writer that
+      could have missed the migration has completed and is visible to
+      the extraction scan; later writers see the migration and take
+      the captured path. *)
+
+module Table = Bw_cluster.Table
+module Slice = Bw_cluster.Slice
+
+(* The capture log: an in-memory WAL (same codec as the durable one)
+   that accumulates writes to the migrating range while the bulk
+   extraction runs; the engine drains it with cursor tails and replays
+   it at the destination. *)
+module Capture = Pagestore.Wal.Make (Pagestore.Codec.String) (Pagestore.Codec.Int)
+
+type mig = {
+  mg_lo : int64;
+  mg_hi : int64 option;  (** [None] = end of the slice space *)
+  mg_dst : int;
+  mutable mg_readonly : bool;  (** guarded by [mu]: sealed for the flip *)
+  mg_capture : Capture.t;
+}
+
+type t = {
+  self : int;  (** this node's endpoint index *)
+  table : Table.t Atomic.t;
+  mig : mig option Atomic.t;
+  mu : Mutex.t;
+  pub : int Atomic.t;
+  obs : Bw_obs.sink;
+}
+
+let create ?(obs = Bw_obs.Null) ~self table =
+  if self < 0 || self >= Table.n_endpoints table then
+    invalid_arg "Cluster_gate.create: self out of the endpoint range";
+  let g =
+    {
+      self;
+      table = Atomic.make table;
+      mig = Atomic.make None;
+      mu = Mutex.create ();
+      pub = Atomic.make 0;
+      obs;
+    }
+  in
+  Bw_obs.register_gauge obs Bw_obs.G_cluster_epoch (fun () ->
+      Int64.to_int (Table.epoch (Atomic.get g.table)));
+  g
+
+let table g = Atomic.get g.table
+let self g = g.self
+
+(* Install [t] if it is newer than what we hold; returns whether it
+   won. Monotone by epoch, so replayed or crossed TOPOLOGY frames are
+   harmless. *)
+let rec install g t =
+  let cur = Atomic.get g.table in
+  if Int64.compare (Table.epoch t) (Table.epoch cur) <= 0 then false
+  else if Atomic.compare_and_set g.table cur t then true
+  else install g t
+
+let wrong_shard g ~tid tbl =
+  Bw_obs.incr g.obs ~tid Bw_obs.C_wrongshard_replies;
+  raise (Wire.Wrong_shard (Table.epoch tbl))
+
+(* Reads are served as long as the key is owned — including during a
+   migration's read-only seal window, when the data is still here. *)
+let check_read g ~tid u =
+  let tbl = Atomic.get g.table in
+  if Table.owner tbl u <> g.self then wrong_shard g ~tid tbl
+
+(* Validate ownership of a scan's start key and return the owned
+   range's upper bound: the scan must clip there (keys past it may be
+   stale leftovers of a range migrated away) and name it as the
+   continuation point. *)
+let scan_range g ~tid u =
+  let tbl = Atomic.get g.table in
+  let owner, _, hi = Table.range_of tbl u in
+  if owner <> g.self then wrong_shard g ~tid tbl;
+  hi
+
+(* What a write must append to the capture log if it applies while its
+   key range is migrating. *)
+type wop = Wop_put of string * int | Wop_remove of string
+
+let covered m u = Slice.in_range u ~lo:m.mg_lo ~hi:m.mg_hi
+
+let capture ~tid m op =
+  Capture.commit m.mg_capture ~tid
+    [
+      (match op with
+      | Wop_put (k, v) -> Capture.W_upsert (k, v)
+      | Wop_remove k -> Capture.W_remove k);
+    ]
+
+(* The covered-write critical section: ownership check, apply, capture
+   — atomic against the engine's seal/flip under [mu]. *)
+let slow_write g ~tid u op apply =
+  Mutex.lock g.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock g.mu)
+    (fun () ->
+      let tbl = Atomic.get g.table in
+      if Table.owner tbl u <> g.self then wrong_shard g ~tid tbl;
+      match Atomic.get g.mig with
+      | Some m when covered m u ->
+          if m.mg_readonly then wrong_shard g ~tid tbl;
+          let ok = apply () in
+          if ok then capture ~tid m op;
+          ok
+      | _ -> apply ())
+
+(* Gate one write: [apply] runs the backend op and reports whether it
+   applied. Raises {!Wire.Wrong_shard} when this node does not own [u]
+   (or the range is sealed mid-flip). *)
+let write g ~tid u op apply =
+  Atomic.incr g.pub;
+  match Atomic.get g.mig with
+  | Some m when covered m u ->
+      Atomic.decr g.pub;
+      slow_write g ~tid u op apply
+  | _ ->
+      (* fast path: [pub] stays published across the apply, so a
+         migration that starts now waits for us before extracting *)
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr g.pub)
+        (fun () ->
+          let tbl = Atomic.get g.table in
+          if Table.owner tbl u <> g.self then wrong_shard g ~tid tbl;
+          apply ())
+
+(* Run [f] as a published writer — the batch path wraps its whole
+   amortized execution in this so a migration cannot start (and miss
+   captures) halfway through a batch frame. *)
+let with_pub g f =
+  Atomic.incr g.pub;
+  Fun.protect ~finally:(fun () -> Atomic.decr g.pub) f
+
+let migration_active g = Atomic.get g.mig <> None
+
+(* ------------------------------------------------------------------ *)
+(* Engine-side hooks (driven by the migration engine in [Bw_router])   *)
+(* ------------------------------------------------------------------ *)
+
+(* Admit a migration of [lo, hi) to endpoint [dst]. The interval must
+   lie inside a single assignment this node owns (assignments are
+   maximal, so this is exactly "we own every key in it"), and only one
+   migration may run at a time. *)
+let begin_migration g ~lo ~hi ~dst =
+  let tbl = Atomic.get g.table in
+  if dst < 0 || dst >= Table.n_endpoints tbl then
+    Error (Printf.sprintf "destination %d out of the endpoint range" dst)
+  else if dst = g.self then Error "destination is the source"
+  else if
+    match hi with Some h -> Slice.compare h lo <= 0 | None -> false
+  then Error "empty migration range"
+  else
+    let owner, _, rhi = Table.range_of tbl lo in
+    if owner <> g.self then Error "source does not own the range start"
+    else if
+      match (hi, rhi) with
+      | _, None -> false (* owned range runs to the end: anything fits *)
+      | None, Some _ -> true (* requested range runs past the owned one *)
+      | Some h, Some rh -> Slice.compare h rh > 0
+    then Error "range crosses an ownership boundary"
+    else
+      let m =
+        {
+          mg_lo = lo;
+          mg_hi = hi;
+          mg_dst = dst;
+          mg_readonly = false;
+          mg_capture = Capture.in_memory ();
+        }
+      in
+      if Atomic.compare_and_set g.mig None (Some m) then Ok m
+      else Error "a migration is already in progress"
+
+(* Wait out fast-path writers that may have missed the just-installed
+   migration; see the module comment for the pairing argument. *)
+let quiesce_fast_writers g =
+  while Atomic.get g.pub > 0 do
+    Domain.cpu_relax ()
+  done
+
+(* Pull up to [limit] capture records past [cur] as (key, op) pairs in
+   commit order. *)
+let drain m ~limit cur =
+  let acc = ref [] in
+  ignore
+    (Capture.tail m.mg_capture ~limit cur (fun payload ->
+         List.iter
+           (fun op ->
+             acc :=
+               (match op with
+               | Capture.W_insert (k, v)
+               | Capture.W_update (k, v)
+               | Capture.W_upsert (k, v) ->
+                   (k, Some v)
+               | Capture.W_remove k -> (k, None))
+               :: !acc)
+           (Capture.decode_ops payload))
+      : int);
+  List.rev !acc
+
+(* Seal the migrating range: from here every covered write answers
+   EWRONGSHARD and the capture log is final — the drain that follows
+   this call sees every acknowledged covered write. *)
+let seal g m =
+  Mutex.lock g.mu;
+  m.mg_readonly <- true;
+  Mutex.unlock g.mu
+
+(* Publish the post-migration table locally and retire the migration.
+   The source flips *first* (before the destination or anyone else
+   learns the new table): from this instant it refuses the moved range,
+   so no reader can observe the pre-flip source serving keys the
+   destination already owns — the brief window where both sides
+   redirect is absorbed by router retries. *)
+let flip g m =
+  let t' =
+    Table.with_range_moved (Atomic.get g.table) ~lo:m.mg_lo ~hi:m.mg_hi
+      ~dst:m.mg_dst
+  in
+  Atomic.set g.table t';
+  Atomic.set g.mig None;
+  t'
+
+(* Abandon a migration (destination unreachable, …): drop the capture
+   and lift the seal; ownership never changed, so refused writes were
+   transient redirects, not losses. *)
+let abort g (_ : mig) = Atomic.set g.mig None

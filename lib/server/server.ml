@@ -41,6 +41,16 @@ type config = {
           a follower) answers them with ERR. Runs on the worker that owns
           the shipper's connection — FIFO per connection is the stream's
           ordering guarantee. *)
+  gate : Cluster_gate.t option;
+      (** cluster membership: when set, every data request is validated
+          against this node's partition table (wrong owner answers
+          {!Wire.Err_wrong_shard}), scans clip to the owned range and
+          carry a continuation, and TOPOLOGY frames read/install the
+          table. [None] = a standalone server, gate-free fast paths. *)
+  migrate_handler :
+    (tid:int -> lo:string -> hi:string option -> dst:int -> Wire.resp) option;
+      (** admits a MIGRATE frame (the engine lives above this library,
+          next to the client it needs); [None] answers ERR. *)
 }
 
 let default_config =
@@ -54,6 +64,8 @@ let default_config =
     obs = Bw_obs.Null;
     stats_json = None;
     repl_handler = None;
+    gate = None;
+    migrate_handler = None;
   }
 
 type conn = {
@@ -101,31 +113,121 @@ let series_of_req : Wire.req -> Bw_obs.series = function
   | Wire.Put _ -> Bw_obs.Lat_req_put
   | Wire.Delete _ -> Bw_obs.Lat_req_delete
   | Wire.Scan _ -> Bw_obs.Lat_req_scan
-  | Wire.Batch _ -> Bw_obs.Lat_req_batch
-  | Wire.Stats -> Bw_obs.Lat_req_stats
-  | Wire.Repl _ -> Bw_obs.Lat_req_repl
+  | Wire.Batch _ | Wire.Ingest _ -> Bw_obs.Lat_req_batch
+  | Wire.Stats | Wire.Topology _ -> Bw_obs.Lat_req_stats
+  | Wire.Repl _ | Wire.Migrate _ -> Bw_obs.Lat_req_repl
 
 (* Evaluate one request, appending the encoded response body to [body].
    SCAN streams visits straight into the encode buffer — items never
    materialize as a list. Point ops compute their result before any byte
    is written, so a raising sub-request leaves [body] untouched and
-   BATCH slot isolation only needs a scratch buffer around scans. *)
+   BATCH slot isolation only needs a scratch buffer around scans.
+
+   With a cluster gate, point ops validate ownership first (raising
+   {!Wire.Wrong_shard} on a miss), writes run through the gate's
+   capture path, and scans clip to the owned range, answering
+   [Scanned_to] with the exact continuation key. *)
 let rec eval_into t ~tid body (req : Wire.req) : unit =
   let b = t.backend in
+  let gated_write k op apply =
+    match t.cfg.gate with
+    | None -> apply ()
+    | Some g ->
+        Cluster_gate.write g ~tid (Bw_cluster.Slice.of_binary k) op apply
+  in
   match req with
-  | Wire.Get k -> Wire.encode_resp body (Wire.Value (b.read ~tid k))
+  | Wire.Get k ->
+      (match t.cfg.gate with
+      | None -> ()
+      | Some g -> Cluster_gate.check_read g ~tid (Bw_cluster.Slice.of_binary k));
+      Wire.encode_resp body (Wire.Value (b.read ~tid k))
   | Wire.Put (Wire.Insert, k, v) ->
-      Wire.encode_resp body (Wire.Applied (b.insert ~tid k v))
+      Wire.encode_resp body
+        (Wire.Applied
+           (gated_write k (Cluster_gate.Wop_put (k, v)) (fun () ->
+                b.insert ~tid k v)))
   | Wire.Put (Wire.Update, k, v) ->
-      Wire.encode_resp body (Wire.Applied (b.update ~tid k v))
+      Wire.encode_resp body
+        (Wire.Applied
+           (gated_write k (Cluster_gate.Wop_put (k, v)) (fun () ->
+                b.update ~tid k v)))
   | Wire.Put (Wire.Upsert, k, v) ->
-      Wire.encode_resp body (Wire.Applied (upsert b ~tid k v))
-  | Wire.Delete k -> Wire.encode_resp body (Wire.Applied (b.remove ~tid k))
-  | Wire.Scan (k, n) ->
-      Wire.encode_scanned_into body (fun visit -> b.scan ~tid k ~n visit)
+      Wire.encode_resp body
+        (Wire.Applied
+           (gated_write k (Cluster_gate.Wop_put (k, v)) (fun () ->
+                upsert b ~tid k v)))
+  | Wire.Delete k ->
+      Wire.encode_resp body
+        (Wire.Applied
+           (gated_write k (Cluster_gate.Wop_remove k) (fun () ->
+                b.remove ~tid k)))
+  | Wire.Scan (k, n) -> (
+      match t.cfg.gate with
+      | None ->
+          Wire.encode_scanned_into body (fun visit -> b.scan ~tid k ~n visit)
+      | Some g ->
+          let hi =
+            Cluster_gate.scan_range g ~tid (Bw_cluster.Slice.of_binary k)
+          in
+          let in_range key =
+            match hi with
+            | None -> true
+            | Some h ->
+                Int64.unsigned_compare (Bw_cluster.Slice.of_binary key) h < 0
+          in
+          (* The clip filter is exact even over stale leftovers of a
+             migrated-away range: owned keys all sort before the
+             boundary, so if the budget is met the first [n] raw visits
+             were all owned, and if it is not the owned range is
+             exhausted — which is exactly what the continuation key
+             tells the router. *)
+          Wire.encode_scanned_to_into body
+            (fun visit ->
+              b.scan ~tid k ~n (fun key v ->
+                  if in_range key then visit key v))
+            (fun ~count ~last ->
+              if n <= 0 then Some k
+              else if count >= n then
+                match last with Some lk -> Some (lk ^ "\000") | None -> None
+              else Option.map Bw_cluster.Slice.floor_binary hi))
   | Wire.Batch reqs ->
       Wire.encode_batched_header body (List.length reqs);
       eval_batch t ~tid body reqs
+  | Wire.Ingest items ->
+      (* migration transfer: the engine applies extracted items and
+         drained capture ops through the ordinary batch path (group
+         commit on a durable backend), bypassing the ownership gate —
+         the sender is moving keys this node does not own *yet*. *)
+      let op_of (k, v) =
+        match v with
+        | Some v -> Index_iface.Bop_upsert (k, v)
+        | None -> Index_iface.Bop_remove k
+      in
+      let ops = Bw_util.Arr.of_list (List.map op_of items) in
+      if Array.length ops > 0 then
+        ignore (Index_iface.exec_batch b ~tid ops : Index_iface.batch_result array);
+      Wire.encode_resp body (Wire.Applied true)
+  | Wire.Topology arg -> (
+      match t.cfg.gate with
+      | None -> Wire.encode_resp body (Wire.Err "not a cluster member")
+      | Some g -> (
+          match arg with
+          | None ->
+              Wire.encode_resp body
+                (Wire.Topology_payload
+                   (Bw_cluster.Table.encode (Cluster_gate.table g)))
+          | Some enc ->
+              let tbl =
+                try Bw_cluster.Table.decode enc
+                with Failure m -> raise (Wire.Malformed ("bad table: " ^ m))
+              in
+              ignore (Cluster_gate.install g tbl : bool);
+              Wire.encode_resp body (Wire.Applied true)))
+  | Wire.Migrate { m_lo; m_hi; m_dst } ->
+      Wire.encode_resp body
+        (match t.cfg.migrate_handler with
+        | None -> Wire.Err "migration not supported on this node"
+        | Some h -> h ~tid ~lo:m_lo ~hi:m_hi ~dst:m_dst)
   | Wire.Stats ->
       let json =
         match t.cfg.stats_json with
@@ -160,17 +262,20 @@ and eval_batch t ~tid body (reqs : Wire.req list) : unit =
     | () -> Buffer.add_buffer body slot
     | exception Wire.Malformed m -> Wire.encode_resp body (Wire.Err m)
     | exception Bad_key _ -> Wire.encode_resp body (Wire.Err "undecodable key")
+    | exception Wire.Wrong_shard e ->
+        Wire.encode_resp body (Wire.Err_wrong_shard e)
+    | exception Read_only -> Wire.encode_resp body Wire.Err_read_only
   in
-  match b.batch with
-  | None -> List.iter per_slot reqs
-  | Some _ ->
+  let fast () =
       let op_of = function
         | Wire.Get k -> Some (Index_iface.Bop_read k)
         | Wire.Put (Wire.Insert, k, v) -> Some (Index_iface.Bop_insert (k, v))
         | Wire.Put (Wire.Update, k, v) -> Some (Index_iface.Bop_update (k, v))
         | Wire.Put (Wire.Upsert, k, v) -> Some (Index_iface.Bop_upsert (k, v))
         | Wire.Delete k -> Some (Index_iface.Bop_remove k)
-        | Wire.Scan _ | Wire.Batch _ | Wire.Stats | Wire.Repl _ -> None
+        | Wire.Scan _ | Wire.Batch _ | Wire.Stats | Wire.Repl _
+        | Wire.Topology _ | Wire.Migrate _ | Wire.Ingest _ ->
+            None
       in
       (* Bw_util.Arr: batch frames carry up to [Wire.max_batch] slots,
          and a stdlib of_list that size forces a minor GC per frame. *)
@@ -195,6 +300,31 @@ and eval_batch t ~tid body (reqs : Wire.req list) : unit =
                   Wire.encode_resp body (Wire.Err "undecodable key"))
           | None -> per_slot r)
         reqs
+  in
+  match (b.batch, t.cfg.gate) with
+  | None, _ -> List.iter per_slot reqs
+  | Some _, None -> fast ()
+  | Some _, Some g ->
+      (* The amortized path bypasses per-op gating, so it may run only
+         when no migration is active (nothing to capture) and every
+         point-op key is owned — validated, then executed, as one
+         published-writer section so a migration starting mid-frame
+         waits for the whole batch before extracting. Otherwise each
+         slot evaluates through the gate individually (redirects and
+         captures land per slot). *)
+      Cluster_gate.with_pub g (fun () ->
+          let tbl = Cluster_gate.table g in
+          let owned r =
+            match r with
+            | Wire.Get k | Wire.Put (_, k, _) | Wire.Delete k ->
+                Bw_cluster.Table.owner_binary tbl k = Cluster_gate.self g
+            | Wire.Scan _ | Wire.Batch _ | Wire.Stats | Wire.Repl _
+            | Wire.Topology _ | Wire.Migrate _ | Wire.Ingest _ ->
+                true (* per-slot anyway, or gated inside eval_into *)
+          in
+          if Cluster_gate.migration_active g || not (List.for_all owned reqs)
+          then List.iter per_slot reqs
+          else fast ())
 
 (* Decode + evaluate one frame, appending the framed reply to [out];
    never raises. Returns whether the connection must be put into
@@ -223,7 +353,14 @@ let handle_frame t ~tid out payload : bool =
       | exception Wire.Malformed m -> err m t.cfg.close_on_malformed
       | exception Bad_key _ ->
           err "undecodable key" t.cfg.close_on_malformed
-      | exception Read_only -> err "read-only replica" false
+      | exception Wire.Wrong_shard e ->
+          (* expected redirect, not a protocol error: the gate already
+             counted it, and the client retries after a table refetch *)
+          Buffer.add_string out (Wire.frame_resp (Wire.Err_wrong_shard e));
+          false
+      | exception Read_only ->
+          Buffer.add_string out (Wire.frame_resp Wire.Err_read_only);
+          false
       | exception exn ->
           (* an operation failure must not take the worker down *)
           err ("internal error: " ^ Printexc.to_string exn) false)

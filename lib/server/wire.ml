@@ -88,17 +88,47 @@ type req =
   | Batch of req list  (** point ops and scans only — no nesting *)
   | Stats
   | Repl of repl_req  (** replication stream (never inside BATCH) *)
+  | Topology of string option
+      (** cluster partition table: [None] fetches the server's current
+          table (encoded, opaque here); [Some t] offers one — the
+          server installs it if its epoch is newer *)
+  | Migrate of { m_lo : string; m_hi : string option; m_dst : int }
+      (** start migrating the key range [[m_lo, m_hi)] ([None] = end of
+          key space) to endpoint index [m_dst]; acknowledged when the
+          migration is admitted, completion observed via TOPOLOGY *)
+  | Ingest of (string * int option) list
+      (** migration transfer: apply (key, [Some v] = upsert / [None] =
+          delete) pairs through the ordinary batch path, bypassing the
+          ownership gate — only a migration engine sends this *)
 
 type resp =
   | Value of int option  (** GET *)
   | Applied of bool  (** PUT / DELETE *)
   | Scanned of (string * int) list  (** SCAN: binary key, value *)
+  | Scanned_to of (string * int) list * string option
+      (** SCAN answered by a cluster node: the items plus the exact
+          continuation key — [Some k] when the node's owned range ended
+          before the budget (resume at [k], possibly on another node),
+          [None] when the key space is exhausted. The owner names the
+          resume point so a router with a stale table never skips a
+          sub-range that migrated away mid-scan. *)
   | Batched of resp list  (** BATCH: one reply per sub-request, in order *)
   | Stats_payload of string  (** STATS: JSON metrics snapshot *)
   | Repl_ok of int
       (** replication ack: records applied so far in the current
           generation (ops replayed, for PROMOTE) *)
+  | Topology_payload of string  (** TOPOLOGY: the encoded table *)
   | Err of string
+  | Err_wrong_shard of int64
+      (** this node does not own the request's key under its current
+          table (whose epoch rides along): refetch and retry *)
+  | Err_read_only
+      (** an un-promoted standby refused a write: retry on the
+          primary *)
+
+exception Wrong_shard of int64
+(** Raised by the server's ownership gate; encoded as
+    {!Err_wrong_shard}. *)
 
 (* opcode bytes *)
 let op_get = 1
@@ -111,9 +141,20 @@ let op_subscribe = 7
 let op_snapshot = 8
 let op_walchunk = 9
 let op_promote = 10
+let op_topology = 11
+let op_migrate = 12
+let op_ingest = 13
 
 let st_ok = 0
 let st_err = 1
+
+let st_err_code = 2
+(** Typed errors: [st_err_code], one code byte, then code-specific
+    fields — machine-actionable failures the router dispatches on
+    without parsing message strings. *)
+
+let ec_wrong_shard = 1
+let ec_read_only = 2
 
 (* ------------------------------------------------------------------ *)
 (* Payload encode/decode (Pagestore.Codec primitives)                  *)
@@ -197,6 +238,34 @@ let rec encode_req buf = function
       | Some d ->
           add_byte buf 1;
           C.encode_string buf d)
+  | Topology t -> (
+      add_byte buf op_topology;
+      match t with
+      | None -> add_byte buf 0
+      | Some s ->
+          add_byte buf 1;
+          C.encode_string buf s)
+  | Migrate { m_lo; m_hi; m_dst } ->
+      add_byte buf op_migrate;
+      C.encode_string buf m_lo;
+      (match m_hi with
+      | None -> add_byte buf 0
+      | Some h ->
+          add_byte buf 1;
+          C.encode_string buf h);
+      C.encode_int buf m_dst
+  | Ingest items ->
+      add_byte buf op_ingest;
+      C.encode_int buf (List.length items);
+      List.iter
+        (fun (k, v) ->
+          C.encode_string buf k;
+          match v with
+          | None -> add_byte buf 0
+          | Some v ->
+              add_byte buf 1;
+              C.encode_int buf v)
+        items
 
 let rec decode_req_at s ~pos ~depth =
   match decode_byte s ~pos with
@@ -265,6 +334,36 @@ let rec decode_req_at s ~pos ~depth =
       | 0 -> Repl (R_promote { data_dir = None })
       | 1 -> Repl (R_promote { data_dir = Some (decode_string s ~pos) })
       | b -> bad "bad PROMOTE presence byte %d" b)
+  | b when b = op_topology -> (
+      if depth > 0 then bad "TOPOLOGY inside BATCH";
+      match decode_byte s ~pos with
+      | 0 -> Topology None
+      | 1 -> Topology (Some (decode_string s ~pos))
+      | b -> bad "bad TOPOLOGY presence byte %d" b)
+  | b when b = op_migrate ->
+      if depth > 0 then bad "MIGRATE inside BATCH";
+      let m_lo = decode_string s ~pos in
+      let m_hi =
+        match decode_byte s ~pos with
+        | 0 -> None
+        | 1 -> Some (decode_string s ~pos)
+        | b -> bad "bad MIGRATE presence byte %d" b
+      in
+      let m_dst = decode_int s ~pos in
+      if m_dst < 0 then bad "MIGRATE with negative destination %d" m_dst;
+      Migrate { m_lo; m_hi; m_dst }
+  | b when b = op_ingest ->
+      if depth > 0 then bad "INGEST inside BATCH";
+      let n = decode_int s ~pos in
+      if n < 0 then bad "INGEST with negative count %d" n;
+      if n > max_batch then bad "INGEST count %d exceeds cap %d" n max_batch;
+      Ingest
+        (List.init n (fun _ ->
+             let k = decode_string s ~pos in
+             match decode_byte s ~pos with
+             | 0 -> (k, None)
+             | 1 -> (k, Some (decode_int s ~pos))
+             | b -> bad "bad INGEST presence byte %d" b))
   | b -> bad "unknown opcode %d" b
 
 let decode_req s =
@@ -283,11 +382,29 @@ let tag_scanned = 2
 let tag_batched = 3
 let tag_stats = 4
 let tag_repl = 5
+let tag_topology = 6
+let tag_scanned_to = 7
+
+let encode_i64 buf (x : int64) =
+  Buffer.add_int64_le buf x
+
+let decode_i64 s ~pos =
+  if !pos + 8 > String.length s then bad "truncated frame: missing int64";
+  let v = String.get_int64_le s !pos in
+  pos := !pos + 8;
+  v
 
 let rec encode_resp buf = function
   | Err msg ->
       add_byte buf st_err;
       C.encode_string buf msg
+  | Err_wrong_shard epoch ->
+      add_byte buf st_err_code;
+      add_byte buf ec_wrong_shard;
+      encode_i64 buf epoch
+  | Err_read_only ->
+      add_byte buf st_err_code;
+      add_byte buf ec_read_only
   | ok ->
       add_byte buf st_ok;
       (match ok with
@@ -319,7 +436,23 @@ let rec encode_resp buf = function
       | Repl_ok n ->
           add_byte buf tag_repl;
           C.encode_int buf n
-      | Err _ -> assert false)
+      | Topology_payload s ->
+          add_byte buf tag_topology;
+          C.encode_string buf s
+      | Scanned_to (items, next) ->
+          add_byte buf tag_scanned_to;
+          C.encode_int buf (List.length items);
+          List.iter
+            (fun (k, v) ->
+              C.encode_string buf k;
+              C.encode_int buf v)
+            items;
+          (match next with
+          | None -> add_byte buf 0
+          | Some k ->
+              add_byte buf 1;
+              C.encode_string buf k)
+      | Err _ | Err_wrong_shard _ | Err_read_only -> assert false)
 
 (* BATCH reply prologue for callers that encode sub-replies
    incrementally (the server streams each slot as it evaluates). *)
@@ -346,6 +479,31 @@ let encode_scanned_into body (scan : (string -> int -> unit) -> int) =
   add_byte body tag_scanned;
   C.encode_int body !count;
   Buffer.add_buffer body items
+
+(* Streaming variant of the cluster scan reply: same scratch-buffer
+   scheme, but the continuation key is decided after the walk, from the
+   emitted count and the last key visited. *)
+let encode_scanned_to_into body (scan : (string -> int -> unit) -> int)
+    (next_of : count:int -> last:string option -> string option) =
+  let items = Buffer.create 256 in
+  let count = ref 0 in
+  let last = ref None in
+  ignore
+    (scan (fun k v ->
+         incr count;
+         last := Some k;
+         C.encode_string items k;
+         C.encode_int items v)
+      : int);
+  add_byte body st_ok;
+  add_byte body tag_scanned_to;
+  C.encode_int body !count;
+  Buffer.add_buffer body items;
+  match next_of ~count:!count ~last:!last with
+  | None -> add_byte body 0
+  | Some k ->
+      add_byte body 1;
+      C.encode_string body k
 
 let rec decode_resp_at s ~pos ~depth =
   match decode_byte s ~pos with
@@ -378,7 +536,29 @@ let rec decode_resp_at s ~pos ~depth =
             (List.init n (fun _ -> decode_resp_at s ~pos ~depth:(depth + 1)))
       | t when t = tag_stats -> Stats_payload (decode_string s ~pos)
       | t when t = tag_repl -> Repl_ok (decode_int s ~pos)
+      | t when t = tag_topology -> Topology_payload (decode_string s ~pos)
+      | t when t = tag_scanned_to ->
+          let n = decode_int s ~pos in
+          if n < 0 || n > max_scan then bad "bad SCAN reply count %d" n;
+          let items =
+            List.init n (fun _ ->
+                let k = decode_string s ~pos in
+                let v = decode_int s ~pos in
+                (k, v))
+          in
+          let next =
+            match decode_byte s ~pos with
+            | 0 -> None
+            | 1 -> Some (decode_string s ~pos)
+            | b -> bad "bad SCAN continuation byte %d" b
+          in
+          Scanned_to (items, next)
       | t -> bad "unknown response tag %d" t)
+  | b when b = st_err_code -> (
+      match decode_byte s ~pos with
+      | c when c = ec_wrong_shard -> Err_wrong_shard (decode_i64 s ~pos)
+      | c when c = ec_read_only -> Err_read_only
+      | c -> bad "unknown error code %d" c)
   | b -> bad "unknown status byte %d" b
 
 let decode_resp s =

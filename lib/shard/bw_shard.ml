@@ -1,91 +1,32 @@
 open Index_iface
 
+(* The slice coordinates and stride arithmetic live in {!Bw_cluster}
+   now — the cluster partition table speaks the same coordinate system,
+   so a process-local forest and a multi-node fleet route keys
+   identically. [Part] keeps its original API as a thin veneer. *)
 module Part = struct
-  (* The partitioned slice interval starts at [lo]; [stride] is
-     ceil(range / n) so that lo + n * stride covers the whole interval:
-     every in-range slice value minus [lo], divided by the stride, lands
-     in [0, n). Slices below [lo] belong to shard 0 and slices at or
-     past the end to shard n-1, so out-of-range keys still route
-     consistently with key order. Unused (and 0) when n = 1. *)
-  type t = { n : int; lo : int64; stride : int64 }
+  module U = Bw_cluster.Uniform
+  module Slice = Bw_cluster.Slice
 
-  (* [range] is the interval width as an unsigned 64-bit count, with 0
-     meaning the full 2^64 slice space (which wraps to 0). *)
-  let of_range n lo range =
+  type t = U.t
+
+  let make ?lo ?hi n =
     if n < 1 then invalid_arg "Bw_shard.Part.make: shard count < 1";
-    let stride =
-      if n = 1 then 0L
-      else if range = 0L then
-        Int64.add (Int64.unsigned_div Int64.minus_one (Int64.of_int n)) 1L
-      else
-        (* floor((range-1)/n) + 1 = ceil(range/n) without overflow *)
-        Int64.add
-          (Int64.unsigned_div (Int64.sub range 1L) (Int64.of_int n))
-          1L
-    in
-    { n; lo; stride }
+    try U.make ?lo ?hi n
+    with Invalid_argument _ -> invalid_arg "Bw_shard.Part.make: hi must be > lo"
 
-  let make ?(lo = "") ?hi n =
-    let lo_s = Bw_util.Key_codec.slice64 lo 0 in
-    let range =
-      match hi with
-      | None -> Int64.neg lo_s (* 2^64 - lo; wraps to 0 when lo = "" *)
-      | Some hi ->
-          let hi_s = Bw_util.Key_codec.slice64 hi 0 in
-          if Int64.unsigned_compare hi_s lo_s <= 0 then
-            invalid_arg "Bw_shard.Part.make: hi must be > lo";
-          Int64.sub hi_s lo_s
-    in
-    of_range n lo_s range
+  let make_int ?lo ?hi n =
+    if n < 1 then invalid_arg "Bw_shard.Part.make_int: shard count < 1";
+    try U.make_int ?lo ?hi n
+    with Invalid_argument _ ->
+      invalid_arg "Bw_shard.Part.make_int: hi must be > lo"
 
-  (* Key_codec.of_int writes the 8-byte big-endian form of
-     [k lxor min_int64]; its first slice read back unsigned is exactly
-     that value, so the shard can be computed without encoding. *)
-  let int_slice k = Int64.logxor (Int64.of_int k) Int64.min_int
-
-  (* OCaml's 63-bit ints occupy only the middle half of the slice
-     space, so a full-space partition would leave half the shards
-     empty; partition the inclusive [lo, hi] int range instead (the
-     default covers every int; its width 2^63 is the bit pattern of
-     Int64.min_int). *)
-  let make_int ?(lo = min_int) ?(hi = max_int) n =
-    if lo >= hi then invalid_arg "Bw_shard.Part.make_int: hi must be > lo";
-    of_range n (int_slice lo)
-      (Int64.add (Int64.sub (int_slice hi) (int_slice lo)) 1L)
-  let count t = t.n
-
-  let of_slice t (u : int64) =
-    if t.n = 1 then 0
-    else if Int64.unsigned_compare u t.lo < 0 then 0
-    else
-      let s = Int64.to_int (Int64.unsigned_div (Int64.sub u t.lo) t.stride) in
-      if s >= t.n then t.n - 1 else s
-
-  let shard_of_binary t s = of_slice t (Bw_util.Key_codec.slice64 s 0)
-  let shard_of_int t k = of_slice t (int_slice k)
-  let floor_slice t i = Int64.add t.lo (Int64.mul (Int64.of_int i) t.stride)
-
-  let floor_binary t i =
-    if i <= 0 then ""
-    else begin
-      let b = Bytes.create 8 in
-      Bytes.set_int64_be b 0 (floor_slice t i);
-      let len = ref 8 in
-      while !len > 0 && Bytes.get b (!len - 1) = '\000' do
-        decr len
-      done;
-      Bytes.sub_string b 0 !len
-    end
-
-  let floor_int t i =
-    if i <= 0 then min_int
-    else
-      (* invert the sign-flip; OCaml ints cover only the middle half of
-         the slice space, so clamp boundaries that fall outside it *)
-      let k64 = Int64.logxor (floor_slice t i) Int64.min_int in
-      if Int64.compare k64 (Int64.of_int min_int) < 0 then min_int
-      else if Int64.compare k64 (Int64.of_int max_int) > 0 then max_int
-      else Int64.to_int k64
+  let count = U.count
+  let uniform (t : t) : U.t = t
+  let shard_of_binary t s = U.of_slice t (Slice.of_binary s)
+  let shard_of_int t k = U.of_slice t (Slice.of_int k)
+  let floor_binary t i = if i <= 0 then "" else Slice.floor_binary (U.floor_slice t i)
+  let floor_int t i = if i <= 0 then min_int else Slice.floor_int (U.floor_slice t i)
 end
 
 let route ?name ~(shard_of : 'k -> int) ~(floor_of : int -> 'k)

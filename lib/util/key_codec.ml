@@ -11,6 +11,23 @@ let to_int s =
   let v = Bytes.get_int64_be (Bytes.unsafe_of_string s) 0 in
   Int64.to_int (Int64.logxor v Int64.min_int)
 
+let int_at_least s =
+  (* Scan start keys are lower bounds over the binary key space, not
+     keys: range boundaries and continuation cursors (floor_binary of a
+     slice, last_key ^ "\000") are rarely exactly 8 bytes. An 8-byte
+     string >= a longer [s] must exceed its first 8 bytes; a shorter [s]
+     zero-pads to its own floor. *)
+  let u = ref 0L in
+  for j = 0 to 7 do
+    let byte = if j < String.length s then Char.code s.[j] else 0 in
+    u := Int64.logor (Int64.shift_left !u 8) (Int64.of_int byte)
+  done;
+  let u = !u in
+  if String.length s <= 8 then Some (Int64.to_int (Int64.logxor u Int64.min_int))
+  else if Int64.equal u (-1L) then None
+  else
+    Some (Int64.to_int (Int64.logxor (Int64.add u 1L) Int64.min_int))
+
 let of_string s = s
 
 let slice64 s i =

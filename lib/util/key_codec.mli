@@ -13,6 +13,13 @@ val of_int : int -> string
 val to_int : string -> int
 (** Inverse of {!of_int}. Raises [Invalid_argument] on malformed input. *)
 
+val int_at_least : string -> int option
+(** The smallest int whose {!of_int} encoding sorts at or above the
+    arbitrary binary string [s] — [None] when [s] sorts above every
+    encoded int. Scan start keys are lower bounds, not keys: cluster
+    range boundaries and scan continuation cursors need not be exactly
+    8 bytes. *)
+
 val of_string : string -> string
 (** Identity: raw strings already compare byte-wise. *)
 

@@ -781,6 +781,64 @@ let test_wal_cursor_after_compaction () =
 
 (* --- incremental checkpoints: page reuse and crash safety --- *)
 
+(* regression: a long overwrite-heavy incremental chain accretes dead
+   page versions in the pages log without bound; once the dead share
+   crosses [gc_dead_bytes] the next incremental must escalate to a full
+   rotation and actually reclaim the bytes *)
+let test_incremental_gc_escalation () =
+  with_tmp_dir (fun dir ->
+      let st, _ =
+        Store_int.open_dir ~fsync:false ~page_items:32 ~gc_dead_bytes:8192
+          ~dir ()
+      in
+      let t = Store_int.tree st in
+      let put k v =
+        ignore (T.insert t k v);
+        Store_int.W.commit (Store_int.wal st) ~tid:0
+          [ Store_int.W.W_insert (k, v) ]
+      in
+      let del k v =
+        ignore (T.delete t k v);
+        Store_int.W.commit (Store_int.wal st) ~tid:0 [ Store_int.W.W_remove k ]
+      in
+      for k = 0 to 499 do put k k done;
+      ignore (Store_int.checkpoint st : int * int);
+      Alcotest.(check int) "seeded in generation 1" 1 (Store_int.gen st);
+      Alcotest.(check (pair int int)) "no gc yet" (0, 0) (Store_int.gc_stats st);
+      (* churn: every round rewrites every key (so every page), retiring
+         the previous round's page copies in the log *)
+      let value r k = (r * 1000) + k in
+      let rounds = ref 0 in
+      while fst (Store_int.gc_stats st) = 0 && !rounds < 32 do
+        incr rounds;
+        for k = 0 to 499 do
+          del k (value (!rounds - 1) k);
+          put k (value !rounds k)
+        done;
+        ignore (Store_int.checkpoint ~mode:`Incremental st : int * int)
+      done;
+      let runs, reclaimed = Store_int.gc_stats st in
+      Alcotest.(check bool) "chain escalated within bound" true (!rounds < 32);
+      Alcotest.(check int) "one escalation" 1 runs;
+      Alcotest.(check bool)
+        (Printf.sprintf "reclaimed bytes pinned positive (got %d)" reclaimed)
+        true (reclaimed > 0);
+      Alcotest.(check int) "escalation rotated the generation" 2
+        (Store_int.gen st);
+      (* the escalated checkpoint is a real one: recovery restores the
+         newest values with an empty-to-short WAL suffix *)
+      put 500 42;
+      Store_int.close st;
+      let st, rs = Store_int.open_dir ~fsync:false ~page_items:32 ~dir () in
+      Alcotest.(check int) "recovered into the gc generation" 2 rs.rs_gen;
+      Alcotest.(check int) "replay suffix is the post-gc tail" 1 rs.rs_wal_ops;
+      let t = Store_int.tree st in
+      Alcotest.(check int) "cardinality" 501 (T.cardinal t);
+      Alcotest.(check (list int)) "newest round's value survived"
+        [ value !rounds 7 ]
+        (T.lookup t 7);
+      Store_int.close st)
+
 let test_incremental_checkpoint () =
   with_tmp_dir (fun dir ->
       let st, _ = Store_int.open_dir ~fsync:false ~dir () in
@@ -928,6 +986,8 @@ let () =
             test_compact_keeping_drops_old_manifests;
           Alcotest.test_case "incremental checkpoint" `Quick
             test_incremental_checkpoint;
+          Alcotest.test_case "incremental gc escalation (regression)" `Quick
+            test_incremental_gc_escalation;
           Alcotest.test_case "inspect_dir is read-only" `Quick
             test_inspect_dir_read_only;
           q prop_store_recovery_oracle;

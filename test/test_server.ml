@@ -41,6 +41,12 @@ let test_wire_roundtrip_unit () =
       Wire.Scan ("start", 48);
       Wire.Batch [ Wire.Get "x"; Wire.Put (Wire.Upsert, "y", 7); Wire.Scan ("z", 3) ];
       Wire.Stats;
+      Wire.Topology None;
+      Wire.Topology (Some "encoded-table");
+      Wire.Migrate { m_lo = ""; m_hi = None; m_dst = 0 };
+      Wire.Migrate { m_lo = "a"; m_hi = Some "b\000"; m_dst = 3 };
+      Wire.Ingest [];
+      Wire.Ingest [ ("k", Some 1); ("dead", None) ];
     ]
   in
   List.iter (fun r -> assert (roundtrip_req r = r)) reqs;
@@ -55,6 +61,12 @@ let test_wire_roundtrip_unit () =
       Wire.Batched [ Wire.Value (Some 1); Wire.Err "nope"; Wire.Applied true ];
       Wire.Stats_payload "{}";
       Wire.Err "bad";
+      Wire.Scanned_to ([], None);
+      Wire.Scanned_to ([ ("a", 1) ], Some "a\000");
+      Wire.Topology_payload "encoded-table";
+      Wire.Err_wrong_shard 7L;
+      Wire.Err_wrong_shard Int64.min_int;
+      Wire.Err_read_only;
     ]
   in
   List.iter (fun r -> assert (roundtrip_resp r = r)) resps
@@ -74,6 +86,21 @@ let gen_point =
         map2 (fun k n -> Wire.Scan (k, n mod (Wire.max_scan + 1))) string small_nat;
       ])
 
+(* cluster frames: TOPOLOGY fetch/offer, MIGRATE, INGEST *)
+let gen_cluster =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun t -> Wire.Topology t) (option string);
+        map3
+          (fun lo hi dst ->
+            Wire.Migrate { m_lo = lo; m_hi = hi; m_dst = dst })
+          string (option string) small_nat;
+        map
+          (fun items -> Wire.Ingest items)
+          (list_size (int_bound 8) (pair string (option int)));
+      ])
+
 let gen_req =
   QCheck.Gen.(
     frequency
@@ -81,6 +108,7 @@ let gen_req =
         (6, gen_point);
         (1, return Wire.Stats);
         (2, map (fun l -> Wire.Batch l) (list_size (int_bound 8) gen_point));
+        (2, gen_cluster);
       ])
 
 let arb_req = QCheck.make gen_req
@@ -88,6 +116,51 @@ let arb_req = QCheck.make gen_req
 let prop_wire_req_roundtrip =
   QCheck.Test.make ~count:1_000 ~name:"wire request roundtrip" arb_req
     (fun r -> roundtrip_req r = r)
+
+(* response generator: every tag, batches one level deep *)
+let gen_resp_flat =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Wire.Value v) (option int);
+        map (fun b -> Wire.Applied b) bool;
+        map (fun l -> Wire.Scanned l) (list_size (int_bound 8) (pair string int));
+        map2
+          (fun l next -> Wire.Scanned_to (l, next))
+          (list_size (int_bound 8) (pair string int))
+          (option string);
+        map (fun s -> Wire.Stats_payload s) string;
+        map (fun s -> Wire.Topology_payload s) string;
+        map (fun s -> Wire.Err s) string;
+        map (fun e -> Wire.Err_wrong_shard (Int64.of_int e)) int;
+        return Wire.Err_read_only;
+      ])
+
+let gen_resp =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, gen_resp_flat);
+        (1, map (fun l -> Wire.Batched l) (list_size (int_bound 4) gen_resp_flat));
+      ])
+
+let arb_resp = QCheck.make gen_resp
+
+let prop_wire_resp_roundtrip =
+  QCheck.Test.make ~count:1_000 ~name:"wire response roundtrip" arb_resp
+    (fun r -> roundtrip_resp r = r)
+
+let prop_wire_resp_prefix_rejected =
+  QCheck.Test.make ~count:1_000 ~name:"truncated response rejected"
+    QCheck.(pair arb_resp (int_bound 10_000))
+    (fun (r, cut) ->
+      let b = Buffer.create 64 in
+      Wire.encode_resp b r;
+      let enc = Buffer.contents b in
+      let cut = cut mod String.length enc in
+      match Wire.decode_resp (String.sub enc 0 cut) with
+      | _ -> false
+      | exception Wire.Malformed _ -> true)
 
 let prop_wire_req_prefix_rejected =
   QCheck.Test.make ~count:1_000 ~name:"truncated request rejected"
@@ -644,6 +717,8 @@ let () =
             test_wire_decoder_shrink;
           q prop_wire_req_roundtrip;
           q prop_wire_req_prefix_rejected;
+          q prop_wire_resp_roundtrip;
+          q prop_wire_resp_prefix_rejected;
           q prop_wire_garbage_never_crashes;
         ] );
       ( "loopback",
