@@ -64,6 +64,11 @@ module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
     sr_manifest : Log.offset;  (* the fresh manifest's address *)
     sr_pages : int;  (* page records newly appended *)
     sr_reused : int;  (* page addresses inherited from [prev] *)
+    sr_live_bytes : int;
+        (* total payload bytes of the new manifest's page records
+           (written + reused) — lets [Store] track the pages log's dead
+           share across an incremental chain without re-reading live
+           pages *)
   }
 
   (* Write a checkpoint of [tree] into [log]; returns where the manifest
@@ -96,9 +101,11 @@ module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
     let pages = ref [] in
     let total = ref 0 in
     let written = ref 0 and reused = ref 0 in
+    let live_bytes = ref 0 in
     T.iter_leaf_pages tree (fun page ->
         total := !total + T.Page.length page;
         let payload = encode_page page in
+        live_bytes := !live_bytes + String.length payload;
         let off =
           match Hashtbl.find_opt known payload with
           | Some off ->
@@ -114,7 +121,12 @@ module Make (VC : Codec.CODEC) (T : Bwtree.S with type value = VC.t) = struct
       Log.append log
         (encode_manifest ~wal_gen ~wal_pos ~pages ~item_count:!total)
     in
-    { sr_manifest = moff; sr_pages = !written; sr_reused = !reused }
+    {
+      sr_manifest = moff;
+      sr_pages = !written;
+      sr_reused = !reused;
+      sr_live_bytes = !live_bytes;
+    }
 
   let save ?page_items ?wal_gen ?wal_pos ?prev tree log =
     (save_report ?page_items ?wal_gen ?wal_pos ?prev tree log).sr_manifest

@@ -224,6 +224,13 @@ struct
            CURRENT-flip argument *)
     mutable gc_runs : int;
     mutable gc_bytes : int;  (* total bytes reclaimed by escalations *)
+    mutable live_page_bytes : int option;
+        (* payload bytes of the newest manifest's live page records,
+           maintained from each checkpoint's save report so the
+           incremental dead-share test needs no re-read of the live
+           dataset; [None] until the first checkpoint after recovery
+           (that one checkpoint measures the recovered manifest by
+           reading it — a one-time cost, not per-incremental) *)
     obs : Bw_obs.sink;
     mu : Mutex.t;  (* serializes checkpoint against close *)
   }
@@ -318,6 +325,7 @@ struct
               gc_dead_bytes;
               gc_runs = 0;
               gc_bytes = 0;
+              live_page_bytes = None;
               obs;
               mu = Mutex.create ();
             },
@@ -362,6 +370,7 @@ struct
               gc_dead_bytes;
               gc_runs = 0;
               gc_bytes = 0;
+              live_page_bytes = Some 0;  (* empty tree: no page records *)
               obs;
               mu = Mutex.create ();
             },
@@ -434,6 +443,7 @@ struct
           Log.sync plog;
           let new_bytes = Log.bytes_used plog in
           Log.close plog;
+          st.live_page_bytes <- Some report.CP.sr_live_bytes;
           let wal', _ =
             W.open_dir ?segment_bytes:st.segment_bytes ~fsync:st.fsync
               ~obs:st.obs ~dir:(wal_dir st.dir g') ()
@@ -464,15 +474,22 @@ struct
             (* Dead share of the pages log: everything but the newest
                manifest's live page payloads. (Record headers of live
                records are counted as dead — a constant few bytes per
-               page, noise against the threshold.) *)
+               page, noise against the threshold.) The live total is
+               carried forward from the last checkpoint's save report;
+               only the first checkpoint after recovery measures the
+               recovered manifest by reading its pages. *)
             let used = Log.bytes_used plog in
             let live =
-              match prev with
-              | None -> used
-              | Some m ->
-                  Array.fold_left
-                    (fun acc off -> acc + String.length (Log.read plog off))
-                    0 m.CP.pages
+              match st.live_page_bytes with
+              | Some lb -> lb
+              | None -> (
+                  match prev with
+                  | None -> used
+                  | Some m ->
+                      Array.fold_left
+                        (fun acc off ->
+                          acc + String.length (Log.read plog off))
+                        0 m.CP.pages)
             in
             if used - live > st.gc_dead_bytes then begin
               Log.close plog;
@@ -491,6 +508,7 @@ struct
               in
               Log.sync plog;
               Log.close plog;
+              st.live_page_bytes <- Some report.CP.sr_live_bytes;
               (report.CP.sr_pages, report.CP.sr_reused)
             end)
         | `Full -> fst (full ()))

@@ -18,14 +18,18 @@
       the capture WAL as one critical section; the engine seals
       (marks the range read-only) under the same mutex, so after seal
       it holds every acknowledged covered write in tree + capture.
-    - [pub] is a published-writer count for the uncovered fast path.
-      A writer increments [pub] *before* reading the migration state;
-      the engine installs the migration *before* waiting for [pub] to
-      reach zero (a store-buffer pairing: one of them must see the
-      other). Once [pub] has been observed at zero, every writer that
-      could have missed the migration has completed and is visible to
-      the extraction scan; later writers see the migration and take
-      the captured path. *)
+    - [pub] is a published-writer latch for the uncovered fast path.
+      A writer grabs the current counter and increments it *before*
+      reading the migration state; the engine installs the migration,
+      swaps in a fresh counter, and waits only for the *retired* one to
+      drain (a store-buffer pairing: one of them must see the other).
+      Any writer that could have missed the migration published on the
+      retired counter, so once it reads zero every such write has
+      completed and is visible to the extraction scan; writers arriving
+      after the swap publish on the fresh counter — the engine never
+      waits for them, so the drain is bounded by the writes in flight
+      at install time, not starved by sustained new load — and they saw
+      the migration, so covered ones take the captured path. *)
 
 module Table = Bw_cluster.Table
 module Slice = Bw_cluster.Slice
@@ -49,7 +53,9 @@ type t = {
   table : Table.t Atomic.t;
   mig : mig option Atomic.t;
   mu : Mutex.t;
-  pub : int Atomic.t;
+  pub : int Atomic.t Atomic.t;
+      (** the *current* published-writer counter; the quiesce swaps in a
+          fresh one and drains only the retired counter *)
   obs : Bw_obs.sink;
 }
 
@@ -62,7 +68,7 @@ let create ?(obs = Bw_obs.Null) ~self table =
       table = Atomic.make table;
       mig = Atomic.make None;
       mu = Mutex.create ();
-      pub = Atomic.make 0;
+      pub = Atomic.make (Atomic.make 0);
       obs;
     }
   in
@@ -127,26 +133,32 @@ let slow_write g ~tid u op apply =
       if Table.owner tbl u <> g.self then wrong_shard g ~tid tbl;
       match Atomic.get g.mig with
       | Some m when covered m u ->
-          if m.mg_readonly then wrong_shard g ~tid tbl;
+          (* sealed for the flip: the data is still here but the capture
+             log is final, so the write must wait out the drain — the
+             read-only error makes the router back off and retry, where
+             a Wrong_shard would send it into immediate same-epoch
+             refetch loops that can exhaust its attempts *)
+          if m.mg_readonly then raise Index_iface.Read_only;
           let ok = apply () in
           if ok then capture ~tid m op;
           ok
       | _ -> apply ())
 
 (* Gate one write: [apply] runs the backend op and reports whether it
-   applied. Raises {!Wire.Wrong_shard} when this node does not own [u]
-   (or the range is sealed mid-flip). *)
+   applied. Raises {!Wire.Wrong_shard} when this node does not own [u],
+   or {!Index_iface.Read_only} when the range is sealed mid-flip. *)
 let write g ~tid u op apply =
-  Atomic.incr g.pub;
+  let c = Atomic.get g.pub in
+  Atomic.incr c;
   match Atomic.get g.mig with
   | Some m when covered m u ->
-      Atomic.decr g.pub;
+      Atomic.decr c;
       slow_write g ~tid u op apply
   | _ ->
-      (* fast path: [pub] stays published across the apply, so a
+      (* fast path: the publication stays across the apply, so a
          migration that starts now waits for us before extracting *)
       Fun.protect
-        ~finally:(fun () -> Atomic.decr g.pub)
+        ~finally:(fun () -> Atomic.decr c)
         (fun () ->
           let tbl = Atomic.get g.table in
           if Table.owner tbl u <> g.self then wrong_shard g ~tid tbl;
@@ -156,8 +168,9 @@ let write g ~tid u op apply =
    amortized execution in this so a migration cannot start (and miss
    captures) halfway through a batch frame. *)
 let with_pub g f =
-  Atomic.incr g.pub;
-  Fun.protect ~finally:(fun () -> Atomic.decr g.pub) f
+  let c = Atomic.get g.pub in
+  Atomic.incr c;
+  Fun.protect ~finally:(fun () -> Atomic.decr c) f
 
 let migration_active g = Atomic.get g.mig <> None
 
@@ -200,9 +213,13 @@ let begin_migration g ~lo ~hi ~dst =
       else Error "a migration is already in progress"
 
 (* Wait out fast-path writers that may have missed the just-installed
-   migration; see the module comment for the pairing argument. *)
+   migration; see the module comment for the pairing argument. Retiring
+   the counter first means we drain only writers already in flight —
+   new arrivals publish on the fresh counter (and provably see the
+   migration), so sustained write load cannot starve this wait. *)
 let quiesce_fast_writers g =
-  while Atomic.get g.pub > 0 do
+  let retired = Atomic.exchange g.pub (Atomic.make 0) in
+  while Atomic.get retired > 0 do
     Domain.cpu_relax ()
   done
 
@@ -226,9 +243,10 @@ let drain m ~limit cur =
       : int);
   List.rev !acc
 
-(* Seal the migrating range: from here every covered write answers
-   EWRONGSHARD and the capture log is final — the drain that follows
-   this call sees every acknowledged covered write. *)
+(* Seal the migrating range: from here every covered write answers the
+   read-only error (retry-after-backoff; ownership has not changed yet)
+   and the capture log is final — the drain that follows this call sees
+   every acknowledged covered write. *)
 let seal g m =
   Mutex.lock g.mu;
   m.mg_readonly <- true;

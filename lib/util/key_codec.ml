@@ -23,10 +23,19 @@ let int_at_least s =
     u := Int64.logor (Int64.shift_left !u 8) (Int64.of_int byte)
   done;
   let u = !u in
-  if String.length s <= 8 then Some (Int64.to_int (Int64.logxor u Int64.min_int))
+  (* OCaml's 63-bit ints cover only the middle half of the 64-bit key
+     space, so clamp: a bound below enc(min_int) floors to min_int, one
+     above enc(max_int) has no int at or above it. (Int64.to_int alone
+     would silently wrap both ends.) *)
+  let clamp u =
+    let k64 = Int64.logxor u Int64.min_int in
+    if Int64.compare k64 (Int64.of_int min_int) < 0 then Some min_int
+    else if Int64.compare k64 (Int64.of_int max_int) > 0 then None
+    else Some (Int64.to_int k64)
+  in
+  if String.length s <= 8 then clamp u
   else if Int64.equal u (-1L) then None
-  else
-    Some (Int64.to_int (Int64.logxor (Int64.add u 1L) Int64.min_int))
+  else clamp (Int64.add u 1L)
 
 let of_string s = s
 

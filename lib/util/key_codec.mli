@@ -15,10 +15,11 @@ val to_int : string -> int
 
 val int_at_least : string -> int option
 (** The smallest int whose {!of_int} encoding sorts at or above the
-    arbitrary binary string [s] — [None] when [s] sorts above every
-    encoded int. Scan start keys are lower bounds, not keys: cluster
-    range boundaries and scan continuation cursors need not be exactly
-    8 bytes. *)
+    arbitrary binary string [s] — [Some min_int] when [s] sorts below
+    every encoded int, [None] when it sorts above every encoded int
+    (clamped exactly like [Bw_shard.Part.floor_int]). Scan start keys
+    are lower bounds, not keys: cluster range boundaries and scan
+    continuation cursors need not be exactly 8 bytes. *)
 
 val of_string : string -> string
 (** Identity: raw strings already compare byte-wise. *)

@@ -184,6 +184,41 @@ let test_read_only_end_to_end () =
             "read on read-only" None
             (Bw_client.Int_key.get c 1)))
 
+(* During the seal window a covered write answers the typed read-only
+   error — the router backs off and retries, resolving to success (on
+   abort) or a post-flip redirect. Wrong_shard here would send the
+   router into immediate same-epoch refetch loops that can exhaust its
+   retry budget while the final drain runs. *)
+let test_seal_answers_read_only () =
+  let endpoints =
+    Array.make 2 { Table.ep_host = "h"; ep_port = 1; ep_replica = None }
+  in
+  let tbl = Table.of_uniform ~epoch:1L endpoints (Uniform.make_int ~lo:0 2) in
+  let g = Gate.create ~self:0 tbl in
+  let put k =
+    Gate.write g ~tid:0 (Slice.of_int k)
+      (Gate.Wop_put (Key.of_int k, 1))
+      (fun () -> true)
+  in
+  Alcotest.(check bool) "owned write applies" true (put 10);
+  let m =
+    match
+      Gate.begin_migration g ~lo:(Slice.of_int 0)
+        ~hi:(Some (Slice.of_int 100)) ~dst:1
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail ("admission failed: " ^ e)
+  in
+  Gate.quiesce_fast_writers g;
+  Alcotest.(check bool) "covered write captured pre-seal" true (put 10);
+  Gate.seal g m;
+  (match put 10 with
+  | _ -> Alcotest.fail "sealed range accepted a write"
+  | exception Index_iface.Read_only -> ());
+  Alcotest.(check bool) "uncovered write unaffected by the seal" true (put 200);
+  Gate.abort g m;
+  Alcotest.(check bool) "write resumes after abort" true (put 10)
+
 (* A direct client hitting the wrong member gets the typed redirect
    carrying the server's epoch. *)
 let test_wrong_shard_end_to_end () =
@@ -381,6 +416,8 @@ let () =
         [
           Alcotest.test_case "READ_ONLY is typed end to end" `Quick
             test_read_only_end_to_end;
+          Alcotest.test_case "seal answers READ_ONLY" `Quick
+            test_seal_answers_read_only;
           Alcotest.test_case "EWRONGSHARD is typed end to end" `Quick
             test_wrong_shard_end_to_end;
         ] );

@@ -310,6 +310,46 @@ let prop_codec_order =
       let ca = Key_codec.of_int a and cb = Key_codec.of_int b in
       compare (String.compare ca cb) 0 = compare (Int.compare a b) 0)
 
+(* [int_at_least] must clamp to the 63-bit int range exactly like the
+   shard partitioner's [floor_int]: a bound below every encoded int
+   (e.g. "", the first bootstrap range's floor) starts at [min_int],
+   one above enc(max_int) (e.g. a migration cursor past the last int
+   key) yields [None] — neither may wrap through [Int64.to_int]. *)
+let test_int_at_least () =
+  let some = Alcotest.(check (option int)) in
+  some "empty bound floors to min_int" (Some min_int)
+    (Key_codec.int_at_least "");
+  some "low short bound floors to min_int" (Some min_int)
+    (Key_codec.int_at_least "\x00\x01");
+  some "exact encoding is its own floor" (Some 42)
+    (Key_codec.int_at_least (Key_codec.of_int 42));
+  some "negative exact encoding" (Some (-7))
+    (Key_codec.int_at_least (Key_codec.of_int (-7)));
+  some "long bound rounds up" (Some 43)
+    (Key_codec.int_at_least (Key_codec.of_int 42 ^ "\x00"));
+  some "max_int is reachable" (Some max_int)
+    (Key_codec.int_at_least (Key_codec.of_int max_int));
+  some "past max_int has no int" None
+    (Key_codec.int_at_least (Key_codec.of_int max_int ^ "\x00"));
+  some "all-ones bound has no int" None
+    (Key_codec.int_at_least (String.make 9 '\xFF'));
+  some "top half of the slice space has no int" None
+    (Key_codec.int_at_least "\xC0")
+
+let prop_int_at_least_floor =
+  QCheck.Test.make ~name:"int_at_least is the exact floor" ~count:1000
+    QCheck.(pair (small_list (int_bound 255)) int)
+    (fun (bytes, k) ->
+      let s = String.init (List.length bytes) (fun i ->
+          Char.chr (List.nth bytes i)) in
+      let enc = Key_codec.of_int k in
+      match Key_codec.int_at_least s with
+      | Some f ->
+          (* f's encoding sorts at or above s, and no smaller int's does *)
+          String.compare (Key_codec.of_int f) s >= 0
+          && (String.compare enc s >= 0 = (k >= f))
+      | None -> String.compare enc s < 0)
+
 let test_slice64 () =
   let s = "\x01\x02\x03\x04\x05\x06\x07\x08\xFF" in
   Alcotest.(check int64) "first slice" 0x0102030405060708L
@@ -428,6 +468,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           q prop_codec_order;
+          Alcotest.test_case "int_at_least clamps" `Quick test_int_at_least;
+          q prop_int_at_least_floor;
           Alcotest.test_case "slice64" `Quick test_slice64;
         ] );
       ( "stats",
