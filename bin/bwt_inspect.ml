@@ -302,7 +302,9 @@ let () =
           ss.avg_leaf_chain
           (float_of_int (Tree.memory_words t * 8) /. 1024. /. 1024.);
         Format.printf "         %a@." Bwtree.pp_mapping_stats
-          (Tree.mapping_table_stats t))
+          (Tree.mapping_table_stats t);
+        Format.printf "         %a@." Bwtree.pp_leaf_cache_stats
+          (Tree.leaf_cache_stats t))
       trees;
     print_newline ();
     Printf.printf "forest totals:\n"
@@ -340,9 +342,12 @@ let () =
     (sum (fun t -> (Tree.op_stats t).failed_cas))
     (sum (fun t -> (Tree.op_stats t).restarts))
     (sum (fun t -> (Tree.op_stats t).smo_helps));
-  if n_shards = 1 then
+  if n_shards = 1 then begin
     Format.printf "%a@." Bwtree.pp_mapping_stats
       (Tree.mapping_table_stats trees.(0));
+    Format.printf "%a@." Bwtree.pp_leaf_cache_stats
+      (Tree.leaf_cache_stats trees.(0))
+  end;
   Printf.printf "memory: %.2f MB live\n"
     (float_of_int (sum Tree.memory_words * 8) /. 1024. /. 1024.);
   let esum f =

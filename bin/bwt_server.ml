@@ -29,13 +29,23 @@ type built = {
     (tid:int -> Bw_server.Wire.repl_req -> Bw_server.Wire.resp) option;
 }
 
+(* --leaf-cache override; set in [main] before any backend is built *)
+let leaf_cache_override : bool option ref = ref None
+
 let config_of_index index =
-  match index with
-  | "openbw" -> None
-  | "bw" -> Some Bwtree.microsoft_config
-  | s ->
-      Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
-      exit 2
+  let base =
+    match index with
+    | "openbw" -> None
+    | "bw" -> Some Bwtree.microsoft_config
+    | s ->
+        Printf.eprintf "bwt_server: unknown index %S (try: openbw, bw)\n" s;
+        exit 2
+  in
+  match !leaf_cache_override with
+  | None -> base
+  | Some on ->
+      let b = Option.value base ~default:Bwtree.default_config in
+      Some { b with Bwtree.leaf_cache = on }
 
 let backend_of ~index ~key_type ~shards ~obs ~obs_of ~data_dir ~fsync : built
     =
@@ -167,9 +177,10 @@ let bootstrap_table ~key_type peers =
   in
   Bw_cluster.Table.of_uniform ~epoch:1L endpoints u
 
-let main host port workers shards index key_type data_dir no_fsync
+let main host port workers shards index key_type leaf_cache data_dir no_fsync
     close_on_malformed metrics metrics_json replicate_to follow cluster_self
     cluster_peers =
+  leaf_cache_override := leaf_cache;
   if workers < 1 then begin
     Printf.eprintf "bwt_server: --workers must be >= 1\n";
     exit 2
@@ -378,6 +389,13 @@ let cmd =
          & info [ "key-type" ] ~docv:"T"
              ~doc:"Key type behind the binary wire keys: int, str.")
   in
+  let leaf_cache =
+    Arg.(value & opt (some bool) None
+         & info [ "leaf-cache" ] ~docv:"BOOL"
+             ~doc:"Enable/disable the point-op leaf cache (default: the \
+                   index config's own setting — on for openbw, off for \
+                   bw).")
+  in
   let data_dir =
     Arg.(value & opt (some string) None
          & info [ "data-dir" ] ~docv:"DIR"
@@ -450,8 +468,8 @@ let cmd =
   let term =
     Term.(
       const main $ host $ port $ workers $ shards $ index $ key_type
-      $ data_dir $ no_fsync $ close_on_malformed $ metrics $ metrics_json
-      $ replicate_to $ follow $ cluster_self $ cluster_peers)
+      $ leaf_cache $ data_dir $ no_fsync $ close_on_malformed $ metrics
+      $ metrics_json $ replicate_to $ follow $ cluster_self $ cluster_peers)
   in
   Cmd.v
     (Cmd.info "bwt_server"

@@ -20,6 +20,7 @@ let index = ref "openbw"
 let shards = ref 1
 let batch = ref 1
 let unique = ref true
+let leaf_cache = ref None
 let quiet = ref false
 let metrics = ref false
 let metrics_json = ref ""
@@ -56,6 +57,10 @@ let speclist =
       "N submit point ops through the subject's batch path in groups of N \
        (default 1 = per-op)" );
     ("--non-unique", Arg.Clear unique, " stress the non-unique key support");
+    ( "--leaf-cache",
+      Arg.Bool (fun b -> leaf_cache := Some b),
+      "BOOL force the Bw-Tree point-op leaf cache on/off (default: the \
+       config's own setting — on for openbw, off for bw)" );
     ( "--crash",
       Arg.Set crash,
       " crash-recovery mode: checkpoint a durable pagestore, crash it \
@@ -168,6 +173,11 @@ let () =
           else Bwtree.default_config
         in
         let config = { base with gc_scheme; unique_keys = !unique } in
+        let config =
+          match !leaf_cache with
+          | None -> config
+          | Some on -> { config with Bwtree.leaf_cache = on }
+        in
         if !shards = 1 then
           Bw_stress.bwtree_subject ~config ~obs
             ~domains:cfg.Bw_stress.domains ()

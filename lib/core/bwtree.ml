@@ -152,8 +152,36 @@ module Make (K : KEY) (V : VALUE) :
   and f_restarts = 8
   and f_smo_helps = 9
   and f_prealloc_overflows = 10
+  and f_lc_hits = 11
+  and f_lc_misses = 12
+  and f_lc_stale = 13
+  and f_lc_inval = 14
+  and f_lc_tick = 15 (* replacement sampler, not a reported stat *)
+  and f_lc_win = 16 (* probes seen in the current observation window *)
+  and f_lc_winh = 17 (* hits seen in the current observation window *)
+  and f_lc_bypass = 18 (* ops left in the current probe-bypass stretch *)
 
-  let n_stat_fields = 11
+  let n_stat_fields = 19
+
+  (* The leaf cache (ROADMAP item 3) is a flat int array of
+     [fingerprint; pid; stamp] triples, one per direct-mapped slot:
+     - fingerprint: the full [Hashtbl.hash] of the cached key (-1 =
+       empty). A probe compares it before touching anything else, so a
+       slot holding some other key costs one array load — no pointer
+       chase, no mapping-table read.
+     - pid: the candidate leaf for that key.
+     - stamp: the SMO epoch at fill time, a refresh hint only.
+     Entries are advisory — every hit re-reads the head through the
+     mapping table and re-checks [lo <= k < hi] against the *current*
+     meta, so a stale/torn/racy entry costs a descent, never a wrong
+     leaf. That advisory-ness is why plain (non-atomic) int reads and
+     writes suffice: a torn triple (one key's fingerprint beside
+     another's pid) just fails validation. Keeping the triples unboxed
+     and adjacent matters more than atomicity here — the boxed
+     [entry option Atomic.t array] representation this replaced cost
+     two dependent cache-line misses per probe and an allocation per
+     fill, which showed up as a double-digit regression on exactly the
+     miss-dominated workloads the cache must not hurt. *)
 
   type t = {
     cfg : config;
@@ -166,10 +194,24 @@ module Make (K : KEY) (V : VALUE) :
         (* per-tid batch-permutation scratch, owner-written; each row is
            grown to the batch size once and then reused, so steady-state
            fixed-size batches sort without allocating *)
+    smo_epoch : int Atomic.t;
+        (* completed structure modifications (splits, merges, root
+           collapses) — the leaf cache's global invalidation stamp *)
+    lcache : int array;
+        (* direct-mapped point-op leaf cache, 3 ints per slot
+           (fingerprint, pid, stamp); [||] when disabled *)
+    lc_mask : int;
   }
 
   let sbump t tid f = t.st.(tid).(f) <- t.st.(tid).(f) + 1
   let ssum t f = Array.fold_left (fun acc row -> acc + row.(f)) 0 t.st
+
+  let lc_enabled t = t.lc_mask >= 0
+
+  (* Every completed SMO advances the stamp. Unconditional: the counter
+     is one rarely-written atomic, and [leaf_cache_stats] reports it even
+     when the cache itself is off. *)
+  let smo_bump t = Atomic.incr t.smo_epoch
 
   let cnt tid ev =
     if !Counters.enabled then Counters.incr Counters.global ~tid ev
@@ -222,17 +264,31 @@ module Make (K : KEY) (V : VALUE) :
         }
     in
     let root_id = Mapping_table.allocate table root in
-    {
-      cfg = config;
-      table;
-      root = Atomic.make root_id;
-      epoch =
-        Epoch.create ~scheme:config.gc_scheme ~max_threads:config.max_threads
-          ~gc_threshold:config.gc_threshold ~obs ();
-      o = obs;
-      st = Array.init config.max_threads (fun _ -> Array.make n_stat_fields 0);
-      bperm = Array.make config.max_threads [||];
-    }
+    let lc_slots = if config.leaf_cache then 1 lsl config.leaf_cache_bits else 0 in
+    let t =
+      {
+        cfg = config;
+        table;
+        root = Atomic.make root_id;
+        epoch =
+          Epoch.create ~scheme:config.gc_scheme ~max_threads:config.max_threads
+            ~gc_threshold:config.gc_threshold ~obs ();
+        o = obs;
+        st = Array.init config.max_threads (fun _ -> Array.make n_stat_fields 0);
+        bperm = Array.make config.max_threads [||];
+        smo_epoch = Atomic.make 0;
+        lcache = Array.make (3 * lc_slots) (-1);
+        lc_mask = lc_slots - 1;
+      }
+    in
+    if lc_enabled t && Bw_obs.enabled obs then
+      Bw_obs.register_gauge obs Bw_obs.G_leaf_cache_fill (fun () ->
+          let occupied = ref 0 in
+          for s = 0 to lc_slots - 1 do
+            if t.lcache.(3 * s) >= 0 then incr occupied
+          done;
+          !occupied * 1000 / lc_slots);
+    t
 
   let config t = t.cfg
   let obs t = t.o
@@ -480,6 +536,30 @@ module Make (K : KEY) (V : VALUE) :
     in
     go head
 
+  (* A split delta at the head is the only evidence that the new right
+     sibling's separator may still be unposted (Stage III pending) —
+     help-along in [locate_from] triggers off it. Ordinary appends only
+     land on top of one after a traversal has help-completed the split,
+     so a BURIED split delta is always a completed split. Paths that
+     cannot complete Stage III themselves must therefore leave such
+     heads alone: the leaf cache refuses to serve them, consolidation
+     skips them and merges give up on such victims. Absorbing the
+     evidence early would orphan the right sibling — the parent never
+     learns its separator, and the sibling's own split later restarts
+     forever against routing that cannot recognize it. *)
+  let head_is_split_topped = function
+    | LD { l_op = L_split _; _ } | ID { i_op = I_split _; _ } -> true
+    | _ -> false
+
+  (* Forward reference, tied to [locate] once the descent exists: run
+     clean from-root descents for a key until one completes without a
+     [Restart]. Routing for the key then either went through the posted
+     separator or help-completed the pending Stage III on the way — so
+     afterwards the split delta at that node's head is guaranteed
+     absorbed-safe. *)
+  let complete_split_for : (t -> tid:int -> key -> unit) ref =
+    ref (fun _ ~tid:_ _ -> ())
+
   (* The baseline consolidation of §2.3 as the paper describes it: replay
      the chain to collect the logical node's items, then sort. Applies to
      chains of plain data deltas (like the fast path); SMO-bearing chains
@@ -545,6 +625,17 @@ module Make (K : KEY) (V : VALUE) :
       match head with
       | LD { l_op = L_remove; _ } | ID { i_op = I_remove | I_abort; _ } -> ()
       | _ ->
+          (* A split delta at the head may carry a still-unposted
+             separator (Stage III pending — possible when the split was
+             posted under a cache hit's empty ancestor path). Absorbing
+             it would orphan the right sibling, so complete the split
+             first; the CaS below then only absorbs what the descent
+             just proved complete (see [head_is_split_topped]). *)
+          (match head with
+          | LD { l_op = L_split (ks, _); _ } | ID { i_op = I_split (ks, _); _ }
+            ->
+              !complete_split_for t ~tid ks
+          | _ -> ());
           let t0 = if Bw_obs.enabled t.o then Bw_obs.now_ns () else 0 in
           let repl =
             if is_leaf_elem head then begin
@@ -837,11 +928,21 @@ module Make (K : KEY) (V : VALUE) :
           end
           else begin
             sbump t tid f_splits;
+            smo_bump t;
             if Bw_obs.enabled t.o then begin
               Bw_obs.incr t.o ~tid Bw_obs.C_splits;
               Bw_obs.event t.o ~tid Bw_obs.Ev_split ~a:id ~b:rid
             end;
-            post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
+            (* Stage III. A cache-hit append carries no ancestor path; an
+               empty path on a non-root node would otherwise fall into
+               [post_split_separator]'s root-grow branch, raise, and leave
+               the right sibling orphaned (the caller swallows Restarts —
+               the append itself already linearized). Complete through
+               clean from-root descents instead. *)
+            (match parent_path with
+            | [] when Atomic.get t.root <> id ->
+                !complete_split_for t ~tid ks
+            | _ -> post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid)
           end
         end
       end
@@ -884,11 +985,17 @@ module Make (K : KEY) (V : VALUE) :
             end
             else begin
               sbump t tid f_splits;
+              smo_bump t;
               if Bw_obs.enabled t.o then begin
                 Bw_obs.incr t.o ~tid Bw_obs.C_splits;
                 Bw_obs.event t.o ~tid Bw_obs.Ev_split ~a:id ~b:rid
               end;
-              post_split_separator t ~tid ~parent_path ~left_id:id ~ks ~rid
+              (match parent_path with
+              | [] when Atomic.get t.root <> id ->
+                  !complete_split_for t ~tid ks
+              | _ ->
+                  post_split_separator t ~tid ~parent_path ~left_id:id ~ks
+                    ~rid)
             end
       end
     end
@@ -911,6 +1018,7 @@ module Make (K : KEY) (V : VALUE) :
           let child = mt_get t ~tid cid in
           if not (is_leaf_elem child) then
             if Atomic.compare_and_set t.root root_id cid then begin
+              smo_bump t;
               if Bw_obs.enabled t.o then begin
                 Bw_obs.incr t.o ~tid Bw_obs.C_root_collapses;
                 Bw_obs.event t.o ~tid Bw_obs.Ev_root_collapse ~a:root_id
@@ -956,6 +1064,7 @@ module Make (K : KEY) (V : VALUE) :
             let give_up () = unlock_parent () in
             if
               head_is_append_blocked nhead
+              || head_is_split_topped nhead
               || nm.size >= t.cfg.leaf_min
                  && is_leaf_elem nhead
               || nm.size >= t.cfg.inner_min
@@ -1078,6 +1187,7 @@ module Make (K : KEY) (V : VALUE) :
                             in
                             assert ok;
                             sbump t tid f_merges;
+                            smo_bump t;
                             if Bw_obs.enabled t.o then begin
                               Bw_obs.incr t.o ~tid Bw_obs.C_merges;
                               Bw_obs.event t.o ~tid Bw_obs.Ev_merge ~a:id
@@ -1150,6 +1260,222 @@ module Make (K : KEY) (V : VALUE) :
 
   let locate t ~tid k =
     locate_from t ~tid k ~start:(Atomic.get t.root) ~parent_path:[]
+
+  (* Tie the forward knot: consolidation (defined before the descent)
+     completes a head split's Stage III by descending for the split key
+     until a traversal runs clean. Recursion through the ref is bounded
+     by tree height: the descent's own help-along may consolidate
+     ancestors, whose pending splits sit one level up. *)
+  let () =
+    complete_split_for :=
+      fun t ~tid k ->
+        let rec go () =
+          match locate t ~tid k with
+          | _ -> ()
+          | exception Restart ->
+              sbump t tid f_restarts;
+              cnt tid Counters.Restart;
+              Domain.cpu_relax ();
+              go ()
+        in
+        go ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Leaf cache: O(1) point-op descent skipping (ROADMAP item 3)       *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Publish-then-validate, like every other shared structure here. A
+     fill publishes the leaf a real descent just returned; a probe
+     validates the entry against the *current* tree before trusting it:
+     re-read the head through the mapping table (leaf PIDs are never
+     recycled once published, so the cell always names the same logical
+     node), require a leaf that is neither remove-blocked nor topped by
+     a split delta (whose Stage III only a real descent can complete —
+     see [head_is_split_topped]), and re-check [lo <= k < hi] on its
+     current meta. That is exactly the invariant
+     [locate] establishes, so a validated hit is interchangeable with a
+     descent — except the ancestor path is unknown ([]), which only
+     degrades SMO housekeeping: a split posted under an empty path
+     leaves Stage III to the next descent's help-along.
+
+     The SMO stamp is the fast-invalidation hint: entries filled before
+     the latest split/merge/root-collapse are re-stamped when they
+     survive validation, dropped when they fail it. The mapping-table
+     re-read is what makes this sound — a stamp alone cannot be, since
+     a Stage-II CAS lands before the stamp advances. *)
+
+  (* Base index of [k]'s slot triple. [Hashtbl.hash] is non-negative,
+     so -1 is a safe empty-slot fingerprint. *)
+  let lc_base t h = 3 * (h land t.lc_mask)
+
+  (* Store the leaf a descent for [k] just returned.
+
+     Write traffic is the cache's whole overhead budget: when hits are
+     rare (uniform keys, or a deliberately undersized cache) every op
+     is a miss and a naive always-write fill turns the slot cache
+     lines into multi-thread ping-pong. Damping rules keep the miss
+     path nearly read-only:
+     - same key, same leaf, same SMO stamp: skip the write entirely;
+     - a different key's entry: evict only every 8th conflicting miss
+       per thread (sampled replacement). A genuinely hot key still
+       claims its slot within a few misses, while thrash-prone
+       workloads stop paying coherence traffic for entries that would
+       never hit.
+     Replacing another key's entry is an eviction, counted as an
+     invalidation so occupancy arithmetic stays honest. *)
+  let lc_fill t ~tid k ~id =
+    if lc_enabled t then begin
+      let h = Hashtbl.hash k in
+      let b = lc_base t h in
+      let fp = Array.unsafe_get t.lcache b in
+      if fp = h then begin
+        let stamp = Atomic.get t.smo_epoch in
+        if t.lcache.(b + 1) <> id || t.lcache.(b + 2) <> stamp then begin
+          t.lcache.(b + 1) <- id;
+          t.lcache.(b + 2) <- stamp
+        end
+      end
+      else if fp < 0 then begin
+        t.lcache.(b + 1) <- id;
+        t.lcache.(b + 2) <- Atomic.get t.smo_epoch;
+        t.lcache.(b) <- h
+      end
+      else begin
+        sbump t tid f_lc_tick;
+        if t.st.(tid).(f_lc_tick) land 7 = 0 then begin
+          sbump t tid f_lc_inval;
+          if Bw_obs.enabled t.o then
+            Bw_obs.incr t.o ~tid Bw_obs.C_leaf_cache_invalidations;
+          t.lcache.(b + 1) <- id;
+          t.lcache.(b + 2) <- Atomic.get t.smo_epoch;
+          t.lcache.(b) <- h
+        end
+      end
+    end
+
+  (* Validated probe: [Some (id, head)] only when the slot's
+     fingerprint matches [k] and the current head still proves
+     ownership (leaf, not append-blocked, no unfinished split on top,
+     and [k] inside its *current* separator range). A failed
+     validation drops the entry (stale verify + invalidation); a slot
+     fingerprinted by a different key is a plain miss and is left
+     alone — it may still serve its own key. *)
+  let lc_probe t ~tid k =
+    if not (lc_enabled t) then None
+    else
+      let h = Hashtbl.hash k in
+      let b = lc_base t h in
+      if Array.unsafe_get t.lcache b <> h then None
+      else begin
+        (* read pid once: a racing fill could swap it between the
+           mapping-table read and the return *)
+        let pid = t.lcache.(b + 1) in
+        let head = mt_get t ~tid pid in
+        let m = meta_of head in
+        if
+          is_leaf_elem head
+          && (not (head_is_append_blocked head))
+          && (not (head_is_split_topped head))
+          && kb k m.lo >= 0
+          && kb k m.hi < 0
+        then begin
+          let stamp = Atomic.get t.smo_epoch in
+          (* survived validation across an SMO: re-stamp so the next
+             fill for this key stays write-free *)
+          if t.lcache.(b + 2) <> stamp then t.lcache.(b + 2) <- stamp;
+          Some (pid, head)
+        end
+        else begin
+          sbump t tid f_lc_stale;
+          sbump t tid f_lc_inval;
+          t.lcache.(b) <- -1;
+          if Bw_obs.enabled t.o then begin
+            Bw_obs.incr t.o ~tid Bw_obs.C_leaf_cache_stale_verifies;
+            Bw_obs.incr t.o ~tid Bw_obs.C_leaf_cache_invalidations
+          end;
+          None
+        end
+      end
+
+  (* The point-op descent: try the cache, fall back to [locate] and fill
+     from what it found. Shape-compatible with [locate]; a hit's empty
+     ancestor path is safe for every caller (see above). *)
+  let lc_count_hit t ~tid =
+    sbump t tid f_lc_hits;
+    if Bw_obs.enabled t.o then Bw_obs.incr t.o ~tid Bw_obs.C_leaf_cache_hits
+
+  let lc_count_miss t ~tid =
+    if lc_enabled t then begin
+      sbump t tid f_lc_misses;
+      if Bw_obs.enabled t.o then
+        Bw_obs.incr t.o ~tid Bw_obs.C_leaf_cache_misses
+    end
+
+  let locate_refill t ~tid k =
+    let (_, id, _) as loc = locate t ~tid k in
+    lc_fill t ~tid k ~id;
+    loc
+
+  (* Adaptive bypass: the acceptance bar says a workload the cache
+     cannot help (near-zero hit rate — uniform keys over a deliberately
+     undersized cache) must not pay for it. Per thread, watch the hit
+     rate over a window of [lc_window] probes; if fewer than 1/8 of
+     them hit, descend without probing or filling for the next
+     [lc_bypass_len] point ops, then re-open a window. Steady-state
+     overhead on a hopeless workload is one branch per op plus a short
+     probing burst every [lc_bypass_len] ops (~1/9 of the ungated
+     cost), while any workload whose hit rate clears breakeven (~25%)
+     keeps the cache fully engaged. All gate state is owner-written
+     per-thread scratch — no shared writes. *)
+  let lc_window = 128
+  let lc_bypass_len = 1024
+
+  let lc_window_step t ~tid ~hit =
+    let row = t.st.(tid) in
+    if hit then row.(f_lc_winh) <- row.(f_lc_winh) + 1;
+    let w = row.(f_lc_win) + 1 in
+    if w < lc_window then row.(f_lc_win) <- w
+    else begin
+      if row.(f_lc_winh) * 8 < lc_window then
+        row.(f_lc_bypass) <- lc_bypass_len;
+      row.(f_lc_win) <- 0;
+      row.(f_lc_winh) <- 0
+    end
+
+  let locate_cached t ~tid k =
+    if not (lc_enabled t) then locate t ~tid k
+    else if t.st.(tid).(f_lc_bypass) > 0 then begin
+      t.st.(tid).(f_lc_bypass) <- t.st.(tid).(f_lc_bypass) - 1;
+      locate t ~tid k
+    end
+    else
+      match lc_probe t ~tid k with
+      | Some (id, head) ->
+          lc_count_hit t ~tid;
+          lc_window_step t ~tid ~hit:true;
+          ([], id, head)
+      | None ->
+          lc_count_miss t ~tid;
+          lc_window_step t ~tid ~hit:false;
+          locate_refill t ~tid k
+
+  (* The retry path after a [Restart] must NOT re-probe the cache: a hit
+     can keep serving the exact leaf whose unfinished SMO the restart is
+     waiting on. Concretely: a split posted under a hit's empty ancestor
+     path leaves Stage III to help-along, and once the left node's
+     prealloc arena is exhausted every append attempt consolidates —
+     which refuses chains with a pending SMO — and restarts; only a
+     from-root descent help-completes the separator and unblocks the
+     node. Re-probing would validate the same entry forever (the head is
+     a live, in-range leaf) and livelock. So each op consults the cache
+     on its first attempt only; retries descend for real, which both
+     guarantees progress and repairs the cache via the refill. *)
+  let locate_attempt t ~tid first k =
+    if !first then begin
+      first := false;
+      locate_cached t ~tid k
+    end
+    else locate_refill t ~tid k
 
   (* ---------------------------------------------------------------- *)
   (* Leaf probing (existence / visibility, §3.1 + §4.4)                *)
@@ -1488,8 +1814,9 @@ module Make (K : KEY) (V : VALUE) :
 
   let insert_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
+    let first = ref true in
     retry_loop t ~tid @@ fun () ->
-    let parent_path, id, head = locate t ~tid k in
+    let parent_path, id, head = locate_attempt t ~tid first k in
     fst (insert_core t ~tid parent_path id head k v)
 
   let delete_core t ~tid parent_path id head k v =
@@ -1535,8 +1862,9 @@ module Make (K : KEY) (V : VALUE) :
 
   let delete_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
+    let first = ref true in
     retry_loop t ~tid @@ fun () ->
-    let parent_path, id, head = locate t ~tid k in
+    let parent_path, id, head = locate_attempt t ~tid first k in
     fst (delete_core t ~tid parent_path id head k v)
 
   let update_core t ~tid parent_path id head k v =
@@ -1575,8 +1903,9 @@ module Make (K : KEY) (V : VALUE) :
 
   let update_body t ~tid k v =
     with_epoch t ~tid @@ fun () ->
+    let first = ref true in
     retry_loop t ~tid @@ fun () ->
-    let parent_path, id, head = locate t ~tid k in
+    let parent_path, id, head = locate_attempt t ~tid first k in
     fst (update_core t ~tid parent_path id head k v)
 
   (* ---------------------------------------------------------------- *)
@@ -1585,8 +1914,9 @@ module Make (K : KEY) (V : VALUE) :
 
   let lookup_body t ~tid k =
     with_epoch t ~tid @@ fun () ->
+    let first = ref true in
     retry_loop t ~tid @@ fun () ->
-    let _, _, head = locate t ~tid k in
+    let _, _, head = locate_attempt t ~tid first k in
     if Bw_obs.enabled t.o then
       Bw_obs.observe t.o ~tid Bw_obs.Val_chain_depth (meta_of head).depth;
     (probe_leaf t ~tid head k).p_values
@@ -1656,7 +1986,20 @@ module Make (K : KEY) (V : VALUE) :
   let exec_batch_body t ~tid (ops : (key * batch_op) array) perm
       (results : batch_result array) =
     let n = Array.length perm in
-    let ctx = ref None in
+    (* seed the cached ancestor from the leaf cache: when the first
+       sorted key's entry validates, the batch starts on that leaf
+       without a descent (the empty ancestor path falls back to the
+       root on range exit) *)
+    let ctx =
+      ref
+        (match lc_probe t ~tid (fst ops.(perm.(0))) with
+        | Some (id, head) ->
+            lc_count_hit t ~tid;
+            Some ([], id, head)
+        | None ->
+            lc_count_miss t ~tid;
+            None)
+    in
     (* skewed batches repeat hot keys; sorted order makes the repeats
        adjacent, so one probe serves the whole run of duplicates as long
        as the chain head is physically unchanged (any interleaved write
@@ -1680,6 +2023,10 @@ module Make (K : KEY) (V : VALUE) :
         | None -> locate t ~tid k
       in
       ctx := Some loc;
+      (* refill the cache from every real descent, so the next batch
+         (or point op) seeds from where this one left off *)
+      let _, lid, _ = loc in
+      lc_fill t ~tid k ~id:lid;
       loc
     in
     let leaf_for k =
@@ -2212,6 +2559,43 @@ module Make (K : KEY) (V : VALUE) :
       chunks = Mapping_table.chunks_allocated t.table;
       table_capacity = Mapping_table.capacity t.table;
     }
+
+  let leaf_cache_stats t =
+    {
+      lc_hits = ssum t f_lc_hits;
+      lc_misses = ssum t f_lc_misses;
+      lc_stale_verifies = ssum t f_lc_stale;
+      lc_invalidations = ssum t f_lc_inval;
+      lc_smo_events = Atomic.get t.smo_epoch;
+      lc_occupied =
+        (let n = ref 0 in
+         for s = 0 to (Array.length t.lcache / 3) - 1 do
+           if t.lcache.(3 * s) >= 0 then incr n
+         done;
+         !n);
+      lc_slots = Array.length t.lcache / 3;
+    }
+
+  (* Harness oracle: a validated cache hit must name the same leaf a
+     from-root descent finds. A concurrent SMO can move the key between
+     the probe and the descent, so a single disagreement proves nothing;
+     each retry re-validates against the then-current tree, so an
+     implementation whose validation is sound converges while one that
+     can serve a wrong leaf disagrees persistently. *)
+  let leaf_cache_check t ~tid k =
+    let rec go attempts =
+      let agree =
+        with_epoch t ~tid @@ fun () ->
+        retry_loop t ~tid @@ fun () ->
+        match lc_probe t ~tid k with
+        | None -> true
+        | Some (id, _) ->
+            let _, oid, _ = locate t ~tid k in
+            id = oid
+      in
+      agree || (attempts > 1 && go (attempts - 1))
+    in
+    go 4
 
   (* ---------------------------------------------------------------- *)
   (* Invariant checking (tests)                                        *)

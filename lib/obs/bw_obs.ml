@@ -142,6 +142,10 @@ type counter =
   | C_mig_ops_replayed
   | C_ckpt_gc_runs
   | C_ckpt_gc_bytes
+  | C_leaf_cache_hits
+  | C_leaf_cache_misses
+  | C_leaf_cache_invalidations
+  | C_leaf_cache_stale_verifies
 
 let counter_index = function
   | C_splits -> 0
@@ -177,6 +181,10 @@ let counter_index = function
   | C_mig_ops_replayed -> 30
   | C_ckpt_gc_runs -> 31
   | C_ckpt_gc_bytes -> 32
+  | C_leaf_cache_hits -> 33
+  | C_leaf_cache_misses -> 34
+  | C_leaf_cache_invalidations -> 35
+  | C_leaf_cache_stale_verifies -> 36
 
 let all_counters =
   [
@@ -213,6 +221,10 @@ let all_counters =
     C_mig_ops_replayed;
     C_ckpt_gc_runs;
     C_ckpt_gc_bytes;
+    C_leaf_cache_hits;
+    C_leaf_cache_misses;
+    C_leaf_cache_invalidations;
+    C_leaf_cache_stale_verifies;
   ]
 
 let n_counters = List.length all_counters
@@ -251,6 +263,10 @@ let counter_name = function
   | C_mig_ops_replayed -> "mig_ops_replayed"
   | C_ckpt_gc_runs -> "ckpt_gc_runs"
   | C_ckpt_gc_bytes -> "ckpt_gc_bytes"
+  | C_leaf_cache_hits -> "leaf_cache_hits"
+  | C_leaf_cache_misses -> "leaf_cache_misses"
+  | C_leaf_cache_invalidations -> "leaf_cache_invalidations"
+  | C_leaf_cache_stale_verifies -> "leaf_cache_stale_verifies"
 
 type gauge =
   | G_epoch_pending
@@ -262,6 +278,7 @@ type gauge =
   | G_repl_lag_records
   | G_repl_lag_bytes
   | G_cluster_epoch
+  | G_leaf_cache_fill  (** per-mille occupancy of the leaf-cache slots *)
 
 let gauge_name = function
   | G_epoch_pending -> "epoch_pending"
@@ -273,6 +290,7 @@ let gauge_name = function
   | G_repl_lag_records -> "repl_lag_records"
   | G_repl_lag_bytes -> "repl_lag_bytes"
   | G_cluster_epoch -> "cluster_epoch"
+  | G_leaf_cache_fill -> "leaf_cache_fill"
 
 type event_kind =
   | Ev_split

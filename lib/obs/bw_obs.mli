@@ -75,6 +75,10 @@ type counter =
   | C_mig_ops_replayed  (** capture-WAL ops drained to a migration destination *)
   | C_ckpt_gc_runs  (** incremental checkpoints escalated to full for pages-log GC *)
   | C_ckpt_gc_bytes  (** pages-log bytes reclaimed by those escalations *)
+  | C_leaf_cache_hits  (** point ops served off a verified leaf-cache entry *)
+  | C_leaf_cache_misses  (** point ops that fell back to the full descent *)
+  | C_leaf_cache_invalidations  (** cache entries dropped (stale or evicted) *)
+  | C_leaf_cache_stale_verifies  (** cached entries that failed re-validation *)
 
 val counter_name : counter -> string
 
@@ -90,6 +94,7 @@ type gauge =
   | G_repl_lag_records  (** WAL commit records the standby is behind *)
   | G_repl_lag_bytes  (** WAL payload bytes the standby is behind *)
   | G_cluster_epoch  (** this node's current partition-table epoch *)
+  | G_leaf_cache_fill  (** leaf-cache slot occupancy, per mille (0–1000) *)
 
 val gauge_name : gauge -> string
 

@@ -21,6 +21,10 @@
       [live + free-list length = high water] whenever churn is paused.
     - {b Bounded delta chains} and the tree's own {!Bwtree.S.verify_invariants}
       structural check.
+    - {b Leaf-cache agreement.} When the subject exposes a leaf-cache
+      probe, sampled keys check that every surviving cache entry serves
+      the same leaf a from-root descent reaches, and that stale
+      re-validations never outrun invalidations + SMO events.
 
     Violations are collected as strings rather than raised, so a long
     soak run reports everything it saw. *)
@@ -96,6 +100,13 @@ type subject = {
   s_max_chains : (unit -> int * int) option;
   s_chain_bound : int option;
       (** longest delta chain tolerated at a quiesced barrier *)
+  s_cache_check : (tid:int -> int -> bool) option;
+      (** leaf-cache agreement oracle: [probe ~tid k] must confirm that
+          any cached leaf for [k] matches a from-root descent; sampled
+          over the key space at every barrier *)
+  s_cache_stats : (unit -> Bwtree.leaf_cache_stats) option;
+      (** leaf-cache counters, checked for protocol accounting
+          (stale verifies never outrun invalidations + SMO events) *)
 }
 
 val bwtree_subject :
